@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation for Section 3.2.3's arbitration claims: (a) an uncontested
+ * requester waits at most 8 clocks for its token; (b) under contention
+ * the token moves sender to sender, so channel utilization rises with
+ * contention instead of collapsing.
+ */
+
+#include <iostream>
+
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+#include "stats/report.hh"
+#include "xbar/optical_channel.hh"
+
+namespace {
+
+using namespace corona;
+
+/** Drive one channel with n contending senders; return utilization. */
+struct ContentionResult
+{
+    double utilization;
+    double mean_token_wait_clocks;
+};
+
+ContentionResult
+driveChannel(std::size_t senders, int messages_per_sender)
+{
+    sim::EventQueue eq;
+    xbar::OpticalChannel channel(eq, sim::coronaClock(), 64, 0);
+    channel.setDeliver([](const noc::Message &) {});
+    for (int i = 0; i < messages_per_sender; ++i) {
+        for (std::size_t s = 0; s < senders; ++s) {
+            noc::Message msg;
+            msg.src = 1 + s * (63 / senders);
+            msg.dst = 0;
+            msg.kind = noc::MsgKind::ReadResp; // 80 B = 2 clocks
+            channel.send(msg);
+        }
+    }
+    eq.run();
+    ContentionResult r;
+    r.utilization = static_cast<double>(channel.busyTime()) /
+                    static_cast<double>(eq.now());
+    r.mean_token_wait_clocks =
+        channel.arbiter().waitStats().mean() / 200.0;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace corona;
+
+    // (a) Uncontested worst-case token wait across all requesters.
+    double worst_wait_clocks = 0.0;
+    for (topology::ClusterId requester = 1; requester < 64; ++requester) {
+        sim::EventQueue eq;
+        xbar::TokenArbiter arb(eq, 64, 25);
+        sim::Tick granted = 0;
+        arb.request(requester, [&] { granted = eq.now(); });
+        eq.run();
+        worst_wait_clocks = std::max(
+            worst_wait_clocks, static_cast<double>(granted) / 200.0);
+    }
+    std::cout << "Uncontested token wait, worst case over all clusters: "
+              << stats::formatDouble(worst_wait_clocks, 2)
+              << " clocks (paper bound: 8 clocks)\n\n";
+
+    // (b) Utilization versus contention.
+    stats::TableWriter table(
+        "Channel utilization vs contention (80 B messages)");
+    table.setHeader({"contending senders", "channel utilization",
+                     "mean token wait (clocks)"});
+    for (const std::size_t senders : {1u, 2u, 4u, 8u, 16u, 32u, 63u}) {
+        const auto r = driveChannel(senders, 40);
+        table.addRow({std::to_string(senders),
+                      stats::formatDouble(r.utilization * 100.0, 1) + " %",
+                      stats::formatDouble(r.mean_token_wait_clocks, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper: \"When many clusters want the same channel and "
+                 "contention is high, token\ntransfer time is low and "
+                 "channel utilization is high.\"\n";
+    return 0;
+}

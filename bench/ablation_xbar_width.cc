@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation for Section 3.2.1's channel sizing: sweep the bundle width
+ * (waveguides per channel, hence bytes per clock) and measure Uniform
+ * throughput and latency on XBar/OCM. The paper's 4-guide, 256-lambda
+ * design moves a 64 B line in one clock; narrower bundles serialize.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "stats/report.hh"
+#include "workload/synthetic.hh"
+
+int
+main()
+{
+    using namespace corona;
+
+    core::SimParams params;
+    params.requests =
+        std::min<std::uint64_t>(core::defaultRequestBudget(), 20'000);
+
+    stats::TableWriter table(
+        "Crossbar bundle-width ablation (Uniform, XBar/OCM)");
+    table.setHeader({"waveguides/channel", "bytes/clock",
+                     "channel BW", "achieved memory BW",
+                     "avg latency (ns)"});
+
+    for (const std::uint32_t guides : {1u, 2u, 4u, 8u}) {
+        auto config = core::makeConfig(core::NetworkKind::XBar,
+                                       core::MemoryKind::OCM);
+        config.xbar_channel.bytes_per_clock = guides * 16; // 64 l DDR
+        auto workload = workload::makeUniform();
+        const auto metrics =
+            core::runExperiment(config, *workload, params);
+        table.addRow({
+            std::to_string(guides),
+            std::to_string(guides * 16),
+            stats::formatBandwidth(guides * 16 * 5e9),
+            stats::formatBandwidth(metrics.achieved_bytes_per_second),
+            stats::formatDouble(metrics.avg_latency_ns, 1),
+        });
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe paper's choice (4 guides, 64 B/clock) is the "
+                 "knee: a full cache line per\nclock keeps the in-order "
+                 "cores' stall time minimal, while wider bundles add\n"
+                 "rings and power for little gain once memory becomes "
+                 "the bottleneck.\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+#include "common.hh"
+
+#include <iostream>
+
+#include "workload/splash.hh"
+#include "workload/synthetic.hh"
+
+namespace corona::bench {
+
+std::vector<WorkloadEntry>
+allWorkloads()
+{
+    std::vector<WorkloadEntry> entries = {
+        {"Uniform", true, workload::makeUniform},
+        {"Hot Spot", true, workload::makeHotSpot},
+        {"Tornado", true, workload::makeTornado},
+        {"Transpose", true, workload::makeTranspose},
+    };
+    for (const auto &params : workload::splashSuite()) {
+        entries.push_back(WorkloadEntry{
+            params.name, false,
+            [name = params.name] { return workload::makeSplash(name); }});
+    }
+    return entries;
+}
+
+Sweep
+runSweep(std::uint64_t requests, bool quiet)
+{
+    Sweep sweep;
+    sweep.workloads = allWorkloads();
+    sweep.configs = core::paperConfigs();
+    sweep.results.resize(sweep.workloads.size());
+
+    core::SimParams params;
+    params.requests = requests;
+    // Measure steady state: a fifth of the budget warms the queues,
+    // MSHRs, and thread windows before the clocks start.
+    params.warmup_requests = requests / 5;
+
+    for (std::size_t w = 0; w < sweep.workloads.size(); ++w) {
+        for (const auto &config : sweep.configs) {
+            auto workload = sweep.workloads[w].make();
+            if (!quiet) {
+                std::cerr << "  running " << sweep.workloads[w].name
+                          << " on " << config.name() << "...\n";
+            }
+            sweep.results[w].push_back(
+                core::runExperiment(config, *workload, params));
+        }
+    }
+    return sweep;
+}
+
+} // namespace corona::bench

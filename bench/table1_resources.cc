@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates Table 1: Resource Configuration.
+ */
+
+#include <iostream>
+
+#include "cache/cache.hh"
+#include "corona/config.hh"
+#include "stats/report.hh"
+
+int
+main()
+{
+    using namespace corona;
+
+    const core::SystemConfig config;
+    const auto l1i = cache::l1iConfig();
+    const auto l1d = cache::l1dConfig();
+    const auto l2 = cache::l2Config();
+
+    stats::TableWriter table("Table 1: Resource Configuration");
+    table.setHeader({"Resource", "Value"});
+    table.addRow({"Number of clusters", std::to_string(config.clusters)});
+    table.addRow({"Per-Cluster:", ""});
+    table.addRow({"  L2 cache size/assoc",
+                  std::to_string(l2.capacity_bytes >> 20) + " MB/" +
+                      std::to_string(l2.associativity) + "-way"});
+    table.addRow({"  L2 cache line size",
+                  std::to_string(l2.line_bytes) + " B"});
+    table.addRow({"  L2 coherence", "MOESI"});
+    table.addRow({"  Memory controllers", "1"});
+    table.addRow({"  Cores", "4"});
+    table.addRow({"Per-Core:", ""});
+    table.addRow({"  L1 ICache size/assoc",
+                  std::to_string(l1i.capacity_bytes >> 10) + " KB/" +
+                      std::to_string(l1i.associativity) + "-way"});
+    table.addRow({"  L1 DCache size/assoc",
+                  std::to_string(l1d.capacity_bytes >> 10) + " KB/" +
+                      std::to_string(l1d.associativity) + "-way"});
+    table.addRow({"  L1 I & D cache line size",
+                  std::to_string(l1i.line_bytes) + " B"});
+    table.addRow({"  Frequency", "5 GHz"});
+    table.addRow({"  Threads",
+                  std::to_string(config.threads_per_cluster / 4)});
+    table.addRow({"  Issue policy", "In-order"});
+    table.addRow({"  Issue width", "2"});
+    table.addRow({"  64 b floating point SIMD width", "4"});
+    table.addRow({"  Fused floating point operations", "Multiply-Add"});
+    table.print(std::cout);
+
+    std::cout << "\nDerived totals: " << config.clusters << " clusters x 4"
+              << " cores = " << config.clusters * 4 << " cores, "
+              << config.threads() << " threads;\n"
+              << "peak 2 FLOP/cycle x 4-wide SIMD x 5 GHz x 256 cores = "
+              << 2.0 * 4 * 5 * 256 / 1000.0 << " teraflops.\n";
+    return 0;
+}

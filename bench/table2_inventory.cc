@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regenerates Table 2: Optical Resource Inventory, computed from first
+ * principles by photonics::Inventory.
+ */
+
+#include <iostream>
+
+#include "photonics/inventory.hh"
+#include "stats/report.hh"
+
+int
+main()
+{
+    using namespace corona;
+
+    const photonics::Inventory inventory;
+
+    stats::TableWriter table("Table 2: Optical Resource Inventory");
+    table.setHeader({"Photonic Subsystem", "Waveguides",
+                     "Ring Resonators"});
+    auto kstring = [](std::size_t n) {
+        if (n >= 1024 && n % 1024 == 0)
+            return std::to_string(n / 1024) + " K";
+        return std::to_string(n);
+    };
+    for (const auto &row : inventory.rows()) {
+        table.addRow({row.name, std::to_string(row.waveguides),
+                      kstring(row.ring_resonators)});
+    }
+    table.addRow({"Total", std::to_string(inventory.totalWaveguides()),
+                  "~" + std::to_string(
+                            (inventory.totalRings() + 512) / 1024) +
+                      " K"});
+    table.print(std::cout);
+
+    std::cout << "\nPaper row check: Memory 128 / 16 K, Crossbar 256 / "
+                 "1024 K, Broadcast 1 / 8 K,\nArbitration 2 / 8 K, "
+                 "Clock 1 / 64, Total 388 / ~1056 K.\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Regenerates Table 3: Benchmarks and Configurations, extended with the
+ * calibration each workload model uses (offered load, burstiness).
+ */
+
+#include <iostream>
+
+#include "stats/report.hh"
+#include "workload/splash.hh"
+#include "workload/synthetic.hh"
+
+int
+main()
+{
+    using namespace corona;
+
+    stats::TableWriter synthetic("Table 3 (a): Synthetic benchmarks");
+    synthetic.setHeader({"Benchmark", "Description", "# Requests"});
+    synthetic.addRow({"Uniform", "Uniform random", "1 M"});
+    synthetic.addRow({"Hot Spot", "All clusters to one cluster", "1 M"});
+    synthetic.addRow(
+        {"Tornado",
+         "Cluster (i,j) to ((i+k/2-1)%k, (j+k/2-1)%k), k = radix",
+         "1 M"});
+    synthetic.addRow({"Transpose", "Cluster (i,j) to (j,i)", "1 M"});
+    synthetic.print(std::cout);
+
+    std::cout << "\n";
+    stats::TableWriter splash("Table 3 (b): SPLASH-2 benchmarks");
+    splash.setHeader({"Benchmark", "Data Set", "# Requests",
+                      "Model offered load", "Bursty"});
+    for (const auto &params : workload::splashSuite()) {
+        const workload::SplashWorkload model(params);
+        auto requests = [](std::uint64_t n) {
+            if (n >= 1'000'000)
+                return stats::formatDouble(
+                           static_cast<double>(n) / 1e6, 1) + " M";
+            return stats::formatDouble(
+                       static_cast<double>(n) / 1e3, 1) + " K";
+        };
+        splash.addRow({params.name, params.dataset,
+                       requests(params.paper_requests),
+                       stats::formatBandwidth(
+                           model.offeredBytesPerSecond()),
+                       params.burst.enabled ? "yes (barrier epochs)"
+                                            : "no"});
+    }
+    splash.print(std::cout);
+
+    std::cout << "\nOffered loads are the calibration targets derived "
+                 "from Figure 9 (see DESIGN.md).\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Regenerates Table 4: Optical vs Electrical Memory Interconnects,
+ * plus the surrounding power arithmetic of Section 3.3.
+ */
+
+#include <iostream>
+
+#include "memory/ecm.hh"
+#include "memory/ocm.hh"
+#include "power/memory_power.hh"
+#include "stats/report.hh"
+
+int
+main()
+{
+    using namespace corona;
+
+    const memory::OcmSystem ocm;
+    const memory::EcmSystem ecm;
+
+    stats::TableWriter table(
+        "Table 4: Optical vs Electrical Memory Interconnects");
+    table.setHeader({"Resource", "OCM", "ECM"});
+    table.addRow({"Memory controllers",
+                  std::to_string(ocm.config().controllers),
+                  std::to_string(ecm.config().controllers)});
+    table.addRow({"External connectivity",
+                  std::to_string(ocm.totalFibers()) + " fibers",
+                  std::to_string(ecm.config().total_pins) + " pins"});
+    table.addRow({"Channel width", "128 b half duplex",
+                  "12 b full duplex"});
+    table.addRow({"Channel data rate", "10 Gb/s", "10 Gb/s"});
+    table.addRow({"Memory bandwidth",
+                  stats::formatBandwidth(ocm.aggregateBandwidth()),
+                  stats::formatBandwidth(ecm.aggregateBandwidth())});
+    table.addRow({"Memory latency", "20 ns", "20 ns"});
+    table.print(std::cout);
+
+    std::cout << "\nSection 3.3 power arithmetic:\n"
+              << "  OCM at 10.24 TB/s, 0.078 mW/Gb/s: "
+              << stats::formatDouble(ocm.interconnectPowerW(), 2)
+              << " W (paper: ~6.4 W)\n"
+              << "  ECM at its own 0.96 TB/s, 2 mW/Gb/s: "
+              << stats::formatDouble(ecm.interconnectPowerW(), 2)
+              << " W\n"
+              << "  Electrical links matching 10.24 TB/s would need "
+              << stats::formatDouble(ecm.powerToMatchW(10.24e12), 0)
+              << " W (paper: >160 W) -> infeasible.\n";
+    return 0;
+}

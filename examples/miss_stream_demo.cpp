@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Demonstrates the cache-hierarchy-driven workload: address streams
+ * flow through per-thread L1s and shared L2s, and only the emergent L2
+ * misses reach the network — the in-miniature equivalent of the
+ * paper's COTSon full-system trace generation. Shows how access
+ * locality, not a calibration knob, determines bandwidth demand and
+ * which system configuration that demand rewards.
+ *
+ * Usage: miss_stream_demo [requests]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "corona/simulation.hh"
+#include "stats/report.hh"
+#include "workload/miss_stream.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace corona;
+
+    core::SimParams params;
+    // Enough requests that the 1024 threads' caches warm up and the
+    // steady-state miss rates dominate the cumulative statistics.
+    params.requests = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                               : 40'000;
+
+    stats::TableWriter table(
+        "Cache-driven miss streams through Corona and the baseline");
+    table.setHeader({"workload", "L1 miss", "L2 miss",
+                     "XBar/OCM BW", "LMesh/ECM BW", "speedup"});
+
+    struct Case
+    {
+        const char *label;
+        workload::AccessPattern pattern;
+        std::uint64_t working_set_lines;
+    };
+    const Case cases[] = {
+        // 1 KB per thread: L1-resident after warm-up.
+        {"reuse 1 KB/thread", workload::AccessPattern::WorkingSet, 16},
+        // 1 MB per thread: spills both cache levels.
+        {"reuse 1 MB/thread", workload::AccessPattern::WorkingSet,
+         1 << 14},
+        {"streaming scan", workload::AccessPattern::Streaming, 0},
+        {"strided walk", workload::AccessPattern::Strided, 0},
+    };
+    for (const Case &c : cases) {
+        workload::MissStreamParams wl_params;
+        wl_params.pattern = c.pattern;
+        if (c.working_set_lines)
+            wl_params.working_set_lines = c.working_set_lines;
+
+        workload::MissStreamWorkload corona_wl(wl_params);
+        const auto corona_metrics = core::runExperiment(
+            core::makeConfig(core::NetworkKind::XBar,
+                             core::MemoryKind::OCM),
+            corona_wl, params);
+
+        workload::MissStreamWorkload baseline_wl(wl_params);
+        const auto baseline_metrics = core::runExperiment(
+            core::makeConfig(core::NetworkKind::LMesh,
+                             core::MemoryKind::ECM),
+            baseline_wl, params);
+
+        table.addRow({
+            c.label,
+            stats::formatDouble(corona_wl.l1MissRate() * 100.0, 1) + " %",
+            stats::formatDouble(corona_wl.l2MissRate() * 100.0, 1) + " %",
+            stats::formatBandwidth(
+                corona_metrics.achieved_bytes_per_second),
+            stats::formatBandwidth(
+                baseline_metrics.achieved_bytes_per_second),
+            stats::formatDouble(
+                corona_metrics.speedupOver(baseline_metrics), 2) + "x",
+        });
+    }
+    table.print(std::cout);
+
+    std::cout << "\nCache-resident working sets are absorbed on-stack and "
+                 "level the configurations;\nspilled and streaming "
+                 "workloads demand memory bandwidth only Corona "
+                 "delivers.\n";
+    return 0;
+}

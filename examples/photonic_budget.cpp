@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Walk the photonic substrate: enumerate the optical component
+ * inventory (Table 2), build the worst-case crossbar loss budget, solve
+ * for laser power, and print the bottom-up photonic power breakdown
+ * next to the paper's 39 W estimate.
+ */
+
+#include <iostream>
+
+#include "photonics/inventory.hh"
+#include "photonics/loss_budget.hh"
+#include "photonics/optical_clock.hh"
+#include "power/network_power.hh"
+#include "sim/clock.hh"
+#include "stats/report.hh"
+
+int
+main()
+{
+    using namespace corona;
+    using namespace corona::photonics;
+
+    const Inventory inventory;
+    stats::TableWriter inv_table("Optical component inventory");
+    inv_table.setHeader({"subsystem", "waveguides", "ring resonators"});
+    for (const auto &row : inventory.rows()) {
+        inv_table.addRow({row.name, std::to_string(row.waveguides),
+                          std::to_string(row.ring_resonators)});
+    }
+    inv_table.addRow({"Total", std::to_string(inventory.totalWaveguides()),
+                      std::to_string(inventory.totalRings())});
+    inv_table.print(std::cout);
+
+    // Worst-case crossbar data path: the full 16 cm serpentine past
+    // every cluster's rings on one bundle waveguide.
+    const OpticalPath path = crossbarWorstCasePath(64, 16.0, 64 * 64);
+    std::cout << "\nWorst-case crossbar optical path:\n";
+    for (const auto &element : path.elements()) {
+        std::cout << "  " << element.name << ": "
+                  << stats::formatDouble(element.loss_db, 3) << " dB\n";
+    }
+    std::cout << "  total: " << stats::formatDouble(path.totalLossDb(), 2)
+              << " dB\n";
+
+    const BudgetResult budget = solveBudget(path, 64 * 256);
+    std::cout << "\nLaser budget (" << 64 * 256
+              << " wavelength instances):\n"
+              << "  per-lambda launch power: "
+              << stats::formatDouble(budget.required_at_source_dbm, 1)
+              << " dBm\n"
+              << "  total optical power: "
+              << stats::formatDouble(budget.total_optical_power_w, 2)
+              << " W\n"
+              << "  electrical laser power: "
+              << stats::formatDouble(budget.total_electrical_power_w, 2)
+              << " W\n";
+
+    const auto breakdown =
+        power::photonicInterconnectPower(inventory, budget);
+    stats::TableWriter power_table(
+        "Bottom-up photonic interconnect power (paper estimate: 39 W)");
+    power_table.setHeader({"component", "watts"});
+    power_table.addRow({"laser (electrical)",
+                        stats::formatDouble(breakdown.laser_w, 2)});
+    power_table.addRow({"ring trimming",
+                        stats::formatDouble(breakdown.trimming_w, 2)});
+    power_table.addRow({"modulator drive",
+                        stats::formatDouble(breakdown.modulator_w, 2)});
+    power_table.addRow({"receivers",
+                        stats::formatDouble(breakdown.receiver_w, 2)});
+    power_table.addRow({"total",
+                        stats::formatDouble(breakdown.total_w, 2)});
+    std::cout << "\n";
+    power_table.print(std::cout);
+
+    // Optical clock phases around the serpentine.
+    const OpticalClock clock(64, sim::coronaClock(), 8);
+    std::cout << "\nOptical clock: hop " << clock.hopTime()
+              << " ps; cluster 1 phase +" << clock.phaseOffset(1)
+              << " ps; retiming penalty at wrap "
+              << clock.retimingPenalty(63, 0) << " ps\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: build Corona (XBar/OCM), run a uniform-random workload
+ * through the network simulation, and print the headline metrics next
+ * to the electrically connected baseline.
+ *
+ * Usage: quickstart [requests]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "corona/simulation.hh"
+#include "stats/report.hh"
+#include "workload/synthetic.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace corona;
+
+    core::SimParams params;
+    params.requests = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                               : 20'000;
+
+    std::cout << "Corona quickstart: " << params.requests
+              << " L2 misses, 1024 threads, uniform-random traffic\n\n";
+
+    // 1. Corona: photonic crossbar + optically connected memory.
+    auto workload = workload::makeUniform();
+    const auto corona_cfg =
+        core::makeConfig(core::NetworkKind::XBar, core::MemoryKind::OCM);
+    const auto corona = core::runExperiment(corona_cfg, *workload, params);
+
+    // 2. The all-electrical baseline the paper normalizes against.
+    auto workload2 = workload::makeUniform();
+    const auto baseline_cfg =
+        core::makeConfig(core::NetworkKind::LMesh, core::MemoryKind::ECM);
+    const auto baseline =
+        core::runExperiment(baseline_cfg, *workload2, params);
+
+    stats::TableWriter table("Corona vs. electrical baseline");
+    table.setHeader({"metric", "XBar/OCM", "LMesh/ECM"});
+    table.addRow({"memory bandwidth",
+                  stats::formatBandwidth(corona.achieved_bytes_per_second),
+                  stats::formatBandwidth(
+                      baseline.achieved_bytes_per_second)});
+    table.addRow({"avg L2-miss latency (ns)",
+                  stats::formatDouble(corona.avg_latency_ns, 1),
+                  stats::formatDouble(baseline.avg_latency_ns, 1)});
+    table.addRow({"network power (W)",
+                  stats::formatDouble(corona.network_power_w, 1),
+                  stats::formatDouble(baseline.network_power_w, 1)});
+    table.addRow({"completion time (us)",
+                  stats::formatDouble(
+                      static_cast<double>(corona.elapsed) / 1e6, 2),
+                  stats::formatDouble(
+                      static_cast<double>(baseline.elapsed) / 1e6, 2)});
+    table.print(std::cout);
+
+    std::cout << "\nSpeedup of Corona over LMesh/ECM: "
+              << stats::formatDouble(corona.speedupOver(baseline), 2)
+              << "x\n";
+    return 0;
+}

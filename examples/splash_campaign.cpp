@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Run one SPLASH-2 workload model across all five paper configurations
+ * and report the per-configuration metrics — the workflow behind
+ * Figures 8-11 for a single benchmark.
+ *
+ * Usage: splash_campaign [benchmark] [requests]
+ *        (default benchmark: FFT)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "corona/report.hh"
+#include "corona/simulation.hh"
+#include "stats/report.hh"
+#include "workload/splash.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace corona;
+
+    const std::string benchmark = argc > 1 ? argv[1] : "FFT";
+    core::SimParams params;
+    params.requests = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                               : 15'000;
+
+    const auto splash = workload::splashParams(benchmark);
+    std::cout << "SPLASH-2 " << benchmark << " (" << splash.dataset
+              << "), " << params.requests << " misses per run\n"
+              << "offered load: "
+              << stats::formatBandwidth(
+                     workload::SplashWorkload(splash)
+                         .offeredBytesPerSecond())
+              << (splash.burst.enabled ? ", bursty (barrier epochs)"
+                                       : "")
+              << "\n\n";
+
+    stats::TableWriter table(benchmark + " across configurations");
+    table.setHeader({"config", "speedup", "bandwidth", "latency (ns)",
+                     "net power (W)"});
+
+    core::RunMetrics baseline;
+    std::unique_ptr<core::NetworkSimulation> corona_run;
+    for (const auto &config : core::paperConfigs()) {
+        auto workload = workload::makeSplash(benchmark);
+        core::RunMetrics metrics;
+        if (config.network == core::NetworkKind::XBar) {
+            // Keep the Corona run's system for the detailed report.
+            corona_run = std::make_unique<core::NetworkSimulation>(
+                config, *workload, params);
+            metrics = corona_run->run();
+        } else {
+            metrics = core::runExperiment(config, *workload, params);
+        }
+        if (config.name() == "LMesh/ECM")
+            baseline = metrics;
+        table.addRow({
+            metrics.config,
+            stats::formatDouble(metrics.speedupOver(baseline), 2),
+            stats::formatBandwidth(metrics.achieved_bytes_per_second),
+            stats::formatDouble(metrics.avg_latency_ns, 1),
+            stats::formatDouble(metrics.network_power_w, 1),
+        });
+        if (config.network == core::NetworkKind::XBar) {
+            std::cout << "\n";
+            core::collectReport(metrics, corona_run->system())
+                .print(std::cout);
+            std::cout << "\n";
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Set-associative cache model.
+ *
+ * Geometry follows Table 1 (16 KB/4-way L1I, 32 KB/4-way L1D, 4 MB/16-way
+ * shared L2, 64 B lines; the evaluation scales L2 to 256 KB to match the
+ * simulated working sets). The model is functional — hit/miss/evict with
+ * true LRU — and is used by the coherence peers and the miss-stream
+ * example; timing belongs to the network/memory models.
+ */
+
+#ifndef CORONA_CACHE_CACHE_HH
+#define CORONA_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/stats.hh"
+#include "topology/address_map.hh"
+
+namespace corona::cache {
+
+/** Cache geometry. */
+struct CacheConfig
+{
+    std::uint64_t capacity_bytes = 256 * 1024; ///< Evaluation-scaled L2.
+    std::uint32_t associativity = 16;
+    std::uint32_t line_bytes = 64;
+};
+
+/** Table 1 geometries. */
+CacheConfig l1iConfig();
+CacheConfig l1dConfig();
+CacheConfig l2Config();          ///< 4 MB/16-way (architected).
+CacheConfig l2SimConfig();       ///< 256 KB/16-way (evaluation, Section 4).
+
+/** Outcome of a cache access. */
+struct AccessResult
+{
+    bool hit;
+    /** Dirty line evicted to make room (when allocating on a miss). */
+    std::optional<topology::Addr> writeback;
+};
+
+/**
+ * A set-associative, write-back, write-allocate cache with true LRU.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config = {});
+
+    /**
+     * Access @p addr; on a miss the line is allocated and the LRU victim
+     * (if dirty) is reported as a writeback.
+     * @param write True to mark the line dirty.
+     */
+    AccessResult access(topology::Addr addr, bool write);
+
+    /** Probe without disturbing LRU or allocating. */
+    bool contains(topology::Addr addr) const;
+
+    /** Invalidate a line (coherence); @return true if it was present. */
+    bool invalidate(topology::Addr addr);
+
+    /** Number of lines currently resident. */
+    std::size_t residentLines() const { return _resident; }
+
+    const CacheConfig &config() const { return _config; }
+    std::uint64_t sets() const { return _sets; }
+
+    std::uint64_t hits() const { return _hits.value(); }
+    std::uint64_t misses() const { return _misses.value(); }
+    std::uint64_t writebacks() const { return _writebacks.value(); }
+
+    double
+    missRate() const
+    {
+        const auto total = hits() + misses();
+        return total ? static_cast<double>(misses()) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+  private:
+    struct Line
+    {
+        topology::Addr tag;
+        bool dirty;
+    };
+    /** One set: MRU at front. */
+    using Set = std::list<Line>;
+
+    std::uint64_t setOf(topology::Addr addr) const;
+    topology::Addr tagOf(topology::Addr addr) const;
+
+    CacheConfig _config;
+    std::uint64_t _sets;
+    std::vector<Set> _data;
+    std::size_t _resident = 0;
+
+    stats::Counter _hits;
+    stats::Counter _misses;
+    stats::Counter _writebacks;
+};
+
+} // namespace corona::cache
+
+#endif // CORONA_CACHE_CACHE_HH

@@ -1,0 +1,47 @@
+#include "coherence/cache_peer.hh"
+
+#include "sim/logging.hh"
+
+namespace corona::coherence {
+
+MoesiState
+CachePeer::state(topology::Addr line) const
+{
+    const auto it = _lines.find(line);
+    return it == _lines.end() ? MoesiState::Invalid : it->second.state;
+}
+
+std::uint64_t
+CachePeer::version(topology::Addr line) const
+{
+    const auto it = _lines.find(line);
+    if (it == _lines.end())
+        sim::panic("CachePeer::version: line not present");
+    return it->second.version;
+}
+
+void
+CachePeer::setLine(topology::Addr line, MoesiState state,
+                   std::uint64_t version)
+{
+    if (state == MoesiState::Invalid) {
+        _lines.erase(line);
+        return;
+    }
+    _lines[line] = Copy{state, version};
+}
+
+void
+CachePeer::setState(topology::Addr line, MoesiState state)
+{
+    if (state == MoesiState::Invalid) {
+        _lines.erase(line);
+        return;
+    }
+    const auto it = _lines.find(line);
+    if (it == _lines.end())
+        sim::panic("CachePeer::setState: line not present");
+    it->second.state = state;
+}
+
+} // namespace corona::coherence

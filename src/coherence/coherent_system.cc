@@ -1,0 +1,300 @@
+#include "coherence/coherent_system.hh"
+
+#include <stdexcept>
+
+#include "sim/logging.hh"
+
+namespace corona::coherence {
+
+CoherentSystem::CoherentSystem(const CoherenceConfig &config)
+    : _config(config), _directories(config.peers),
+      _map(config.peers, 4096, true)
+{
+    if (config.peers == 0 || config.peers > maxPeers)
+        throw std::invalid_argument("CoherentSystem: bad peer count");
+    _peers.reserve(config.peers);
+    for (std::size_t i = 0; i < config.peers; ++i)
+        _peers.emplace_back(i);
+}
+
+Directory &
+CoherentSystem::homeDirectory(topology::Addr line)
+{
+    return _directories[_map.homeOf(line)];
+}
+
+void
+CoherentSystem::count(CoherenceMsg msg, std::uint64_t n)
+{
+    _msgCounts[static_cast<std::size_t>(msg)] += n;
+}
+
+std::uint64_t
+CoherentSystem::messageCount(CoherenceMsg msg) const
+{
+    return _msgCounts[static_cast<std::size_t>(msg)];
+}
+
+std::uint64_t
+CoherentSystem::totalMessages() const
+{
+    std::uint64_t total = 0;
+    for (const auto count : _msgCounts)
+        total += count;
+    return total;
+}
+
+std::uint64_t
+CoherentSystem::memoryVersion(topology::Addr line) const
+{
+    const auto it = _memory.find(line);
+    return it == _memory.end() ? 0 : it->second;
+}
+
+std::uint64_t
+CoherentSystem::currentVersion(topology::Addr line) const
+{
+    for (const auto &peer : _peers) {
+        const MoesiState st = peer.state(line);
+        if (isDirty(st))
+            return peer.version(line);
+    }
+    return memoryVersion(line);
+}
+
+std::uint64_t
+CoherentSystem::read(std::size_t peer, topology::Addr line)
+{
+    if (peer >= _peers.size())
+        throw std::out_of_range("CoherentSystem::read: bad peer");
+    _touched.insert(line);
+    CachePeer &p = _peers[peer];
+    if (canRead(p.state(line)))
+        return p.version(line); // Hit; no protocol traffic.
+
+    count(CoherenceMsg::GetS);
+    DirectoryEntry &entry = homeDirectory(line).entry(line);
+    std::uint64_t version = 0;
+
+    if (entry.owner && *entry.owner != peer) {
+        // Forward to the owner, which supplies data.
+        count(CoherenceMsg::FwdGetS);
+        count(CoherenceMsg::Data);
+        CachePeer &owner = _peers[*entry.owner];
+        version = owner.version(line);
+        switch (owner.state(line)) {
+          case MoesiState::Modified:
+            owner.setState(line, MoesiState::Owned);
+            entry.sharers.set(peer);
+            break;
+          case MoesiState::Owned:
+            entry.sharers.set(peer);
+            break;
+          case MoesiState::Exclusive:
+            // Clean owner degrades to a plain sharer.
+            owner.setState(line, MoesiState::Shared);
+            entry.sharers.set(*entry.owner);
+            entry.sharers.set(peer);
+            entry.owner.reset();
+            break;
+          default:
+            sim::panic("CoherentSystem: directory owner not an owner");
+        }
+        p.setLine(line, MoesiState::Shared, version);
+    } else if (entry.sharers.any()) {
+        // Clean sharers exist; memory supplies data.
+        count(CoherenceMsg::Data);
+        version = memoryVersion(line);
+        entry.sharers.set(peer);
+        p.setLine(line, MoesiState::Shared, version);
+    } else {
+        // Uncached: grant Exclusive.
+        count(CoherenceMsg::Data);
+        version = memoryVersion(line);
+        entry.owner = peer;
+        p.setLine(line, MoesiState::Exclusive, version);
+    }
+    return version;
+}
+
+void
+CoherentSystem::invalidateSharers(DirectoryEntry &entry,
+                                  topology::Addr line, std::size_t except)
+{
+    SharerSet victims = entry.sharers;
+    if (except < maxPeers)
+        victims.reset(except);
+    const std::size_t n = victims.count();
+    if (n == 0)
+        return;
+    const bool broadcast = _config.policy == InvalPolicy::Broadcast &&
+                           n >= _config.broadcast_threshold;
+    if (broadcast)
+        count(CoherenceMsg::InvalBcast);
+    else
+        count(CoherenceMsg::Inval, n);
+    count(CoherenceMsg::InvAck, n);
+    for (std::size_t i = 0; i < _peers.size(); ++i) {
+        if (victims.test(i))
+            _peers[i].setState(line, MoesiState::Invalid);
+    }
+    entry.sharers &= ~victims;
+    (void)line;
+}
+
+std::uint64_t
+CoherentSystem::write(std::size_t peer, topology::Addr line)
+{
+    if (peer >= _peers.size())
+        throw std::out_of_range("CoherentSystem::write: bad peer");
+    _touched.insert(line);
+    CachePeer &p = _peers[peer];
+    const MoesiState st = p.state(line);
+
+    if (canWrite(st)) {
+        // E upgrades to M silently; M stays M.
+        const std::uint64_t version = ++_versionCounter[line];
+        p.setLine(line, MoesiState::Modified, version);
+        return version;
+    }
+
+    count(CoherenceMsg::GetM);
+    DirectoryEntry &entry = homeDirectory(line).entry(line);
+
+    // Fetch data unless this peer already holds a readable copy (S/O).
+    if (st == MoesiState::Invalid) {
+        if (entry.owner && *entry.owner != peer) {
+            count(CoherenceMsg::FwdGetM);
+            count(CoherenceMsg::Data);
+            CachePeer &owner = _peers[*entry.owner];
+            // A dirty owner's data flows to the requester; memory is
+            // not updated (ownership migrates).
+            owner.setState(line, MoesiState::Invalid);
+            entry.owner.reset();
+        } else {
+            count(CoherenceMsg::Data);
+        }
+    } else if (entry.owner && *entry.owner != peer) {
+        // Requester holds S while another peer owns O: invalidate it.
+        count(CoherenceMsg::FwdGetM);
+        _peers[*entry.owner].setState(line, MoesiState::Invalid);
+        entry.owner.reset();
+    }
+
+    // Kill the remaining sharers.
+    invalidateSharers(entry, line, peer);
+    entry.sharers.reset(peer);
+
+    const std::uint64_t version = ++_versionCounter[line];
+    entry.owner = peer;
+    p.setLine(line, MoesiState::Modified, version);
+    return version;
+}
+
+void
+CoherentSystem::evict(std::size_t peer, topology::Addr line)
+{
+    if (peer >= _peers.size())
+        throw std::out_of_range("CoherentSystem::evict: bad peer");
+    _touched.insert(line);
+    CachePeer &p = _peers[peer];
+    const MoesiState st = p.state(line);
+    Directory &dir = homeDirectory(line);
+    DirectoryEntry &entry = dir.entry(line);
+
+    switch (st) {
+      case MoesiState::Modified:
+      case MoesiState::Owned:
+        count(CoherenceMsg::PutM);
+        count(CoherenceMsg::PutAck);
+        _memory[line] = p.version(line);
+        if (entry.owner && *entry.owner == peer)
+            entry.owner.reset();
+        break;
+      case MoesiState::Exclusive:
+        count(CoherenceMsg::PutS);
+        count(CoherenceMsg::PutAck);
+        if (entry.owner && *entry.owner == peer)
+            entry.owner.reset();
+        break;
+      case MoesiState::Shared:
+        count(CoherenceMsg::PutS);
+        count(CoherenceMsg::PutAck);
+        entry.sharers.reset(peer);
+        break;
+      case MoesiState::Invalid:
+        return;
+    }
+    p.setState(line, MoesiState::Invalid);
+    dir.dropIfUncached(line);
+}
+
+void
+CoherentSystem::checkInvariants() const
+{
+    for (const topology::Addr line : _touched) {
+        std::size_t writable = 0;
+        std::size_t ownerish = 0;
+        std::size_t readable = 0;
+        for (const auto &peer : _peers) {
+            const MoesiState st = peer.state(line);
+            if (st == MoesiState::Invalid)
+                continue;
+            ++readable;
+            if (canWrite(st))
+                ++writable;
+            if (st == MoesiState::Modified || st == MoesiState::Owned ||
+                st == MoesiState::Exclusive) {
+                ++ownerish;
+            }
+        }
+        if (writable > 1)
+            sim::panic("coherence: multiple writable copies");
+        if (writable == 1 && readable > 1)
+            sim::panic("coherence: writable copy coexists with readers");
+        if (ownerish > 1)
+            sim::panic("coherence: multiple owners");
+
+        // Freshness: every readable copy observes the current version.
+        const std::uint64_t current = currentVersion(line);
+        for (const auto &peer : _peers) {
+            if (peer.state(line) != MoesiState::Invalid &&
+                peer.version(line) != current) {
+                sim::panic("coherence: stale readable copy");
+            }
+        }
+
+        // Directory agreement.
+        const Directory &dir =
+            _directories[_map.homeOf(line)];
+        const DirectoryEntry *entry = dir.find(line);
+        for (const auto &peer : _peers) {
+            const MoesiState st = peer.state(line);
+            const bool owner_here =
+                entry && entry->owner && *entry->owner == peer.id();
+            const bool sharer_here =
+                entry && entry->sharers.test(peer.id());
+            switch (st) {
+              case MoesiState::Modified:
+              case MoesiState::Exclusive:
+                if (!owner_here)
+                    sim::panic("coherence: untracked exclusive owner");
+                break;
+              case MoesiState::Owned:
+                if (!owner_here)
+                    sim::panic("coherence: untracked O owner");
+                break;
+              case MoesiState::Shared:
+                if (!sharer_here)
+                    sim::panic("coherence: untracked sharer");
+                break;
+              case MoesiState::Invalid:
+                if (owner_here)
+                    sim::panic("coherence: directory points at invalid");
+                break;
+            }
+        }
+    }
+}
+
+} // namespace corona::coherence

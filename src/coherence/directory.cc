@@ -1,0 +1,26 @@
+#include "coherence/directory.hh"
+
+namespace corona::coherence {
+
+DirectoryEntry &
+Directory::entry(topology::Addr line)
+{
+    return _entries[line];
+}
+
+const DirectoryEntry *
+Directory::find(topology::Addr line) const
+{
+    const auto it = _entries.find(line);
+    return it == _entries.end() ? nullptr : &it->second;
+}
+
+void
+Directory::dropIfUncached(topology::Addr line)
+{
+    const auto it = _entries.find(line);
+    if (it != _entries.end() && it->second.uncached())
+        _entries.erase(it);
+}
+
+} // namespace corona::coherence

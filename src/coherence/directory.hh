@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Coherence directory.
+ *
+ * One directory bank per cluster tracks its home lines: the current
+ * owner (a cache in M, O, or E) and the sharer set. Corona's 64-cluster
+ * scale fits a full bit-vector sharer list.
+ */
+
+#ifndef CORONA_COHERENCE_DIRECTORY_HH
+#define CORONA_COHERENCE_DIRECTORY_HH
+
+#include <bitset>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "topology/address_map.hh"
+
+namespace corona::coherence {
+
+/** Maximum caches a directory can track. */
+inline constexpr std::size_t maxPeers = 64;
+
+/** Sharer bit-vector. */
+using SharerSet = std::bitset<maxPeers>;
+
+/** Directory knowledge about one line. */
+struct DirectoryEntry
+{
+    /** Cache holding the line in M, O, or E (supplies data). */
+    std::optional<std::size_t> owner;
+    /** Caches holding the line in S (and the owner when in O). */
+    SharerSet sharers;
+
+    bool
+    uncached() const
+    {
+        return !owner && sharers.none();
+    }
+};
+
+/**
+ * Directory bank for one home cluster.
+ */
+class Directory
+{
+  public:
+    /** Entry for @p line (created on demand as uncached). */
+    DirectoryEntry &entry(topology::Addr line);
+
+    /** Entry lookup without creation. */
+    const DirectoryEntry *find(topology::Addr line) const;
+
+    /** Drop an entry that has become uncached (storage reclaim). */
+    void dropIfUncached(topology::Addr line);
+
+    /** Lines currently tracked. */
+    std::size_t trackedLines() const { return _entries.size(); }
+
+  private:
+    std::unordered_map<topology::Addr, DirectoryEntry> _entries;
+};
+
+} // namespace corona::coherence
+
+#endif // CORONA_COHERENCE_DIRECTORY_HH

@@ -1,0 +1,65 @@
+#include "corona/config.hh"
+
+namespace corona::core {
+
+std::string
+to_string(NetworkKind kind)
+{
+    switch (kind) {
+      case NetworkKind::XBar: return "XBar";
+      case NetworkKind::HMesh: return "HMesh";
+      case NetworkKind::LMesh: return "LMesh";
+      case NetworkKind::Ideal: return "Ideal";
+    }
+    return "Unknown";
+}
+
+std::string
+to_string(MemoryKind kind)
+{
+    switch (kind) {
+      case MemoryKind::OCM: return "OCM";
+      case MemoryKind::ECM: return "ECM";
+    }
+    return "Unknown";
+}
+
+std::string
+SystemConfig::name() const
+{
+    return to_string(network) + "/" + to_string(memory);
+}
+
+SystemConfig
+makeConfig(NetworkKind network, MemoryKind memory)
+{
+    SystemConfig config;
+    config.network = network;
+    config.memory = memory;
+    switch (network) {
+      case NetworkKind::HMesh:
+        config.mesh = mesh::hmeshParams();
+        break;
+      case NetworkKind::LMesh:
+        config.mesh = mesh::lmeshParams();
+        break;
+      case NetworkKind::XBar:
+      case NetworkKind::Ideal:
+        break;
+    }
+    return config;
+}
+
+std::vector<SystemConfig>
+paperConfigs()
+{
+    return {
+        makeConfig(NetworkKind::LMesh, MemoryKind::ECM),
+        makeConfig(NetworkKind::HMesh, MemoryKind::ECM),
+        makeConfig(NetworkKind::LMesh, MemoryKind::OCM),
+        makeConfig(NetworkKind::HMesh, MemoryKind::OCM),
+        makeConfig(NetworkKind::XBar, MemoryKind::OCM),
+    };
+}
+
+} // namespace corona::core

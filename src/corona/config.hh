@@ -1,0 +1,74 @@
+/**
+ * @file
+ * System configurations (Section 4).
+ *
+ * The paper simulates five combinations of on-stack network and memory
+ * interconnect: XBar/OCM (Corona), HMesh/OCM, LMesh/OCM, HMesh/ECM, and
+ * LMesh/ECM (the normalization baseline). SystemConfig carries all the
+ * knobs; paperConfigs() returns the five in the paper's order.
+ */
+
+#ifndef CORONA_CORONA_CONFIG_HH
+#define CORONA_CORONA_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "mesh/electrical_mesh.hh"
+#include "xbar/optical_channel.hh"
+
+namespace corona::core {
+
+/** On-stack network selector. */
+enum class NetworkKind
+{
+    XBar,  ///< Photonic crossbar with optical token arbitration.
+    HMesh, ///< Electrical mesh, 1.28 TB/s bisection.
+    LMesh, ///< Electrical mesh, 0.64 TB/s bisection.
+    Ideal, ///< Contention-free reference (ablations only).
+};
+
+/** Off-stack memory selector. */
+enum class MemoryKind
+{
+    OCM, ///< Optically connected memory, 10.24 TB/s.
+    ECM, ///< Electrically connected memory, 0.96 TB/s.
+};
+
+std::string to_string(NetworkKind kind);
+std::string to_string(MemoryKind kind);
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    NetworkKind network = NetworkKind::XBar;
+    MemoryKind memory = MemoryKind::OCM;
+
+    std::size_t clusters = 64;
+    std::size_t threads_per_cluster = 16; ///< 4 cores x 4 threads.
+    /** Per-cluster MSHR file capacity. */
+    std::size_t mshrs_per_cluster = 128;
+    /** Per-thread outstanding-miss window (memory-level parallelism). */
+    std::size_t thread_window = 12;
+    /** Hub traversal latency for cluster-local memory accesses, ticks. */
+    sim::Tick local_hop = 200; // one clock
+
+    xbar::ChannelParams xbar_channel;
+    mesh::MeshParams mesh; ///< Populated for mesh networks.
+
+    /** "XBar/OCM" etc. */
+    std::string name() const;
+
+    std::size_t threads() const { return clusters * threads_per_cluster; }
+};
+
+/** Build one configuration. */
+SystemConfig makeConfig(NetworkKind network, MemoryKind memory);
+
+/** The five paper configurations, in Figure 8's legend order:
+ * LMesh/ECM, HMesh/ECM, LMesh/OCM, HMesh/OCM, XBar/OCM. */
+std::vector<SystemConfig> paperConfigs();
+
+} // namespace corona::core
+
+#endif // CORONA_CORONA_CONFIG_HH

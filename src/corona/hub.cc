@@ -1,0 +1,102 @@
+#include "corona/hub.hh"
+
+#include "sim/logging.hh"
+
+namespace corona::core {
+
+Hub::Hub(sim::EventQueue &eq, topology::ClusterId cluster,
+         noc::Interconnect &network, memory::MemoryController &mc,
+         std::size_t mshrs, sim::Tick local_hop)
+    : _eq(eq), _cluster(cluster), _network(network), _mc(mc),
+      _mshrs(mshrs), _localHop(local_hop)
+{
+    _mshrs.onFree([this] {
+        if (_stalled.empty())
+            return;
+        auto retry = std::move(_stalled.front());
+        _stalled.pop_front();
+        retry();
+    });
+}
+
+Hub::Issue
+Hub::issueMiss(topology::Addr line, topology::ClusterId home, bool write,
+               FillFn fill)
+{
+    if (_mshrs.outstanding(line)) {
+        _mshrs.coalesce(line, std::move(fill));
+        return Issue::Coalesced;
+    }
+    if (!_mshrs.allocate(line, _eq.now())) {
+        _mshrs.noteFullStall();
+        return Issue::MshrFull;
+    }
+    _mshrs.coalesce(line, std::move(fill)); // Primary waiter.
+
+    noc::Message request;
+    request.id = _nextId++;
+    request.src = _cluster;
+    request.dst = home;
+    request.kind = write ? noc::MsgKind::WriteReq : noc::MsgKind::ReadReq;
+    request.tag = tagOf(line);
+
+    if (home == _cluster) {
+        // Local access: one hub traversal each way, no network.
+        ++_localRequests;
+        _eq.scheduleIn(_localHop, [this, request] {
+            _mc.access(request, lineOf(request.tag),
+                       [this](const noc::Message &response) {
+                _eq.scheduleIn(_localHop, [this, response] {
+                    completeFill(lineOf(response.tag));
+                });
+            });
+        });
+    } else {
+        ++_networkRequests;
+        _network.send(request);
+    }
+    return Issue::Sent;
+}
+
+void
+Hub::stallOnMshr(std::function<void()> retry)
+{
+    _stalled.push_back(std::move(retry));
+}
+
+void
+Hub::handleRequest(const noc::Message &msg)
+{
+    if (msg.dst != _cluster)
+        sim::panic("Hub::handleRequest: misdelivered request");
+    _mc.access(msg, lineOf(msg.tag),
+               [this](const noc::Message &response) {
+        if (response.dst == _cluster) {
+            // Requester is co-located with the memory (possible for
+            // synthetic patterns routed over the network).
+            _eq.scheduleIn(_localHop, [this, response] {
+                completeFill(lineOf(response.tag));
+            });
+        } else {
+            _network.send(response);
+        }
+    });
+}
+
+void
+Hub::handleResponse(const noc::Message &msg)
+{
+    if (msg.dst != _cluster)
+        sim::panic("Hub::handleResponse: misdelivered response");
+    completeFill(lineOf(msg.tag));
+}
+
+void
+Hub::completeFill(topology::Addr line)
+{
+    const auto wakers = _mshrs.retire(line, _eq.now());
+    for (const auto &waker : wakers)
+        waker();
+}
+
+} // namespace corona::core

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Per-cluster hub (Figure 2(b)).
+ *
+ * The hub routes message traffic between the L2, directory, memory
+ * controller, network interface, and the optical (or mesh) interconnect.
+ * In the network simulation the hub owns the cluster's MSHR file, turns
+ * thread misses into request messages, dispatches arriving requests to
+ * the local memory controller, and completes fills back to the waiting
+ * threads. Cluster-local accesses bypass the network with a one-clock
+ * hub traversal.
+ */
+
+#ifndef CORONA_CORONA_HUB_HH
+#define CORONA_CORONA_HUB_HH
+
+#include <deque>
+#include <functional>
+
+#include "memory/memory_controller.hh"
+#include "memory/mshr.hh"
+#include "noc/interconnect.hh"
+#include "sim/event_queue.hh"
+
+namespace corona::core {
+
+/**
+ * One cluster's hub: MSHRs + request/response plumbing.
+ */
+class Hub
+{
+  public:
+    /** Fill callback: invoked once when the line returns. */
+    using FillFn = std::function<void()>;
+
+    /**
+     * @param eq Event queue.
+     * @param cluster This cluster.
+     * @param network Shared on-stack interconnect.
+     * @param mc This cluster's memory controller.
+     * @param mshrs MSHR file capacity.
+     * @param local_hop Hub traversal latency for local accesses, ticks.
+     */
+    Hub(sim::EventQueue &eq, topology::ClusterId cluster,
+        noc::Interconnect &network, memory::MemoryController &mc,
+        std::size_t mshrs, sim::Tick local_hop);
+
+    /** Outcome of an issue attempt. */
+    enum class Issue
+    {
+        Sent,      ///< Primary miss: request entered the system.
+        Coalesced, ///< Attached to an in-flight miss on the same line.
+        MshrFull,  ///< Stalled; retry via onMshrFree.
+    };
+
+    /**
+     * Issue an L2 miss for @p line (home @p home). @p fill runs when the
+     * data returns.
+     */
+    Issue issueMiss(topology::Addr line, topology::ClusterId home,
+                    bool write, FillFn fill);
+
+    /** Register a continuation woken when an MSHR frees (FIFO). */
+    void stallOnMshr(std::function<void()> retry);
+
+    /** Network delivered a request for this cluster's memory. */
+    void handleRequest(const noc::Message &msg);
+
+    /** Network delivered a response to this cluster's earlier request. */
+    void handleResponse(const noc::Message &msg);
+
+    const memory::MshrFile &mshrs() const { return _mshrs; }
+    topology::ClusterId cluster() const { return _cluster; }
+
+    /** Requests this hub issued into the network (excludes local). */
+    std::uint64_t networkRequests() const { return _networkRequests; }
+
+    /** Requests satisfied by the cluster-local memory controller. */
+    std::uint64_t localRequests() const { return _localRequests; }
+
+  private:
+    /** Complete a fill: retire the MSHR and run all waiters. */
+    void completeFill(topology::Addr line);
+
+    /** Encode (line) into a message tag and back. */
+    static std::uint64_t tagOf(topology::Addr line) { return line; }
+    static topology::Addr lineOf(std::uint64_t tag) { return tag; }
+
+    sim::EventQueue &_eq;
+    topology::ClusterId _cluster;
+    noc::Interconnect &_network;
+    memory::MemoryController &_mc;
+    memory::MshrFile _mshrs;
+    sim::Tick _localHop;
+    std::deque<std::function<void()>> _stalled;
+
+    std::uint64_t _networkRequests = 0;
+    std::uint64_t _localRequests = 0;
+    noc::MsgId _nextId = 1;
+};
+
+} // namespace corona::core
+
+#endif // CORONA_CORONA_HUB_HH

@@ -1,0 +1,19 @@
+#include "corona/metrics.hh"
+
+#include <stdexcept>
+
+namespace corona::core {
+
+double
+RunMetrics::speedupOver(const RunMetrics &baseline) const
+{
+    if (elapsed == 0)
+        throw std::invalid_argument("RunMetrics: zero elapsed time");
+    if (requests_issued != baseline.requests_issued)
+        throw std::invalid_argument(
+            "RunMetrics: speedup requires equal work");
+    return static_cast<double>(baseline.elapsed) /
+           static_cast<double>(elapsed);
+}
+
+} // namespace corona::core

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Experiment metrics (the quantities Figures 8-11 plot).
+ */
+
+#ifndef CORONA_CORONA_METRICS_HH
+#define CORONA_CORONA_METRICS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace corona::core {
+
+/** Results of one (configuration, workload) simulation. */
+struct RunMetrics
+{
+    std::string config;    ///< e.g. "XBar/OCM".
+    std::string workload;  ///< e.g. "FFT".
+
+    std::uint64_t requests_issued = 0;    ///< Primary misses sent.
+    std::uint64_t requests_coalesced = 0; ///< Secondary misses merged.
+    sim::Tick elapsed = 0;                ///< Completion time.
+
+    /** Figure 9: achieved main-memory bandwidth, bytes per second. */
+    double achieved_bytes_per_second = 0.0;
+    /** Figure 10: average L2-miss latency, nanoseconds. */
+    double avg_latency_ns = 0.0;
+    /** 95th-percentile latency, nanoseconds. */
+    double p95_latency_ns = 0.0;
+    /** Figure 11: on-chip network dynamic power, watts. */
+    double network_power_w = 0.0;
+
+    /** Mean optical token wait (crossbar only), nanoseconds. */
+    double token_wait_ns = 0.0;
+    /** Sum over delivered messages of hops traversed (mesh power). */
+    std::uint64_t hop_traversals = 0;
+    /** Issue attempts rejected by a full MSHR file. */
+    std::uint64_t mshr_full_stalls = 0;
+    /** Peak memory-controller queue depth across clusters. */
+    std::size_t peak_mc_queue = 0;
+    /** Workload offered load, bytes per second (calibration aid). */
+    double offered_bytes_per_second = 0.0;
+
+    /** Figure 8 helper: this run's speedup over a baseline run. */
+    double speedupOver(const RunMetrics &baseline) const;
+};
+
+} // namespace corona::core
+
+#endif // CORONA_CORONA_METRICS_HH

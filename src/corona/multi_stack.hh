@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Multi-stack Corona systems (Section 3.1.2).
+ *
+ * "Network interfaces, similar to the interface to off-stack main
+ * memory, provide inter-stack communication for larger systems using
+ * DWDM interconnects."
+ *
+ * This module models that scaling path: several Corona stacks joined
+ * by DWDM fiber links. Each stack's network interface owns a pair of
+ * 64-lambda fibers per remote stack (the same link discipline as the
+ * OCM: bandwidth-serialized, fixed flight latency dominated by fiber
+ * length). A miss whose page lives on a remote stack crosses the local
+ * crossbar to the NI, the fiber, and the remote stack's crossbar to
+ * its home memory controller — NUMA with two latency tiers.
+ */
+
+#ifndef CORONA_CORONA_MULTI_STACK_HH
+#define CORONA_CORONA_MULTI_STACK_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "corona/system.hh"
+#include "noc/link.hh"
+
+namespace corona::core {
+
+/** Inter-stack fabric parameters. */
+struct MultiStackParams
+{
+    std::size_t stacks = 2;
+    /** Per-direction fiber bandwidth between a stack pair (2 x 64
+     * lambdas at 10 Gb/s, as the OCM links). */
+    double fiber_bytes_per_second = 160e9;
+    /** One-way fiber flight time, ticks (~20 cm of fiber + NI). */
+    sim::Tick fiber_latency = 2000;
+    /** NI queue depth per direction. */
+    std::size_t ni_queue_depth = 64;
+    /** Per-stack system configuration. */
+    SystemConfig stack_config =
+        makeConfig(NetworkKind::XBar, MemoryKind::OCM);
+};
+
+/**
+ * A federation of Corona stacks joined by DWDM network interfaces.
+ *
+ * Addressing: (stack, cluster) pairs. The federation exposes a memory
+ * access primitive used by examples and tests; the single-stack
+ * NetworkSimulation remains the paper's evaluation vehicle.
+ */
+class MultiStackSystem
+{
+  public:
+    MultiStackSystem(sim::EventQueue &eq,
+                     const MultiStackParams &params = {});
+
+    std::size_t stacks() const { return _stacks.size(); }
+    CoronaSystem &stack(std::size_t s) { return *_stacks.at(s); }
+
+    /**
+     * Issue a miss from (src_stack, src_cluster) to memory at
+     * (home_stack, home_cluster); @p fill runs on completion.
+     * Remote accesses traverse both crossbars and the fiber in each
+     * direction.
+     */
+    void access(std::size_t src_stack, topology::ClusterId src_cluster,
+                std::size_t home_stack, topology::ClusterId home_cluster,
+                topology::Addr line, bool write,
+                std::function<void()> fill);
+
+    /** Fiber link utilization between stacks @p a and @p b (a->b). */
+    double fiberUtilization(std::size_t a, std::size_t b) const;
+
+    /** Remote accesses performed. */
+    std::uint64_t remoteAccesses() const { return _remoteAccesses; }
+
+    /** Local (same-stack) accesses performed. */
+    std::uint64_t localAccesses() const { return _localAccesses; }
+
+  private:
+    /** One direction of an inter-stack fiber: the serializing link
+     * plus an NI send queue drained under back-pressure. */
+    struct FiberPort
+    {
+        FiberPort(sim::EventQueue &eq, double rate, sim::Tick latency,
+                  std::size_t depth);
+        void send(const noc::Message &msg);
+        void drain();
+
+        noc::BandwidthLink link;
+        std::deque<noc::Message> sendq;
+        bool draining = false;
+        bool redrain = false;
+    };
+
+    FiberPort &fiber(std::size_t from, std::size_t to);
+
+    /** Issue a same-stack miss, retrying through MSHR stalls. */
+    void issueLocal(std::size_t stack, topology::ClusterId cluster,
+                    topology::Addr line, topology::ClusterId home,
+                    bool write, std::function<void()> done);
+
+    sim::EventQueue &_eq;
+    MultiStackParams _params;
+    std::vector<std::unique_ptr<CoronaSystem>> _stacks;
+    /** Fiber ports indexed [from][to]; null on the diagonal. */
+    std::vector<std::vector<std::unique_ptr<FiberPort>>> _fibers;
+    /** In-flight fiber messages' continuations, by tag. */
+    std::unordered_map<std::uint64_t, std::function<void()>> _arrivals;
+    std::uint64_t _remoteAccesses = 0;
+    std::uint64_t _localAccesses = 0;
+    std::uint64_t _nextTag = 1;
+};
+
+} // namespace corona::core
+
+#endif // CORONA_CORONA_MULTI_STACK_HH

@@ -1,0 +1,215 @@
+#include "corona/simulation.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "power/network_power.hh"
+#include "sim/logging.hh"
+
+namespace corona::core {
+
+NetworkSimulation::NetworkSimulation(const SystemConfig &config,
+                                     workload::Workload &workload,
+                                     const SimParams &params)
+    : _config(config), _workload(workload), _params(params),
+      _rng(params.seed),
+      _latencyHist(/*bucket_width_ns=*/5.0, /*num_buckets=*/400)
+{
+    _system = std::make_unique<CoronaSystem>(_eq, config);
+    const std::size_t n = config.threads();
+    if (workload.threads() != n) {
+        sim::fatal("NetworkSimulation: workload drives " +
+                   std::to_string(workload.threads()) +
+                   " threads, system has " + std::to_string(n));
+    }
+    _threads.reserve(n);
+    for (std::size_t tid = 0; tid < n; ++tid) {
+        _threads.emplace_back(
+            tid,
+            static_cast<topology::ClusterId>(
+                tid / config.threads_per_cluster),
+            config.thread_window);
+    }
+    _pending.resize(n);
+}
+
+std::uint64_t
+NetworkSimulation::totalBudget() const
+{
+    return _params.warmup_requests + _params.requests;
+}
+
+void
+NetworkSimulation::beginMeasurement()
+{
+    _measuring = true;
+    _measureStart = _eq.now();
+    _bytesAtMeasureStart = _system->memoryBytesMoved();
+    _hopsAtMeasureStart =
+        _system->network().netStats().hopTraversals.value();
+}
+
+void
+NetworkSimulation::scheduleNext(std::size_t tid)
+{
+    if (_issued >= totalBudget())
+        return; // Budget exhausted: the thread retires.
+    const workload::MissRequest req =
+        _workload.next(tid, _eq.now(), _rng);
+    const sim::Tick ready = _eq.now() + req.think_time;
+    _eq.schedule(ready, [this, tid, req, ready] {
+        if (_pending[tid])
+            sim::panic("NetworkSimulation: overlapping pending issues");
+        _pending[tid] = PendingIssue{req, ready};
+        tryIssue(tid);
+    });
+}
+
+void
+NetworkSimulation::tryIssue(std::size_t tid)
+{
+    workload::ThreadContext &ctx = _threads[tid];
+    if (!_pending[tid])
+        return; // Fill raced ahead of a stalled retry; nothing to do.
+    if (_issued >= totalBudget()) {
+        _pending[tid].reset(); // Budget filled while we were stalled.
+        return;
+    }
+    if (ctx.windowFull()) {
+        ctx.setWaitingForWindow(true);
+        return; // Resumed by onFill.
+    }
+
+    const PendingIssue pending = *_pending[tid];
+    const workload::MissRequest &req = pending.request;
+    Hub &hub = _system->hub(ctx.cluster());
+
+    const Hub::Issue outcome = hub.issueMiss(
+        req.line, req.home, req.write,
+        [this, tid, ready = pending.ready] { onFill(tid, ready); });
+
+    switch (outcome) {
+      case Hub::Issue::MshrFull:
+        ctx.setWaitingForMshr(true);
+        hub.stallOnMshr([this, tid] {
+            _threads[tid].setWaitingForMshr(false);
+            tryIssue(tid);
+        });
+        return;
+      case Hub::Issue::Sent:
+        ++_issued;
+        if (!_measuring && _issued >= _params.warmup_requests)
+            beginMeasurement();
+        break;
+      case Hub::Issue::Coalesced:
+        ++_coalesced;
+        break;
+    }
+    ctx.issued();
+    _pending[tid].reset();
+    scheduleNext(tid);
+}
+
+void
+NetworkSimulation::onFill(std::size_t tid, sim::Tick ready_since)
+{
+    workload::ThreadContext &ctx = _threads[tid];
+    if (_measuring && ready_since >= _measureStart) {
+        const auto latency =
+            static_cast<double>(_eq.now() - ready_since);
+        _latency.sample(latency);
+        _latencyHist.sample(latency /
+                            static_cast<double>(sim::oneNanosecond));
+    }
+    ctx.completed();
+    ++_completed;
+    _endTick = std::max(_endTick, _eq.now());
+    if (ctx.waitingForWindow()) {
+        ctx.setWaitingForWindow(false);
+        tryIssue(tid);
+    }
+}
+
+RunMetrics
+NetworkSimulation::run()
+{
+    if (_ran)
+        sim::fatal("NetworkSimulation::run: already ran");
+    _ran = true;
+
+    if (_params.warmup_requests == 0)
+        beginMeasurement();
+    for (std::size_t tid = 0; tid < _threads.size(); ++tid)
+        scheduleNext(tid);
+    _eq.run();
+
+    const std::uint64_t outstanding =
+        _issued + _coalesced - _completed;
+    if (outstanding != 0)
+        sim::panic("NetworkSimulation: simulation drained with "
+                   "outstanding misses");
+
+    RunMetrics m;
+    m.config = _config.name();
+    m.workload = _workload.name();
+    m.requests_issued = _issued - _params.warmup_requests;
+    m.requests_coalesced = _coalesced;
+    m.elapsed = _endTick > _measureStart ? _endTick - _measureStart : 1;
+    const double seconds = sim::ticksToSeconds(m.elapsed);
+    m.achieved_bytes_per_second =
+        static_cast<double>(_system->memoryBytesMoved() -
+                            _bytesAtMeasureStart) /
+        seconds;
+    m.avg_latency_ns =
+        _latency.mean() / static_cast<double>(sim::oneNanosecond);
+    m.p95_latency_ns = _latencyHist.percentile(0.95);
+    m.offered_bytes_per_second = _workload.offeredBytesPerSecond();
+
+    const noc::NetStats &net = _system->network().netStats();
+    m.hop_traversals = net.hopTraversals.value() - _hopsAtMeasureStart;
+    switch (_config.network) {
+      case NetworkKind::XBar:
+        m.network_power_w = power::xbarNetworkPowerW();
+        break;
+      case NetworkKind::HMesh:
+      case NetworkKind::LMesh:
+        m.network_power_w =
+            power::meshNetworkPowerW(m.hop_traversals, m.elapsed);
+        break;
+      case NetworkKind::Ideal:
+        m.network_power_w = 0.0;
+        break;
+    }
+    if (const auto *xbar = _system->crossbar()) {
+        m.token_wait_ns = xbar->meanTokenWait() /
+                          static_cast<double>(sim::oneNanosecond);
+    }
+    for (topology::ClusterId c = 0; c < _config.clusters; ++c) {
+        m.mshr_full_stalls += _system->hub(c).mshrs().fullStalls();
+        m.peak_mc_queue =
+            std::max(m.peak_mc_queue, _system->mc(c).peakQueueDepth());
+    }
+    return m;
+}
+
+RunMetrics
+runExperiment(const SystemConfig &config, workload::Workload &workload,
+              const SimParams &params)
+{
+    NetworkSimulation sim(config, workload, params);
+    return sim.run();
+}
+
+std::uint64_t
+defaultRequestBudget()
+{
+    if (const char *env = std::getenv("CORONA_REQUESTS")) {
+        const auto value = std::strtoull(env, nullptr, 10);
+        if (value > 0)
+            return value;
+    }
+    return 50'000;
+}
+
+} // namespace corona::core

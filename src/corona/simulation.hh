@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Trace-driven network simulation driver (Section 4).
+ *
+ * Drives 1024 thread contexts through a CoronaSystem: each thread's
+ * misses (from the workload model) are separated by think times, bounded
+ * by a per-thread outstanding window (memory-level parallelism) and the
+ * cluster MSHR file, and complete through the network + memory models.
+ * The run ends when the configured number of primary misses has issued
+ * and every fill has returned; metrics mirror Figures 8-11.
+ */
+
+#ifndef CORONA_CORONA_SIMULATION_HH
+#define CORONA_CORONA_SIMULATION_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "corona/metrics.hh"
+#include "corona/system.hh"
+#include "sim/rng.hh"
+#include "stats/stats.hh"
+#include "workload/thread_model.hh"
+#include "workload/workload.hh"
+
+namespace corona::core {
+
+/** Simulation controls. */
+struct SimParams
+{
+    /** Primary misses to simulate (Table 3 counts, scaled; the
+     * CORONA_REQUESTS environment variable overrides bench defaults). */
+    std::uint64_t requests = 50'000;
+    std::uint64_t seed = 1;
+    /** Primary misses issued before measurement starts: latency
+     * samples are discarded and the bandwidth clock starts once the
+     * warm-up budget has issued (standard sampling methodology; the
+     * paper's trace runs are similarly past their cold start). */
+    std::uint64_t warmup_requests = 0;
+};
+
+/**
+ * One simulation run binding a configuration to a workload.
+ */
+class NetworkSimulation
+{
+  public:
+    NetworkSimulation(const SystemConfig &config,
+                      workload::Workload &workload,
+                      const SimParams &params = {});
+
+    /** Execute to completion and return the metrics. */
+    RunMetrics run();
+
+    /** The system under test (for inspection after run()). */
+    CoronaSystem &system() { return *_system; }
+
+  private:
+    std::uint64_t totalBudget() const;
+    void beginMeasurement();
+    void scheduleNext(std::size_t tid);
+    void tryIssue(std::size_t tid);
+    void onFill(std::size_t tid, sim::Tick ready_since);
+
+    SystemConfig _config;
+    workload::Workload &_workload;
+    SimParams _params;
+
+    sim::EventQueue _eq;
+    std::unique_ptr<CoronaSystem> _system;
+    sim::Rng _rng;
+
+    struct PendingIssue
+    {
+        workload::MissRequest request;
+        sim::Tick ready;
+    };
+
+    std::vector<workload::ThreadContext> _threads;
+    std::vector<std::optional<PendingIssue>> _pending;
+
+    std::uint64_t _issued = 0;
+    std::uint64_t _coalesced = 0;
+    std::uint64_t _completed = 0;
+    sim::Tick _endTick = 0;
+    /** Measurement epoch (set when the warm-up budget has issued). */
+    bool _measuring = false;
+    sim::Tick _measureStart = 0;
+    std::uint64_t _bytesAtMeasureStart = 0;
+    std::uint64_t _hopsAtMeasureStart = 0;
+    stats::RunningStats _latency;
+    stats::Histogram _latencyHist;
+    bool _ran = false;
+};
+
+/**
+ * Convenience harness: run @p workload on @p config.
+ */
+RunMetrics runExperiment(const SystemConfig &config,
+                         workload::Workload &workload,
+                         const SimParams &params = {});
+
+/** Bench request-count default, honouring $CORONA_REQUESTS. */
+std::uint64_t defaultRequestBudget();
+
+} // namespace corona::core
+
+#endif // CORONA_CORONA_SIMULATION_HH

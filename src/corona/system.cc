@@ -1,0 +1,86 @@
+#include "corona/system.hh"
+
+#include "sim/logging.hh"
+
+namespace corona::core {
+
+CoronaSystem::CoronaSystem(sim::EventQueue &eq, const SystemConfig &config)
+    : _config(config), _geom(config.clusters)
+{
+    const sim::ClockDomain &clock = sim::coronaClock();
+
+    switch (config.network) {
+      case NetworkKind::XBar: {
+        auto net = std::make_unique<xbar::OpticalCrossbar>(
+            eq, clock, config.clusters, config.xbar_channel);
+        _xbar = net.get();
+        _network = std::move(net);
+        break;
+      }
+      case NetworkKind::HMesh:
+      case NetworkKind::LMesh: {
+        auto net = std::make_unique<mesh::ElectricalMesh>(
+            eq, clock, _geom, config.mesh, to_string(config.network));
+        _mesh = net.get();
+        _network = std::move(net);
+        break;
+      }
+      case NetworkKind::Ideal:
+        _network = std::make_unique<noc::IdealInterconnect>(
+            eq, 8 * clock.period());
+        break;
+    }
+
+    const memory::MemoryParams mem_params =
+        config.memory == MemoryKind::OCM
+            ? memory::OcmSystem().controllerParams()
+            : memory::EcmSystem().controllerParams();
+
+    _mcs.reserve(config.clusters);
+    _hubs.reserve(config.clusters);
+    for (topology::ClusterId c = 0; c < config.clusters; ++c) {
+        _mcs.push_back(std::make_unique<memory::MemoryController>(
+            eq, c, mem_params));
+        _hubs.push_back(std::make_unique<Hub>(
+            eq, c, *_network, *_mcs.back(), config.mshrs_per_cluster,
+            config.local_hop));
+    }
+
+    _network->setDeliver([this](const noc::Message &msg) {
+        Hub &target = *_hubs[msg.dst];
+        switch (msg.kind) {
+          case noc::MsgKind::ReadReq:
+          case noc::MsgKind::WriteReq:
+            target.handleRequest(msg);
+            break;
+          case noc::MsgKind::ReadResp:
+          case noc::MsgKind::WriteAck:
+            target.handleResponse(msg);
+            break;
+          case noc::MsgKind::Invalidate:
+            // Coherence traffic rides the broadcast bus; the network
+            // simulation (like the paper's) does not generate it.
+            sim::panic("CoronaSystem: unexpected invalidate on the NoC");
+        }
+    });
+}
+
+double
+CoronaSystem::memoryBandwidth() const
+{
+    double total = 0.0;
+    for (const auto &mc : _mcs)
+        total += mc->params().bytes_per_second;
+    return total;
+}
+
+std::uint64_t
+CoronaSystem::memoryBytesMoved() const
+{
+    std::uint64_t total = 0;
+    for (const auto &mc : _mcs)
+        total += mc->bytesMoved();
+    return total;
+}
+
+} // namespace corona::core

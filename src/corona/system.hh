@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Whole-system assembly.
+ *
+ * CoronaSystem instantiates one of the five paper configurations: the
+ * selected on-stack interconnect (photonic crossbar or electrical mesh),
+ * 64 memory controllers with OCM or ECM parameters, and 64 hubs, and
+ * wires network delivery to the hubs (requests to the home memory
+ * controller, responses to the waiting MSHRs).
+ */
+
+#ifndef CORONA_CORONA_SYSTEM_HH
+#define CORONA_CORONA_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "corona/config.hh"
+#include "corona/hub.hh"
+#include "mesh/electrical_mesh.hh"
+#include "memory/ecm.hh"
+#include "memory/memory_controller.hh"
+#include "memory/ocm.hh"
+#include "noc/ideal_interconnect.hh"
+#include "noc/interconnect.hh"
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+#include "topology/geometry.hh"
+#include "xbar/optical_xbar.hh"
+
+namespace corona::core {
+
+/**
+ * A fully wired Corona (or baseline) system.
+ */
+class CoronaSystem
+{
+  public:
+    /**
+     * @param eq Event queue (externally owned; one per simulation).
+     * @param config System configuration.
+     */
+    CoronaSystem(sim::EventQueue &eq, const SystemConfig &config);
+
+    const SystemConfig &config() const { return _config; }
+    const topology::Geometry &geometry() const { return _geom; }
+
+    noc::Interconnect &network() { return *_network; }
+    const noc::Interconnect &network() const { return *_network; }
+
+    Hub &hub(topology::ClusterId cluster) { return *_hubs.at(cluster); }
+    memory::MemoryController &
+    mc(topology::ClusterId cluster)
+    {
+        return *_mcs.at(cluster);
+    }
+    const memory::MemoryController &
+    mc(topology::ClusterId cluster) const
+    {
+        return *_mcs.at(cluster);
+    }
+
+    /** Aggregate off-stack memory bandwidth, bytes per second. */
+    double memoryBandwidth() const;
+
+    /** Total bytes moved over all memory controllers. */
+    std::uint64_t memoryBytesMoved() const;
+
+    /** Crossbar accessor (null for mesh systems). */
+    const xbar::OpticalCrossbar *crossbar() const { return _xbar; }
+
+    /** Mesh accessor (null for crossbar systems). */
+    const mesh::ElectricalMesh *meshNetwork() const { return _mesh; }
+
+  private:
+    SystemConfig _config;
+    topology::Geometry _geom;
+    std::unique_ptr<noc::Interconnect> _network;
+    xbar::OpticalCrossbar *_xbar = nullptr;
+    mesh::ElectricalMesh *_mesh = nullptr;
+    std::vector<std::unique_ptr<memory::MemoryController>> _mcs;
+    std::vector<std::unique_ptr<Hub>> _hubs;
+};
+
+} // namespace corona::core
+
+#endif // CORONA_CORONA_SYSTEM_HH

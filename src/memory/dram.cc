@@ -1,0 +1,44 @@
+#include "memory/dram.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace corona::memory {
+
+DramModule::DramModule(const DramParams &params)
+    : _params(params), _matFree(params.mats, 0)
+{
+    if (params.mats == 0)
+        throw std::invalid_argument("DramModule: need >= 1 mat");
+    if (params.mat_occupancy == 0)
+        throw std::invalid_argument("DramModule: bad occupancy");
+}
+
+std::size_t
+DramModule::matOf(topology::Addr addr) const
+{
+    return static_cast<std::size_t>(
+        (addr / _params.line_bytes) % _params.mats);
+}
+
+sim::Tick
+DramModule::access(topology::Addr addr, sim::Tick now)
+{
+    const std::size_t mat = matOf(addr);
+    ++_accesses;
+    sim::Tick start = now;
+    if (_matFree[mat] > now) {
+        ++_conflicts;
+        start = _matFree[mat];
+    }
+    _matFree[mat] = start + _params.mat_occupancy;
+    return _matFree[mat];
+}
+
+double
+DramModule::energyJ() const
+{
+    return static_cast<double>(_accesses) * _params.access_energy_pj * 1e-12;
+}
+
+} // namespace corona::memory

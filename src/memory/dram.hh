@@ -1,0 +1,76 @@
+/**
+ * @file
+ * OCM DRAM die model (Section 3.3, Figure 6).
+ *
+ * Corona's custom DRAM reads an entire cache line from a single mat, so
+ * an access touches exactly the 64 bytes it needs instead of opening a
+ * multi-kilobit page across many banks — the key to the OCM's power
+ * advantage. The model tracks per-mat occupancy so that pathological
+ * same-mat streams see conflicts while interleaved traffic enjoys full
+ * concurrency.
+ */
+
+#ifndef CORONA_MEMORY_DRAM_HH
+#define CORONA_MEMORY_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+#include "stats/stats.hh"
+#include "topology/address_map.hh"
+
+namespace corona::memory {
+
+/** DRAM die parameters. */
+struct DramParams
+{
+    /** Independent mats per module (Figure 6(b): 4 quadrants of mats). */
+    std::size_t mats = 64;
+    /** Time a mat is occupied by one line access, ticks (4 ns). */
+    sim::Tick mat_occupancy = 4000;
+    /** Bytes delivered per access (one cache line). */
+    std::uint32_t line_bytes = 64;
+    /** Energy per line access, picojoules (mat + peripherals). */
+    double access_energy_pj = 15.0;
+};
+
+/**
+ * A stack of DRAM mats with per-mat conflict modelling.
+ */
+class DramModule
+{
+  public:
+    explicit DramModule(const DramParams &params = {});
+
+    /**
+     * Begin a line access at @p now.
+     * @return Tick at which the mat completes the access (>= now +
+     *         occupancy; later when the mat is busy).
+     */
+    sim::Tick access(topology::Addr addr, sim::Tick now);
+
+    /** Mat index servicing @p addr. */
+    std::size_t matOf(topology::Addr addr) const;
+
+    const DramParams &params() const { return _params; }
+
+    /** Accesses performed. */
+    std::uint64_t accesses() const { return _accesses; }
+
+    /** Accesses that waited on a busy mat. */
+    std::uint64_t matConflicts() const { return _conflicts; }
+
+    /** Total access energy so far, joules. */
+    double energyJ() const;
+
+  private:
+    DramParams _params;
+    std::vector<sim::Tick> _matFree;
+    std::uint64_t _accesses = 0;
+    std::uint64_t _conflicts = 0;
+};
+
+} // namespace corona::memory
+
+#endif // CORONA_MEMORY_DRAM_HH

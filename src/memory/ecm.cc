@@ -1,0 +1,56 @@
+#include "memory/ecm.hh"
+
+#include <stdexcept>
+
+namespace corona::memory {
+
+EcmSystem::EcmSystem(const EcmConfig &config)
+    : _config(config)
+{
+    if (config.controllers == 0 || config.bits_per_channel == 0)
+        throw std::invalid_argument("EcmSystem: bad configuration");
+}
+
+double
+EcmSystem::perControllerBandwidth() const
+{
+    // 12 b full duplex at 10 Gb/s = 15 GB/s per direction; requests and
+    // responses ride opposite directions, so the line-transfer rate a
+    // controller sustains is one direction's worth.
+    return static_cast<double>(_config.bits_per_channel) *
+           _config.bits_per_second_per_pin / 8.0;
+}
+
+double
+EcmSystem::aggregateBandwidth() const
+{
+    return perControllerBandwidth() *
+           static_cast<double>(_config.controllers);
+}
+
+double
+EcmSystem::interconnectPowerW() const
+{
+    const double gbps = aggregateBandwidth() * 8.0 / 1e9;
+    return _config.mw_per_gbps * gbps * 1e-3;
+}
+
+double
+EcmSystem::powerToMatchW(double target_bytes_per_second) const
+{
+    const double gbps = target_bytes_per_second * 8.0 / 1e9;
+    return _config.mw_per_gbps * gbps * 1e-3;
+}
+
+MemoryParams
+EcmSystem::controllerParams() const
+{
+    MemoryParams p;
+    p.name = "ECM";
+    p.bytes_per_second = perControllerBandwidth();
+    p.access_latency = _config.access_latency;
+    p.link_delay = 0;
+    return p;
+}
+
+} // namespace corona::memory

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Electrically connected memory (ECM) baseline (Section 4, Table 4).
+ *
+ * The ITRS-constrained electrical alternative: 1536 high-speed pins give
+ * 64 controllers a 12-bit full-duplex channel each at 10 Gb/s — 0.96 TB/s
+ * aggregate, at 2 mW/Gb/s of interconnect power. The paper notes that an
+ * ECM matching the OCM's 10 TB/s is infeasible (it would need >160 W of
+ * link power alone); this class exposes that arithmetic.
+ */
+
+#ifndef CORONA_MEMORY_ECM_HH
+#define CORONA_MEMORY_ECM_HH
+
+#include <cstddef>
+
+#include "memory/memory_controller.hh"
+
+namespace corona::memory {
+
+/** ECM system-level configuration. */
+struct EcmConfig
+{
+    std::size_t controllers = 64;
+    std::size_t total_pins = 1536;      ///< Signal pins for memory I/O.
+    std::size_t bits_per_channel = 12;  ///< Full duplex per direction.
+    double bits_per_second_per_pin = 10e9;
+    /** Electrical link energy cost, mW per Gb/s (Palmer et al.: 2.0). */
+    double mw_per_gbps = 2.0;
+    sim::Tick access_latency = 20000;   ///< 20 ns (Table 4).
+};
+
+/**
+ * The ECM memory system: per-controller parameters plus Table 4 facts.
+ */
+class EcmSystem
+{
+  public:
+    explicit EcmSystem(const EcmConfig &config = {});
+
+    const EcmConfig &config() const { return _config; }
+
+    /** Per-controller bandwidth, bytes/s (15 GB/s). */
+    double perControllerBandwidth() const;
+
+    /** Aggregate memory bandwidth, bytes/s (0.96 TB/s). */
+    double aggregateBandwidth() const;
+
+    /** Interconnect power at full tilt, watts (~15 W at 0.96 TB/s). */
+    double interconnectPowerW() const;
+
+    /**
+     * Hypothetical link power to match a target bandwidth electrically
+     * (the paper: >160 W for 10 TB/s).
+     */
+    double powerToMatchW(double target_bytes_per_second) const;
+
+    /** Per-controller simulator parameters. */
+    MemoryParams controllerParams() const;
+
+  private:
+    EcmConfig _config;
+};
+
+} // namespace corona::memory
+
+#endif // CORONA_MEMORY_ECM_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Per-cluster memory controller.
+ *
+ * One controller per cluster (Section 3.1.2) so that memory bandwidth
+ * scales with core count. The controller is the master of its off-stack
+ * link: requests queue FIFO, the link serializes line transfers at the
+ * configured rate, and every access pays the fixed array latency (20 ns
+ * for both OCM and ECM, Table 4). Mat-level conflicts are modelled via
+ * the attached DramModule.
+ */
+
+#ifndef CORONA_MEMORY_MEMORY_CONTROLLER_HH
+#define CORONA_MEMORY_MEMORY_CONTROLLER_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "memory/dram.hh"
+#include "noc/message.hh"
+#include "sim/event_queue.hh"
+#include "stats/stats.hh"
+
+namespace corona::memory {
+
+/** Off-stack memory interconnect parameters (one controller's share). */
+struct MemoryParams
+{
+    std::string name = "OCM";
+    /** Per-controller off-stack bandwidth, bytes per second. */
+    double bytes_per_second = 160e9;
+    /** Fixed access latency, ticks (20 ns, Table 4). */
+    sim::Tick access_latency = 20000;
+    /** Extra per-access link delay (e.g. OCM daisy-chain pass-through). */
+    sim::Tick link_delay = 0;
+    /** DRAM die configuration. */
+    DramParams dram;
+};
+
+/**
+ * Event-driven memory controller.
+ */
+class MemoryController
+{
+  public:
+    /** Completion callback: the response message to send back. */
+    using Complete = std::function<void(const noc::Message &)>;
+
+    MemoryController(sim::EventQueue &eq, topology::ClusterId cluster,
+                     const MemoryParams &params);
+
+    /**
+     * Service a request delivered by the on-stack network. @p addr is
+     * the line address (the network message's tag carries it opaque).
+     * The completion callback fires when the response is ready to inject
+     * into the on-stack network.
+     */
+    void access(const noc::Message &request, topology::Addr addr,
+                Complete complete);
+
+    topology::ClusterId cluster() const { return _cluster; }
+    const MemoryParams &params() const { return _params; }
+
+    /** Requests serviced. */
+    std::uint64_t accesses() const { return _accesses; }
+
+    /** Bytes moved over the off-stack link. */
+    std::uint64_t bytesMoved() const { return _bytesMoved; }
+
+    /** Queue + service time statistics, ticks. */
+    const stats::RunningStats &serviceTime() const { return _serviceTime; }
+
+    /** Current queue depth (requests waiting for the link). */
+    std::size_t queueDepth() const { return _queue.size(); }
+
+    /** Peak queue depth observed. */
+    std::size_t peakQueueDepth() const { return _peakQueue; }
+
+    const DramModule &dram() const { return _dram; }
+
+  private:
+    struct Pending
+    {
+        noc::Message request;
+        topology::Addr addr;
+        Complete complete;
+        sim::Tick arrived;
+    };
+
+    void tryStart();
+    void finish(Pending pending, sim::Tick data_ready);
+
+    sim::EventQueue &_eq;
+    topology::ClusterId _cluster;
+    MemoryParams _params;
+    DramModule _dram;
+
+    std::deque<Pending> _queue;
+    bool _busy = false;
+    double _bytesPerTick;
+
+    std::uint64_t _accesses = 0;
+    std::uint64_t _bytesMoved = 0;
+    stats::RunningStats _serviceTime;
+    std::size_t _peakQueue = 0;
+};
+
+/** Build the paper's OCM per-controller parameters (Table 4). */
+MemoryParams ocmParams();
+
+/** Build the paper's ECM per-controller parameters (Table 4). */
+MemoryParams ecmParams();
+
+} // namespace corona::memory
+
+#endif // CORONA_MEMORY_MEMORY_CONTROLLER_HH

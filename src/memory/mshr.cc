@@ -1,0 +1,57 @@
+#include "memory/mshr.hh"
+
+#include <stdexcept>
+
+#include "sim/logging.hh"
+
+namespace corona::memory {
+
+MshrFile::MshrFile(std::size_t entries)
+    : _capacity(entries)
+{
+    if (entries == 0)
+        throw std::invalid_argument("MshrFile: need >= 1 entry");
+}
+
+bool
+MshrFile::outstanding(topology::Addr line) const
+{
+    return _entries.contains(line);
+}
+
+bool
+MshrFile::allocate(topology::Addr line, sim::Tick now)
+{
+    if (_entries.contains(line))
+        sim::panic("MshrFile::allocate: line already outstanding");
+    if (full())
+        return false;
+    _entries.emplace(line, Entry{now, {}});
+    return true;
+}
+
+void
+MshrFile::coalesce(topology::Addr line, WakeFn waker)
+{
+    auto it = _entries.find(line);
+    if (it == _entries.end())
+        sim::panic("MshrFile::coalesce: line not outstanding");
+    it->second.waiters.push_back(std::move(waker));
+    ++_coalesced;
+}
+
+std::vector<MshrFile::WakeFn>
+MshrFile::retire(topology::Addr line, sim::Tick now)
+{
+    auto it = _entries.find(line);
+    if (it == _entries.end())
+        sim::panic("MshrFile::retire: line not outstanding");
+    _lifetime.sample(static_cast<double>(now - it->second.allocated));
+    std::vector<WakeFn> wakers = std::move(it->second.waiters);
+    _entries.erase(it);
+    if (_onFree)
+        _onFree();
+    return wakers;
+}
+
+} // namespace corona::memory

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Miss Status Holding Register file.
+ *
+ * Each cluster's hub tracks outstanding L2 misses in a finite MSHR file
+ * (the paper: "The MSHRs, hub, interconnect, arbitration, and memory are
+ * all modeled in detail with finite buffers..."). The file bounds
+ * concurrency (back-pressuring threads when full) and coalesces
+ * secondary misses to a line already in flight.
+ */
+
+#ifndef CORONA_MEMORY_MSHR_HH
+#define CORONA_MEMORY_MSHR_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+#include "stats/stats.hh"
+#include "topology/address_map.hh"
+
+namespace corona::memory {
+
+/**
+ * A finite MSHR file with secondary-miss coalescing.
+ */
+class MshrFile
+{
+  public:
+    using WakeFn = std::function<void()>;
+
+    /** @param entries Capacity (Table-1-scale default: 32 per cluster). */
+    explicit MshrFile(std::size_t entries = 32);
+
+    std::size_t capacity() const { return _capacity; }
+    std::size_t inUse() const { return _entries.size(); }
+    bool full() const { return _entries.size() >= _capacity; }
+
+    /** True when a miss on @p line is already outstanding. */
+    bool outstanding(topology::Addr line) const;
+
+    /**
+     * Allocate an entry for a primary miss on @p line.
+     * @return false when the file is full (caller must stall).
+     */
+    bool allocate(topology::Addr line, sim::Tick now);
+
+    /**
+     * Attach a secondary miss to an in-flight line; the waker runs when
+     * the line's fill returns. @p line must be outstanding.
+     */
+    void coalesce(topology::Addr line, WakeFn waker);
+
+    /**
+     * Retire the entry for @p line (fill arrived); returns the wakers of
+     * coalesced secondary misses and frees the entry.
+     */
+    std::vector<WakeFn> retire(topology::Addr line, sim::Tick now);
+
+    /** Register a callback run whenever an entry frees. */
+    void onFree(WakeFn cb) { _onFree = std::move(cb); }
+
+    /** Entry lifetime statistics, ticks. */
+    const stats::RunningStats &lifetime() const { return _lifetime; }
+
+    /** Secondary misses coalesced. */
+    std::uint64_t coalesced() const { return _coalesced; }
+
+    /** Allocation attempts rejected because the file was full. */
+    std::uint64_t fullStalls() const { return _fullStalls; }
+
+    /** Count a rejected allocation (callers report their stalls). */
+    void noteFullStall() { ++_fullStalls; }
+
+  private:
+    struct Entry
+    {
+        sim::Tick allocated;
+        std::vector<WakeFn> waiters;
+    };
+
+    std::size_t _capacity;
+    std::unordered_map<topology::Addr, Entry> _entries;
+    WakeFn _onFree;
+    stats::RunningStats _lifetime;
+    std::uint64_t _coalesced = 0;
+    std::uint64_t _fullStalls = 0;
+};
+
+} // namespace corona::memory
+
+#endif // CORONA_MEMORY_MSHR_HH

@@ -1,0 +1,71 @@
+#include "memory/ocm.hh"
+
+#include <stdexcept>
+
+namespace corona::memory {
+
+OcmSystem::OcmSystem(const OcmConfig &config)
+    : _config(config)
+{
+    if (config.controllers == 0 || config.links_per_controller == 0 ||
+        config.wavelengths_per_fiber == 0) {
+        throw std::invalid_argument("OcmSystem: bad configuration");
+    }
+}
+
+double
+OcmSystem::perControllerBandwidth() const
+{
+    // The fiber pair operates half duplex: 128 b wide at 10 Gb/s
+    // => 160 GB/s of direction-agnostic bandwidth per controller.
+    const double bits =
+        static_cast<double>(_config.links_per_controller) *
+        static_cast<double>(_config.wavelengths_per_fiber) *
+        _config.bits_per_second_per_wavelength;
+    return bits / 8.0;
+}
+
+double
+OcmSystem::aggregateBandwidth() const
+{
+    return perControllerBandwidth() *
+           static_cast<double>(_config.controllers);
+}
+
+std::size_t
+OcmSystem::totalFibers() const
+{
+    // Every link is a fiber pair: the outward fiber loops back through
+    // the OCM chain as the return fiber (Figure 6(c)).
+    return _config.controllers * _config.links_per_controller * 2;
+}
+
+double
+OcmSystem::interconnectPowerW() const
+{
+    const double gbps = aggregateBandwidth() * 8.0 / 1e9;
+    return _config.mw_per_gbps * gbps * 1e-3;
+}
+
+sim::Tick
+OcmSystem::chainDelay(std::size_t module) const
+{
+    if (module >= _config.modules_per_chain)
+        throw std::out_of_range("OcmSystem::chainDelay: bad module index");
+    return module * _config.module_pass_delay;
+}
+
+MemoryParams
+OcmSystem::controllerParams() const
+{
+    MemoryParams p;
+    p.name = "OCM";
+    p.bytes_per_second = perControllerBandwidth();
+    p.access_latency = _config.access_latency;
+    // Average chain position pays half the worst-case pass delay.
+    p.link_delay =
+        chainDelay(_config.modules_per_chain - 1) / 2;
+    return p;
+}
+
+} // namespace corona::memory

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Optically connected memory (OCM) system model (Section 3.3).
+ *
+ * Each controller drives a pair of single-waveguide 64-lambda DWDM fibers
+ * forming a loop through a daisy chain of OCM modules. The controller is
+ * the master: it modulates outbound light (writes/commands) and supplies
+ * unmodulated power the addressed module modulates on the return fiber
+ * (reads). Expansion adds modules to the loop with only modulator /
+ * detector cost and no retiming, so latency is nearly flat in chain
+ * length. This class captures the resource/latency/power arithmetic of
+ * Table 4 and builds per-controller MemoryParams for the simulator.
+ */
+
+#ifndef CORONA_MEMORY_OCM_HH
+#define CORONA_MEMORY_OCM_HH
+
+#include <cstddef>
+
+#include "memory/memory_controller.hh"
+#include "photonics/waveguide.hh"
+
+namespace corona::memory {
+
+/** OCM system-level configuration. */
+struct OcmConfig
+{
+    std::size_t controllers = 64;       ///< One per cluster.
+    /** 64-lambda DWDM links per controller; together they form the
+     * 128-bit half-duplex channel of Table 4. */
+    std::size_t links_per_controller = 2;
+    std::size_t wavelengths_per_fiber = 64;
+    double bits_per_second_per_wavelength = 10e9;
+    std::size_t modules_per_chain = 4;  ///< Daisy-chained OCMs.
+    /** Fiber pass-through delay per module (no retiming), ticks. */
+    sim::Tick module_pass_delay = 50;   // 50 ps: ~0.5 cm of fiber
+    /** Interconnect energy cost, mW per Gb/s (Section 3.3: 0.078). */
+    double mw_per_gbps = 0.078;
+    sim::Tick access_latency = 20000;   ///< 20 ns (Table 4).
+};
+
+/**
+ * The OCM memory system: per-controller parameters plus Table 4 facts.
+ */
+class OcmSystem
+{
+  public:
+    explicit OcmSystem(const OcmConfig &config = {});
+
+    const OcmConfig &config() const { return _config; }
+
+    /** Half-duplex link rate seen by one controller, bytes/s (160 GB/s). */
+    double perControllerBandwidth() const;
+
+    /** Aggregate memory bandwidth, bytes/s (10.24 TB/s). */
+    double aggregateBandwidth() const;
+
+    /** Total external fibers: each link is a fiber pair (the outward
+     * fiber loops back as the return fiber), so 64 controllers x 2
+     * links x 2 = 256 (Table 4). */
+    std::size_t totalFibers() const;
+
+    /** Interconnect power at full tilt, watts (~6.4 W, Section 3.3). */
+    double interconnectPowerW() const;
+
+    /** Extra latency a request to chain position @p module pays. */
+    sim::Tick chainDelay(std::size_t module) const;
+
+    /** Per-controller simulator parameters. */
+    MemoryParams controllerParams() const;
+
+  private:
+    OcmConfig _config;
+};
+
+} // namespace corona::memory
+
+#endif // CORONA_MEMORY_OCM_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Wormhole mesh router.
+ *
+ * One router per cluster. Four neighbour input buffers plus an unbounded
+ * local injection queue feed four outgoing bandwidth-limited links and a
+ * local ejection port. Forwarding is dimension-order; a message holds its
+ * outgoing link for its full serialization time (message-granularity
+ * wormhole), and credit back-pressure from the downstream input buffer
+ * stalls the link — and transitively the whole upstream path — exactly as
+ * buffer exhaustion stalls a wormhole network.
+ */
+
+#ifndef CORONA_MESH_ROUTER_HH
+#define CORONA_MESH_ROUTER_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "mesh/routing.hh"
+#include "noc/buffer.hh"
+#include "noc/link.hh"
+#include "noc/message.hh"
+#include "sim/event_queue.hh"
+
+namespace corona::mesh {
+
+/** Router tuning parameters. */
+struct RouterParams
+{
+    /** Depth of each neighbour input buffer, messages. */
+    std::size_t input_buffer_depth = 8;
+    /** Depth of each output link's injection queue, messages. */
+    std::size_t link_queue_depth = 4;
+};
+
+/**
+ * A single mesh router.
+ *
+ * The mesh fabric wires routers together: each outgoing link's
+ * downstream buffer is the neighbour's opposite input buffer, and the
+ * link's sink pushes into it and kicks the neighbour's forwarding loop.
+ */
+class Router
+{
+  public:
+    using Eject = std::function<void(const noc::Message &)>;
+
+    /**
+     * @param eq Event queue.
+     * @param geom Die geometry.
+     * @param id This router's cluster id.
+     * @param link_bytes_per_second Outgoing link bandwidth.
+     * @param hop_latency Per-hop latency (forwarding + propagation).
+     * @param params Buffering parameters.
+     */
+    Router(sim::EventQueue &eq, const topology::Geometry &geom,
+           topology::ClusterId id, double link_bytes_per_second,
+           sim::Tick hop_latency, const RouterParams &params = {});
+
+    /** Connect the outgoing link in direction @p d to @p next_router. */
+    void connect(Direction d, Router &next_router);
+
+    /** Register the local ejection callback. */
+    void setEject(Eject eject) { _eject = std::move(eject); }
+
+    /** Inject a locally sourced message (unbounded NIC queue). */
+    void inject(const noc::Message &msg);
+
+    /** Input buffer for traffic arriving from direction @p d. */
+    noc::CreditBuffer &inputBuffer(Direction d);
+
+    /** Forwarding loop; safe to call whenever state may have changed. */
+    void process();
+
+    /** Outgoing link in direction @p d (null when unconnected). */
+    const noc::BandwidthLink *link(Direction d) const;
+
+    topology::ClusterId id() const { return _id; }
+
+  private:
+    /** Try to move one message out of the given input stage.
+     * @return true when a message moved (progress). */
+    bool tryForward(std::optional<Direction> from);
+
+    /** Front message of an input stage, if any. */
+    const noc::Message *peek(std::optional<Direction> from) const;
+
+    /** Pop the front message of an input stage. */
+    noc::Message popInput(std::optional<Direction> from);
+
+    sim::EventQueue &_eq;
+    const topology::Geometry &_geom;
+    topology::ClusterId _id;
+    RouterParams _params;
+
+    /** Neighbour input buffers indexed by arrival direction (E,W,N,S). */
+    std::array<std::unique_ptr<noc::CreditBuffer>, 4> _inputs;
+    /** Local injection queue (bounded end-to-end by MSHRs). */
+    std::deque<noc::Message> _injection;
+    /** Outgoing links indexed by direction (E,W,N,S). */
+    std::array<std::unique_ptr<noc::BandwidthLink>, 4> _links;
+    Eject _eject;
+    /** Round-robin pointer over input stages for output arbitration. */
+    std::size_t _rr = 0;
+    /** Reentrancy guard: process() may be re-triggered from callbacks
+     * fired while it runs (link onSpace, downstream pushes). */
+    bool _processing = false;
+    bool _reprocess = false;
+};
+
+} // namespace corona::mesh
+
+#endif // CORONA_MESH_ROUTER_HH

@@ -1,0 +1,86 @@
+#include "mesh/routing.hh"
+
+#include <stdexcept>
+
+#include "sim/logging.hh"
+
+namespace corona::mesh {
+
+std::string
+to_string(Direction d)
+{
+    switch (d) {
+      case Direction::East: return "East";
+      case Direction::West: return "West";
+      case Direction::North: return "North";
+      case Direction::South: return "South";
+      case Direction::Local: return "Local";
+    }
+    return "Unknown";
+}
+
+Direction
+route(const topology::Geometry &geom, topology::ClusterId here,
+      topology::ClusterId dst)
+{
+    const auto ch = geom.coordOf(here);
+    const auto cd = geom.coordOf(dst);
+    if (ch.x < cd.x)
+        return Direction::East;
+    if (ch.x > cd.x)
+        return Direction::West;
+    if (ch.y < cd.y)
+        return Direction::North;
+    if (ch.y > cd.y)
+        return Direction::South;
+    return Direction::Local;
+}
+
+bool
+hasNeighbour(const topology::Geometry &geom, topology::ClusterId here,
+             Direction d)
+{
+    const auto c = geom.coordOf(here);
+    const std::size_t r = geom.radix();
+    switch (d) {
+      case Direction::East: return c.x + 1 < r;
+      case Direction::West: return c.x > 0;
+      case Direction::North: return c.y + 1 < r;
+      case Direction::South: return c.y > 0;
+      case Direction::Local: return false;
+    }
+    return false;
+}
+
+topology::ClusterId
+neighbour(const topology::Geometry &geom, topology::ClusterId here,
+          Direction d)
+{
+    if (!hasNeighbour(geom, here, d))
+        throw std::out_of_range("mesh::neighbour: no neighbour that way");
+    auto c = geom.coordOf(here);
+    switch (d) {
+      case Direction::East: ++c.x; break;
+      case Direction::West: --c.x; break;
+      case Direction::North: ++c.y; break;
+      case Direction::South: --c.y; break;
+      case Direction::Local:
+        sim::panic("mesh::neighbour: Local has no neighbour");
+    }
+    return geom.idAt(c);
+}
+
+Direction
+opposite(Direction d)
+{
+    switch (d) {
+      case Direction::East: return Direction::West;
+      case Direction::West: return Direction::East;
+      case Direction::North: return Direction::South;
+      case Direction::South: return Direction::North;
+      case Direction::Local: return Direction::Local;
+    }
+    sim::panic("mesh::opposite: unknown direction");
+}
+
+} // namespace corona::mesh

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Dimension-order (XY) routing for the electrical mesh baselines.
+ *
+ * The paper's meshes employ dimension-order wormhole routing (Dally &
+ * Seitz), which is deadlock-free on a mesh: a packet first corrects its X
+ * coordinate, then its Y coordinate, and never turns from Y back to X.
+ */
+
+#ifndef CORONA_MESH_ROUTING_HH
+#define CORONA_MESH_ROUTING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "topology/geometry.hh"
+
+namespace corona::mesh {
+
+/** Router port directions. */
+enum class Direction : std::uint8_t
+{
+    East,  ///< +x
+    West,  ///< -x
+    North, ///< +y
+    South, ///< -y
+    Local, ///< Eject to this cluster's hub.
+};
+
+/** Number of directions (East..Local). */
+inline constexpr std::size_t numDirections = 5;
+
+/** Human-readable direction name. */
+std::string to_string(Direction d);
+
+/**
+ * Dimension-order routing decision at router @p here for a packet headed
+ * to @p dst: X is corrected before Y; Local when here == dst.
+ */
+Direction route(const topology::Geometry &geom, topology::ClusterId here,
+                topology::ClusterId dst);
+
+/** Neighbour of @p here in direction @p d (throws at mesh edges). */
+topology::ClusterId neighbour(const topology::Geometry &geom,
+                              topology::ClusterId here, Direction d);
+
+/** True when @p here has a neighbour in direction @p d. */
+bool hasNeighbour(const topology::Geometry &geom, topology::ClusterId here,
+                  Direction d);
+
+/** The inbound port on the receiving router for traffic leaving via
+ * @p d (East arrives on the neighbour's West port, etc.). */
+Direction opposite(Direction d);
+
+} // namespace corona::mesh
+
+#endif // CORONA_MESH_ROUTING_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Finite buffering with credit-based flow control.
+ *
+ * The paper's network simulator models "finite buffers, queues, and
+ * ports" enforcing back pressure. CreditBuffer is the shared primitive:
+ * a bounded FIFO whose occupancy is the inverse of the sender-visible
+ * credit count. Routers, channel sinks, and memory controllers compose it.
+ */
+
+#ifndef CORONA_NOC_BUFFER_HH
+#define CORONA_NOC_BUFFER_HH
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "noc/message.hh"
+#include "stats/stats.hh"
+
+namespace corona::noc {
+
+/**
+ * Bounded message FIFO with credits.
+ *
+ * Senders must check hasCredit() (or reserve()) before push(); consumers
+ * pop() and thereby return a credit. An optional drain callback fires when
+ * space frees up so stalled upstream stages can resume.
+ */
+class CreditBuffer
+{
+  public:
+    /** @param capacity Maximum buffered messages (>= 1). */
+    explicit CreditBuffer(std::size_t capacity);
+
+    std::size_t capacity() const { return _capacity; }
+    std::size_t size() const { return _fifo.size() + _reserved; }
+    bool empty() const { return _fifo.empty(); }
+
+    /** Credits available to senders. */
+    std::size_t credits() const { return _capacity - size(); }
+    bool hasCredit() const { return credits() > 0; }
+
+    /**
+     * Reserve a slot ahead of an in-flight message (credit decrements
+     * immediately; the later push() consumes the reservation).
+     * @return false when no credit is available.
+     */
+    bool reserve();
+
+    /** Release an unused reservation. */
+    void unreserve();
+
+    /**
+     * Append a message. Requires a prior successful reserve() or
+     * available credit.
+     */
+    void push(const Message &msg, sim::Tick now, bool reserved = false);
+
+    /** Front message; buffer must not be empty. */
+    const Message &front() const;
+
+    /** Remove and return the front message, freeing a credit. */
+    Message pop(sim::Tick now);
+
+    /** Register a callback invoked whenever space becomes available. */
+    void onDrain(std::function<void()> cb) { _onDrain = std::move(cb); }
+
+    /** Time-weighted average occupancy. */
+    double averageOccupancy(sim::Tick now) const;
+
+    /** Peak occupancy observed. */
+    std::size_t peakOccupancy() const { return _peak; }
+
+  private:
+    std::size_t _capacity;
+    std::size_t _reserved = 0;
+    std::deque<Message> _fifo;
+    std::function<void()> _onDrain;
+    stats::TimeWeighted _occupancy;
+    std::size_t _peak = 0;
+};
+
+} // namespace corona::noc
+
+#endif // CORONA_NOC_BUFFER_HH

@@ -1,0 +1,20 @@
+#include "noc/ideal_interconnect.hh"
+
+namespace corona::noc {
+
+IdealInterconnect::IdealInterconnect(sim::EventQueue &eq, sim::Tick latency)
+    : _eq(eq), _latency(latency)
+{
+}
+
+void
+IdealInterconnect::send(const Message &msg)
+{
+    Message stamped = msg;
+    stamped.injected = _eq.now();
+    _eq.scheduleIn(_latency, [this, stamped] {
+        delivered(stamped, _eq.now(), 1);
+    });
+}
+
+} // namespace corona::noc

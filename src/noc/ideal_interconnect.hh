@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Contention-free reference interconnect.
+ *
+ * Delivers every message after a fixed latency with unlimited bandwidth.
+ * Used as a correctness oracle in tests (every real network must deliver
+ * the same message set) and as an upper-bound configuration in ablation
+ * studies.
+ */
+
+#ifndef CORONA_NOC_IDEAL_INTERCONNECT_HH
+#define CORONA_NOC_IDEAL_INTERCONNECT_HH
+
+#include "noc/interconnect.hh"
+#include "sim/event_queue.hh"
+
+namespace corona::noc {
+
+/**
+ * Fixed-latency, infinite-bandwidth interconnect.
+ */
+class IdealInterconnect : public Interconnect
+{
+  public:
+    /**
+     * @param eq Event queue.
+     * @param latency Fixed delivery latency, ticks.
+     */
+    IdealInterconnect(sim::EventQueue &eq, sim::Tick latency);
+
+    void send(const Message &msg) override;
+    std::string name() const override { return "Ideal"; }
+
+    std::size_t
+    hopCount(topology::ClusterId, topology::ClusterId) const override
+    {
+        return 1;
+    }
+
+  private:
+    sim::EventQueue &_eq;
+    sim::Tick _latency;
+};
+
+} // namespace corona::noc
+
+#endif // CORONA_NOC_IDEAL_INTERCONNECT_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Network message types shared by every interconnect model.
+ *
+ * The trace-driven evaluation (Section 4) moves L2-miss transactions:
+ * a request phit to the home cluster's memory controller and a response
+ * carrying the cache line back. Invalidate messages ride the broadcast
+ * bus. Sizes follow the paper: 64 B cache lines, with a 16 B
+ * address/command header on every message.
+ */
+
+#ifndef CORONA_NOC_MESSAGE_HH
+#define CORONA_NOC_MESSAGE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+#include "topology/geometry.hh"
+
+namespace corona::noc {
+
+/** Unique, monotonically assigned message identifier. */
+using MsgId = std::uint64_t;
+
+/** Message kinds moved by the on-stack interconnect. */
+enum class MsgKind : std::uint8_t
+{
+    ReadReq,    ///< L2 miss read request (header only).
+    WriteReq,   ///< Writeback/write miss (header + line).
+    ReadResp,   ///< Fill response (header + line).
+    WriteAck,   ///< Write completion (header only).
+    Invalidate, ///< Coherence invalidate (header only, broadcast bus).
+};
+
+/** Cache line size, bytes (Table 1). */
+inline constexpr std::uint32_t cacheLineBytes = 64;
+
+/** Address/command header size, bytes. */
+inline constexpr std::uint32_t headerBytes = 16;
+
+/** Wire size in bytes of a message of the given kind. */
+std::uint32_t wireBytes(MsgKind kind);
+
+/** True for kinds that carry a data payload. */
+bool carriesData(MsgKind kind);
+
+/** Human-readable kind name. */
+std::string to_string(MsgKind kind);
+
+/**
+ * A network message. Plain value type; models pass it around by value
+ * and interconnects never inspect the tag (opaque to the network).
+ */
+struct Message
+{
+    MsgId id = 0;
+    topology::ClusterId src = 0;
+    topology::ClusterId dst = 0;
+    MsgKind kind = MsgKind::ReadReq;
+    /** Tick at which the sender handed the message to the network. */
+    sim::Tick injected = 0;
+    /** Opaque sender cookie (request tracking). */
+    std::uint64_t tag = 0;
+
+    /** Size on the wire, bytes. */
+    std::uint32_t bytes() const { return wireBytes(kind); }
+};
+
+} // namespace corona::noc
+
+#endif // CORONA_NOC_MESSAGE_HH

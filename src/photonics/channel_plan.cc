@@ -1,0 +1,87 @@
+#include "photonics/channel_plan.hh"
+
+#include <set>
+#include <stdexcept>
+
+namespace corona::photonics {
+
+ChannelPlan::ChannelPlan(const ChannelPlanParams &params)
+    : _params(params), _comb(params.wavelengths_per_guide)
+{
+    if (params.clusters == 0 || params.wavelengths_per_guide == 0 ||
+        params.guides_per_channel == 0) {
+        throw std::invalid_argument("ChannelPlan: bad parameters");
+    }
+
+    // Data channels: every destination owns a full bundle; all comb
+    // lines on each bundle guide belong to that channel.
+    for (std::size_t home = 0; home < params.clusters; ++home) {
+        for (std::size_t g = 0; g < params.guides_per_channel; ++g) {
+            const std::string guide = "xbar-data-" +
+                                      std::to_string(home) + "." +
+                                      std::to_string(g);
+            for (std::size_t i = 0; i < params.wavelengths_per_guide;
+                 ++i) {
+                _assignments.push_back(WavelengthAssignment{
+                    guide, i, _comb.wavelength(i),
+                    "data ch " + std::to_string(home)});
+            }
+        }
+    }
+
+    // Crossbar tokens: one wavelength per channel, in home order, on
+    // the arbitration waveguides (Figure 5's table; one comb of 64
+    // covers Corona's 64 channels on a single guide).
+    for (std::size_t home = 0; home < params.clusters; ++home) {
+        _assignments.push_back(WavelengthAssignment{
+            "arbitration-" + std::to_string(tokenGuideOf(home)),
+            tokenIndexOf(home), _comb.wavelength(tokenIndexOf(home)),
+            "token ch " + std::to_string(home)});
+    }
+
+    // Broadcast-bus token rides the last arbitration guide on its own
+    // dedicated guide slot (the second of Table 2's two arbitration
+    // waveguides in the 64-cluster configuration).
+    const std::size_t bcast_guide =
+        (params.clusters - 1) / params.wavelengths_per_guide + 1;
+    _assignments.push_back(WavelengthAssignment{
+        "arbitration-" + std::to_string(bcast_guide), 0,
+        _comb.wavelength(0), "token broadcast"});
+}
+
+std::size_t
+ChannelPlan::tokenIndexOf(std::size_t home) const
+{
+    if (home >= _params.clusters)
+        throw std::out_of_range("ChannelPlan::tokenIndexOf");
+    return home % _params.wavelengths_per_guide;
+}
+
+std::size_t
+ChannelPlan::tokenGuideOf(std::size_t home) const
+{
+    if (home >= _params.clusters)
+        throw std::out_of_range("ChannelPlan::tokenGuideOf");
+    return home / _params.wavelengths_per_guide;
+}
+
+std::string
+ChannelPlan::dataBundleOf(std::size_t home) const
+{
+    if (home >= _params.clusters)
+        throw std::out_of_range("ChannelPlan::dataBundleOf");
+    return "xbar-data-" + std::to_string(home);
+}
+
+bool
+ChannelPlan::conflictFree() const
+{
+    std::set<std::pair<std::string, std::size_t>> seen;
+    for (const auto &a : _assignments) {
+        if (!seen.emplace(a.waveguide, a.comb_index).second)
+            return false;
+    }
+    return true;
+}
+
+} // namespace corona::photonics

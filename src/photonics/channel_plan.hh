@@ -1,0 +1,87 @@
+/**
+ * @file
+ * DWDM wavelength assignment plan (Figures 4 and 5).
+ *
+ * The crossbar assigns every destination cluster a data channel (a
+ * 4-waveguide bundle carrying all 256 lambdas of that bundle) and one
+ * *token wavelength* on the shared arbitration waveguide — Figure 5's
+ * embedded home-cluster-to-wavelength table. The broadcast bus adds
+ * one more token. ChannelPlan builds the complete assignment, verifies
+ * that no wavelength is claimed twice on any shared waveguide, and
+ * answers the lookups the analog control layer would need (which ring
+ * to tune for which function).
+ */
+
+#ifndef CORONA_PHOTONICS_CHANNEL_PLAN_HH
+#define CORONA_PHOTONICS_CHANNEL_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "photonics/wavelength.hh"
+
+namespace corona::photonics {
+
+/** Function assigned to one wavelength on one waveguide. */
+struct WavelengthAssignment
+{
+    std::string waveguide;   ///< e.g. "xbar-data-12.3", "arbitration-0".
+    std::size_t comb_index;  ///< Line index within the 64-lambda comb.
+    Nanometres lambda_nm;    ///< Physical wavelength.
+    std::string function;    ///< e.g. "data ch 12", "token ch 7".
+};
+
+/** Plan parameters (Corona defaults). */
+struct ChannelPlanParams
+{
+    std::size_t clusters = 64;
+    std::size_t wavelengths_per_guide = 64;
+    std::size_t guides_per_channel = 4;
+};
+
+/**
+ * The full wavelength plan for Corona's photonic subsystems.
+ */
+class ChannelPlan
+{
+  public:
+    explicit ChannelPlan(const ChannelPlanParams &params = {});
+
+    /** All assignments, grouped by waveguide. */
+    const std::vector<WavelengthAssignment> &assignments() const
+    {
+        return _assignments;
+    }
+
+    /** Token wavelength (comb index) arbitrating cluster @p home's
+     * data channel — Figure 5's table. */
+    std::size_t tokenIndexOf(std::size_t home) const;
+
+    /** Which arbitration waveguide carries @p home's token (tokens
+     * beyond one comb spill onto the second guide). */
+    std::size_t tokenGuideOf(std::size_t home) const;
+
+    /** Data-channel bundle name for destination @p home. */
+    std::string dataBundleOf(std::size_t home) const;
+
+    /** Total distinct (waveguide, wavelength) pairs assigned. */
+    std::size_t size() const { return _assignments.size(); }
+
+    /**
+     * Verify no (waveguide, comb index) pair is assigned twice.
+     * @return true when conflict-free.
+     */
+    bool conflictFree() const;
+
+    const ChannelPlanParams &params() const { return _params; }
+
+  private:
+    ChannelPlanParams _params;
+    DwdmComb _comb;
+    std::vector<WavelengthAssignment> _assignments;
+};
+
+} // namespace corona::photonics
+
+#endif // CORONA_PHOTONICS_CHANNEL_PLAN_HH

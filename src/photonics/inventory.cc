@@ -1,0 +1,77 @@
+#include "photonics/inventory.hh"
+
+#include <stdexcept>
+
+namespace corona::photonics {
+
+Inventory::Inventory(const InventoryParams &p)
+{
+    // Memory: each memory controller drives a pair of 64-lambda guides
+    // (outbound + loopback). Every guide carries a modulator and a
+    // detector ring per wavelength at the controller (Section 3.3).
+    const std::size_t memory_guides =
+        p.memory_controllers * p.memory_guides_per_mc;
+    const std::size_t memory_rings =
+        memory_guides * p.wavelengths_per_guide * 2; // modulator + detector
+
+    // Crossbar: one channel per destination cluster, each a bundle of
+    // channel_waveguides guides. Every cluster has a full-width set of
+    // rings on every channel: modulators on the 63 foreign channels plus
+    // detectors on its own, i.e. clusters x clusters x channel-width
+    // rings in total (Section 3.2.1).
+    const std::size_t channel_width =
+        p.wavelengths_per_guide * p.channel_waveguides;
+    const std::size_t xbar_guides = p.clusters * p.channel_waveguides;
+    const std::size_t xbar_rings = p.clusters * p.clusters * channel_width;
+
+    // Broadcast: one coiled guide passing every cluster twice; each
+    // cluster modulates 64 lambdas on the first pass and detects them
+    // (via its splitter stub) on the second (Section 3.2.2).
+    const std::size_t bcast_rings =
+        p.clusters * p.wavelengths_per_guide * 2;
+
+    // Arbitration: one guide carries the 64 crossbar channel tokens, one
+    // carries the broadcast token. Each cluster needs a detector (divert)
+    // and an injector (release) ring per crossbar token (Section 3.2.3).
+    const std::size_t arb_rings =
+        p.clusters * p.wavelengths_per_guide * 2;
+
+    // Clock: one distribution guide, one detector ring per cluster.
+    _rows = {
+        {"Memory", memory_guides, memory_rings},
+        {"Crossbar", xbar_guides, xbar_rings},
+        {"Broadcast", 1, bcast_rings},
+        {"Arbitration", 2, arb_rings},
+        {"Clock", 1, p.clusters},
+    };
+}
+
+std::size_t
+Inventory::totalWaveguides() const
+{
+    std::size_t total = 0;
+    for (const auto &r : _rows)
+        total += r.waveguides;
+    return total;
+}
+
+std::size_t
+Inventory::totalRings() const
+{
+    std::size_t total = 0;
+    for (const auto &r : _rows)
+        total += r.ring_resonators;
+    return total;
+}
+
+const SubsystemInventory &
+Inventory::row(const std::string &name) const
+{
+    for (const auto &r : _rows) {
+        if (r.name == name)
+            return r;
+    }
+    throw std::out_of_range("Inventory::row: unknown subsystem " + name);
+}
+
+} // namespace corona::photonics

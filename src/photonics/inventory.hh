@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Optical component inventory (reproduces Table 2).
+ *
+ * Derives the number of waveguides and ring resonators each photonic
+ * subsystem needs from first principles: the crossbar's 64 many-writer
+ * single-reader channels of 256 wavelengths, the per-memory-controller
+ * fiber pairs, the broadcast coil, the token-arbitration waveguides, and
+ * the optical clock.
+ */
+
+#ifndef CORONA_PHOTONICS_INVENTORY_HH
+#define CORONA_PHOTONICS_INVENTORY_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace corona::photonics {
+
+/** Architectural parameters the inventory is computed from. */
+struct InventoryParams
+{
+    std::size_t clusters = 64;             ///< Crossbar endpoints.
+    std::size_t wavelengths_per_guide = 64;///< DWDM comb width.
+    std::size_t channel_waveguides = 4;    ///< Bundle width (256 lambdas).
+    std::size_t memory_controllers = 64;   ///< One per cluster.
+    std::size_t memory_guides_per_mc = 2;  ///< Outbound + return fiber.
+};
+
+/** Inventory of one photonic subsystem (a row of Table 2). */
+struct SubsystemInventory
+{
+    std::string name;
+    std::size_t waveguides;
+    std::size_t ring_resonators;
+};
+
+/**
+ * Full optical inventory: per-subsystem rows plus totals.
+ */
+class Inventory
+{
+  public:
+    explicit Inventory(const InventoryParams &params = {});
+
+    const std::vector<SubsystemInventory> &rows() const { return _rows; }
+
+    std::size_t totalWaveguides() const;
+    std::size_t totalRings() const;
+
+    /** Look up a row by subsystem name ("Memory", "Crossbar", ...). */
+    const SubsystemInventory &row(const std::string &name) const;
+
+  private:
+    std::vector<SubsystemInventory> _rows;
+};
+
+} // namespace corona::photonics
+
+#endif // CORONA_PHOTONICS_INVENTORY_HH

@@ -1,0 +1,31 @@
+#include "photonics/laser.hh"
+
+#include <stdexcept>
+
+namespace corona::photonics {
+
+ModeLockedLaser::ModeLockedLaser(const LaserParams &params)
+    : _params(params), _comb(params.comb_lines)
+{
+    if (params.power_per_line_mw <= 0)
+        throw std::invalid_argument("ModeLockedLaser: bad per-line power");
+    if (params.wall_plug_efficiency <= 0 ||
+        params.wall_plug_efficiency > 1.0) {
+        throw std::invalid_argument("ModeLockedLaser: bad efficiency");
+    }
+}
+
+double
+ModeLockedLaser::opticalPowerMw() const
+{
+    return static_cast<double>(_params.comb_lines) *
+           _params.power_per_line_mw;
+}
+
+double
+ModeLockedLaser::electricalPowerMw() const
+{
+    return opticalPowerMw() / _params.wall_plug_efficiency;
+}
+
+} // namespace corona::photonics

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Mode-locked comb laser model.
+ *
+ * Corona uses off-die CW comb lasers (Section 2): each laser emits a comb
+ * of 64 phase-coherent, equally spaced wavelengths. Lasers feed power
+ * waveguides; per-channel splitters tap power for each crossbar channel's
+ * home cluster. The model tracks electrical-to-optical efficiency so the
+ * power budget can convert required optical power to wall power.
+ */
+
+#ifndef CORONA_PHOTONICS_LASER_HH
+#define CORONA_PHOTONICS_LASER_HH
+
+#include <cstddef>
+
+#include "photonics/wavelength.hh"
+
+namespace corona::photonics {
+
+/** Parameters of a mode-locked comb laser. */
+struct LaserParams
+{
+    /** Comb lines per laser (Section 2: one laser provides 64). */
+    std::size_t comb_lines = wavelengthsPerComb;
+    /** Optical power emitted per comb line, mW. */
+    double power_per_line_mw = 2.0;
+    /** Wall-plug (electrical to optical) efficiency, in (0, 1]. */
+    double wall_plug_efficiency = 0.15;
+};
+
+/**
+ * A mode-locked laser producing a DWDM comb.
+ */
+class ModeLockedLaser
+{
+  public:
+    explicit ModeLockedLaser(const LaserParams &params = {});
+
+    const LaserParams &params() const { return _params; }
+    const DwdmComb &comb() const { return _comb; }
+
+    /** Total optical output power, mW. */
+    double opticalPowerMw() const;
+
+    /** Electrical power drawn, mW. */
+    double electricalPowerMw() const;
+
+    /** Optical power per comb line, mW. */
+    double powerPerLineMw() const { return _params.power_per_line_mw; }
+
+  private:
+    LaserParams _params;
+    DwdmComb _comb;
+};
+
+} // namespace corona::photonics
+
+#endif // CORONA_PHOTONICS_LASER_HH

@@ -1,0 +1,82 @@
+#include "photonics/loss_budget.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace corona::photonics {
+
+void
+OpticalPath::add(std::string name, double loss_db)
+{
+    if (loss_db < 0)
+        throw std::invalid_argument("OpticalPath: negative loss");
+    _elements.push_back(LossElement{std::move(name), loss_db});
+}
+
+void
+OpticalPath::add(const Waveguide &wg, const std::string &name)
+{
+    add(name, wg.lossDb());
+}
+
+double
+OpticalPath::totalLossDb() const
+{
+    double total = 0.0;
+    for (const auto &e : _elements)
+        total += e.loss_db;
+    return total;
+}
+
+BudgetResult
+solveBudget(const OpticalPath &path, std::size_t wavelength_instances,
+            const BudgetParams &params)
+{
+    if (wavelength_instances == 0)
+        throw std::invalid_argument("solveBudget: no wavelength instances");
+    BudgetResult r;
+    r.path_loss_db = path.totalLossDb();
+    r.required_at_source_dbm =
+        params.detector_sensitivity_dbm + r.path_loss_db + params.margin_db;
+    r.required_at_source_mw =
+        std::pow(10.0, r.required_at_source_dbm / 10.0);
+    r.total_optical_power_w = r.required_at_source_mw * 1e-3 *
+                              static_cast<double>(wavelength_instances);
+    r.total_electrical_power_w =
+        r.total_optical_power_w / params.wall_plug_efficiency;
+    return r;
+}
+
+OpticalPath
+crossbarWorstCasePath(std::size_t clusters, double serpentine_cm,
+                      std::size_t rings_passed, double ring_through_db,
+                      const WaveguideParams &waveguide)
+{
+    if (clusters == 0)
+        throw std::invalid_argument("crossbarWorstCasePath: no clusters");
+    OpticalPath path;
+    // Laser fiber attach and star-coupler distribution to the 64
+    // channel homes. The ideal 1:64 split is NOT a loss element here:
+    // splitting divides per-output power but conserves the total, and
+    // the budget solver multiplies the per-wavelength requirement by
+    // every (channel, wavelength) instance — charging the split again
+    // would double-count it. Only excess (non-ideal) loss appears.
+    path.add("fiber attach", 1.0);
+    path.add("star coupler excess", 1.0);
+    // Home-cluster splitter moving comb power onto the data waveguide.
+    path.add("home splitter", 0.5);
+    // Full serpentine: worst case sender is the cluster immediately
+    // downstream of the home, so light traverses (almost) the whole loop.
+    Waveguide serpentine(serpentine_cm, waveguide);
+    serpentine.setRingPassBys(rings_passed);
+    serpentine.setRingThroughLossDb(ring_through_db);
+    // One 180-degree turn per cluster column pair (layout, Figure 3).
+    serpentine.setBends(clusters / 4);
+    path.add(serpentine, "serpentine");
+    // Active modulator insertion and detector drop.
+    path.add("modulator insertion", 0.5);
+    path.add("detector drop", 0.5);
+    return path;
+}
+
+} // namespace corona::photonics

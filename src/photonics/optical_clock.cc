@@ -1,0 +1,44 @@
+#include "photonics/optical_clock.hh"
+
+#include <stdexcept>
+
+namespace corona::photonics {
+
+OpticalClock::OpticalClock(std::size_t clusters,
+                           const sim::ClockDomain &clock,
+                           std::size_t loop_clocks)
+    : _clusters(clusters), _period(clock.period())
+{
+    if (clusters == 0 || loop_clocks == 0)
+        throw std::invalid_argument("OpticalClock: bad geometry");
+    // Full loop = loop_clocks periods spread over all clusters.
+    _hop = loop_clocks * _period / clusters;
+    if (_hop == 0)
+        throw std::invalid_argument("OpticalClock: hop underflows a tick");
+}
+
+sim::Tick
+OpticalClock::phaseOffset(std::size_t k) const
+{
+    if (k >= _clusters)
+        throw std::out_of_range("OpticalClock::phaseOffset: bad cluster");
+    return (k * _hop) % _period;
+}
+
+bool
+OpticalClock::crossesWrap(std::size_t src, std::size_t dst) const
+{
+    if (src >= _clusters || dst >= _clusters)
+        throw std::out_of_range("OpticalClock::crossesWrap: bad cluster");
+    // Data travels clockwise (increasing cluster index); the wrap is the
+    // serpentine edge from cluster N-1 back to 0.
+    return dst <= src;
+}
+
+sim::Tick
+OpticalClock::retimingPenalty(std::size_t src, std::size_t dst) const
+{
+    return crossesWrap(src, dst) ? _period : 0;
+}
+
+} // namespace corona::photonics

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Optical clock distribution model (Section 3.2.1).
+ *
+ * A clock waveguide parallels the data serpentine; each cluster's
+ * electrical clock is phase-locked to the arriving optical clock, so
+ * cluster k runs offset by k/8 of a clock from cluster 0. Data travelling
+ * clockwise stays in phase with each receiver's local clock, avoiding
+ * retiming except where the serpentine wraps around (cluster N-1 -> 0).
+ */
+
+#ifndef CORONA_PHOTONICS_OPTICAL_CLOCK_HH
+#define CORONA_PHOTONICS_OPTICAL_CLOCK_HH
+
+#include <cstddef>
+
+#include "sim/clock.hh"
+#include "sim/types.hh"
+
+namespace corona::photonics {
+
+/**
+ * Per-cluster clock phases induced by optical clock distribution.
+ */
+class OpticalClock
+{
+  public:
+    /**
+     * @param clusters Clusters on the serpentine.
+     * @param clock Digital clock domain being distributed.
+     * @param loop_clocks Full serpentine traversal time in clocks (8).
+     */
+    OpticalClock(std::size_t clusters, const sim::ClockDomain &clock,
+                 std::size_t loop_clocks = 8);
+
+    /** Phase offset of cluster @p k relative to cluster 0, ticks. */
+    sim::Tick phaseOffset(std::size_t k) const;
+
+    /** Optical hop time between adjacent clusters, ticks. */
+    sim::Tick hopTime() const { return _hop; }
+
+    /**
+     * True when a transfer from @p src to @p dst crosses the serpentine
+     * wrap-around and therefore pays a retiming penalty.
+     */
+    bool crossesWrap(std::size_t src, std::size_t dst) const;
+
+    /**
+     * Retiming penalty for a src->dst transfer: zero in-phase (the common
+     * case), one clock period when the wrap is crossed.
+     */
+    sim::Tick retimingPenalty(std::size_t src, std::size_t dst) const;
+
+    std::size_t clusters() const { return _clusters; }
+
+  private:
+    std::size_t _clusters;
+    sim::Tick _period;
+    sim::Tick _hop;
+};
+
+} // namespace corona::photonics
+
+#endif // CORONA_PHOTONICS_OPTICAL_CLOCK_HH

@@ -1,0 +1,61 @@
+#include "photonics/ring_resonator.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace corona::photonics {
+
+RingResonator::RingResonator(RingRole role, Nanometres design_nm,
+                             const RingParams &params)
+    : _role(role), _designNm(design_nm), _params(params)
+{
+    if (design_nm <= 0)
+        throw std::invalid_argument("RingResonator: bad design wavelength");
+}
+
+Nanometres
+RingResonator::effectiveResonance() const
+{
+    Nanometres resonance = _designNm + _fabErrorNm + _trimNm;
+    if (_chargeInjected)
+        resonance -= _params.charge_shift_nm;
+    return resonance;
+}
+
+double
+RingResonator::trimToDesign()
+{
+    _trimNm = -_fabErrorNm;
+    return trimmingPowerW();
+}
+
+bool
+RingResonator::onResonance(Nanometres lambda) const
+{
+    return std::abs(lambda - effectiveResonance()) <= _params.linewidth_nm;
+}
+
+double
+RingResonator::throughLossDb(Nanometres lambda) const
+{
+    if (onResonance(lambda)) {
+        // Resonant wavelength is diverted into the ring; from the bus
+        // waveguide's point of view the signal is (nearly) extinguished.
+        // Report the drop-path loss, which is what the diverted signal
+        // experiences; callers treating the through path as blocked should
+        // consult onResonance() directly.
+        return _params.drop_loss_db;
+    }
+    return _params.through_loss_db;
+}
+
+double
+RingResonator::trimmingPowerW() const
+{
+    // Baseline hold power plus a component proportional to how far the
+    // ring had to be pulled (thermal tuning efficiency ~ linear in shift).
+    const double per_nm = _params.trimming_power_w; // W per nm of trim
+    return _params.trimming_power_w + per_nm * std::abs(_trimNm);
+}
+
+} // namespace corona::photonics

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Ring resonator device model (Figure 1 of the paper).
+ *
+ * A single ring structure serves three roles depending on construction:
+ * modulator (encode data by shifting in/out of resonance), injector
+ * (transfer a resonant wavelength between two waveguides — the arbitration
+ * token switch), and detector (Ge-doped ring that absorbs the resonant
+ * wavelength). The model captures resonance selection, charge-injection
+ * (fast) and thermal (slow trimming) tuning, and per-pass optical losses,
+ * which feed the loss-budget solver.
+ */
+
+#ifndef CORONA_PHOTONICS_RING_RESONATOR_HH
+#define CORONA_PHOTONICS_RING_RESONATOR_HH
+
+#include <cstdint>
+
+#include "photonics/wavelength.hh"
+#include "sim/types.hh"
+
+namespace corona::photonics {
+
+/** What a ring is built to do (Figure 1 b-d). */
+enum class RingRole : std::uint8_t
+{
+    Modulator, ///< Data encoding on a single wavelength.
+    Injector,  ///< Wavelength-selective switch between two waveguides.
+    Detector,  ///< Ge-doped ring; absorbs its resonant wavelength.
+};
+
+/** Device parameters shared by a population of identical rings. */
+struct RingParams
+{
+    /** Ring diameter; 3-5 um per the paper. */
+    double diameter_um = 4.0;
+    /** Loss a non-resonant wavelength suffers passing the ring (dB). */
+    double through_loss_db = 0.01;
+    /** Loss imposed on the resonant wavelength when diverted (dB). */
+    double drop_loss_db = 0.5;
+    /** Resonance shift from charge injection (fast modulation), nm. */
+    double charge_shift_nm = 0.4;
+    /** Time to toggle charge state; sub-cycle at 10 Gb/s. */
+    sim::Tick modulation_time = 50; // 50 ps => 10 Gb/s capable
+    /** Static trimming power to hold resonance against variation, W. */
+    double trimming_power_w = 20e-6;
+    /** Half-width of the resonance acceptance window, nm. */
+    double linewidth_nm = 0.1;
+};
+
+/**
+ * A single tunable ring resonator.
+ *
+ * The ring is fabricated for a design wavelength; thermal trimming aligns
+ * it exactly, and charge injection shifts it off-resonance for modulation.
+ */
+class RingResonator
+{
+  public:
+    /**
+     * @param role Device role.
+     * @param design_nm Fabrication-target resonance wavelength.
+     * @param params Device parameter set.
+     */
+    RingResonator(RingRole role, Nanometres design_nm,
+                  const RingParams &params = {});
+
+    RingRole role() const { return _role; }
+    const RingParams &params() const { return _params; }
+
+    /** Effective resonance with trimming and charge state applied. */
+    Nanometres effectiveResonance() const;
+
+    /** Apply a fabrication error offset (process variation), nm. */
+    void setFabricationError(Nanometres error_nm) { _fabErrorNm = error_nm; }
+
+    /** Thermal trim offset currently applied, nm. */
+    Nanometres trim() const { return _trimNm; }
+
+    /**
+     * Thermally trim the ring so its effective resonance (with charge
+     * off) equals the design wavelength again.
+     * @return Trimming power consumed, watts (proportional to |error|).
+     */
+    double trimToDesign();
+
+    /** Set the fast charge-injection state (on = shifted off resonance). */
+    void setCharge(bool injected) { _chargeInjected = injected; }
+    bool chargeInjected() const { return _chargeInjected; }
+
+    /** True when @p lambda falls within the resonance linewidth. */
+    bool onResonance(Nanometres lambda) const;
+
+    /**
+     * Loss in dB that light at @p lambda experiences passing this ring
+     * on the bus waveguide. Resonant light is dropped (large loss on the
+     * through path); non-resonant light sees the small through loss.
+     */
+    double throughLossDb(Nanometres lambda) const;
+
+    /** Trimming power being consumed to hold calibration, W. */
+    double trimmingPowerW() const;
+
+  private:
+    RingRole _role;
+    Nanometres _designNm;
+    RingParams _params;
+    Nanometres _fabErrorNm = 0.0;
+    Nanometres _trimNm = 0.0;
+    bool _chargeInjected = false;
+};
+
+} // namespace corona::photonics
+
+#endif // CORONA_PHOTONICS_RING_RESONATOR_HH

@@ -1,0 +1,65 @@
+#include "photonics/variation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace corona::photonics {
+
+VariationModel::VariationModel(const VariationParams &params)
+    : _params(params)
+{
+    if (params.sigma_nm < 0 || params.trim_range_nm <= 0)
+        throw std::invalid_argument("VariationModel: bad parameters");
+}
+
+double
+VariationModel::sampleErrorNm(sim::Rng &rng) const
+{
+    // Box-Muller on the reproducible engine.
+    const double u1 = std::max(rng.uniform(), 1e-12);
+    const double u2 = rng.uniform();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return z * _params.sigma_nm;
+}
+
+VariationResult
+VariationModel::analyze(std::uint64_t rings, std::uint64_t seed) const
+{
+    sim::Rng rng(seed);
+    VariationResult r{};
+    r.rings = rings;
+    double trim_sum = 0.0;
+    for (std::uint64_t i = 0; i < rings; ++i) {
+        const double error = sampleErrorNm(rng);
+        if (std::abs(error) > _params.trim_range_nm) {
+            ++r.failed;
+            continue;
+        }
+        ++r.correctable;
+        RingResonator ring(RingRole::Modulator, centreWavelengthNm,
+                           _params.ring);
+        ring.setFabricationError(error);
+        r.total_trimming_w += ring.trimToDesign();
+        trim_sum += std::abs(error);
+        r.worst_trim_nm = std::max(r.worst_trim_nm, std::abs(error));
+    }
+    r.yield = rings ? static_cast<double>(r.correctable) /
+                          static_cast<double>(rings)
+                    : 0.0;
+    r.mean_trim_nm = r.correctable
+                         ? trim_sum / static_cast<double>(r.correctable)
+                         : 0.0;
+    return r;
+}
+
+double
+VariationModel::subsystemYield(double ring_yield, std::uint64_t rings)
+{
+    if (ring_yield < 0.0 || ring_yield > 1.0)
+        throw std::invalid_argument("subsystemYield: bad ring yield");
+    return std::pow(ring_yield, static_cast<double>(rings));
+}
+
+} // namespace corona::photonics

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fabrication-variation and trimming study (Section 2's open problem).
+ *
+ * "Foremost among these is the necessity to integrate a large number
+ * of devices in a single chip. It will be necessary to analyze and
+ * correct for the inevitable fabrication variations to minimize device
+ * failures and maximize yield."
+ *
+ * The model draws per-ring resonance errors from a Gaussian process
+ * distribution, trims every correctable ring back to its design
+ * wavelength (thermal tuning has a bounded range), and reports yield
+ * and the total trimming power — the knob behind the 26 W crossbar
+ * figure's fixed component.
+ */
+
+#ifndef CORONA_PHOTONICS_VARIATION_HH
+#define CORONA_PHOTONICS_VARIATION_HH
+
+#include <cstdint>
+
+#include "photonics/ring_resonator.hh"
+#include "sim/rng.hh"
+
+namespace corona::photonics {
+
+/** Process-variation inputs. */
+struct VariationParams
+{
+    /** Std deviation of the fabricated resonance error, nm. */
+    double sigma_nm = 0.5;
+    /** Thermal trimming range (one side), nm. Rings whose error
+     * exceeds it cannot be corrected and count against yield. */
+    double trim_range_nm = 2.0;
+    /** Ring device parameters (trimming power scale). */
+    RingParams ring;
+};
+
+/** Aggregate results over a ring population. */
+struct VariationResult
+{
+    std::uint64_t rings;
+    std::uint64_t correctable;   ///< |error| <= trim range.
+    std::uint64_t failed;        ///< Beyond the trimming range.
+    double yield;                ///< correctable / rings.
+    double total_trimming_w;     ///< Power to hold all corrections.
+    double mean_trim_nm;         ///< Mean |correction| applied.
+    double worst_trim_nm;        ///< Largest |correction| applied.
+};
+
+/**
+ * Monte-Carlo variation analysis over a ring population.
+ *
+ * Deterministic for a given seed; uses Box-Muller over the library's
+ * reproducible RNG.
+ */
+class VariationModel
+{
+  public:
+    explicit VariationModel(const VariationParams &params = {});
+
+    /**
+     * Simulate @p rings fabricated rings and trim each one.
+     * @param seed RNG seed (runs are reproducible).
+     */
+    VariationResult analyze(std::uint64_t rings,
+                            std::uint64_t seed = 1) const;
+
+    /** One Gaussian resonance-error sample, nm. */
+    double sampleErrorNm(sim::Rng &rng) const;
+
+    /**
+     * Expected per-chip yield of a subsystem needing @p rings working
+     * rings with no redundancy (yield^rings shrinks brutally — the
+     * integration challenge the paper calls out).
+     */
+    static double subsystemYield(double ring_yield, std::uint64_t rings);
+
+    const VariationParams &params() const { return _params; }
+
+  private:
+    VariationParams _params;
+};
+
+} // namespace corona::photonics
+
+#endif // CORONA_PHOTONICS_VARIATION_HH

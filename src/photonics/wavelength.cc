@@ -1,0 +1,57 @@
+#include "photonics/wavelength.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace corona::photonics {
+
+DwdmComb::DwdmComb(std::size_t count, Nanometres centre_nm,
+                   Nanometres spacing_nm)
+    : _count(count), _centre(centre_nm), _spacing(spacing_nm)
+{
+    if (count == 0)
+        throw std::invalid_argument("DwdmComb: count must be >= 1");
+    if (spacing_nm <= 0)
+        throw std::invalid_argument("DwdmComb: spacing must be > 0");
+}
+
+Nanometres
+DwdmComb::wavelength(std::size_t index) const
+{
+    if (index >= _count)
+        throw std::out_of_range("DwdmComb::wavelength: index out of range");
+    const double offset =
+        static_cast<double>(index) - (static_cast<double>(_count) - 1) / 2.0;
+    return _centre + offset * _spacing;
+}
+
+std::vector<Nanometres>
+DwdmComb::wavelengths() const
+{
+    std::vector<Nanometres> out;
+    out.reserve(_count);
+    for (std::size_t i = 0; i < _count; ++i)
+        out.push_back(wavelength(i));
+    return out;
+}
+
+std::size_t
+DwdmComb::nearestIndex(Nanometres lambda) const
+{
+    const Nanometres first = wavelength(0);
+    const double raw = (lambda - first) / _spacing;
+    const auto idx = static_cast<long long>(std::llround(raw));
+    if (idx < 0 || static_cast<std::size_t>(idx) >= _count ||
+        std::abs(raw - static_cast<double>(idx)) > 0.5) {
+        throw std::out_of_range("DwdmComb::nearestIndex: off-comb lambda");
+    }
+    return static_cast<std::size_t>(idx);
+}
+
+double
+DwdmComb::aggregateBitsPerSecond() const
+{
+    return static_cast<double>(_count) * bitsPerSecondPerWavelength;
+}
+
+} // namespace corona::photonics

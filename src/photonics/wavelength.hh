@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Wavelengths and DWDM combs.
+ *
+ * Corona's optics operate near 1.3 um (unstrained-Ge detection window,
+ * Section 2). A mode-locked comb laser supplies 64 equally spaced,
+ * phase-coherent wavelengths per comb; crossbar channels bundle four
+ * 64-wavelength waveguides for 256 lambdas. Each wavelength carries
+ * 10 Gb/s (5 GHz, modulated on both clock edges).
+ */
+
+#ifndef CORONA_PHOTONICS_WAVELENGTH_HH
+#define CORONA_PHOTONICS_WAVELENGTH_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace corona::photonics {
+
+/** Wavelengths are expressed in nanometres. */
+using Nanometres = double;
+
+/** Centre of the unstrained-Ge absorption window used by Corona. */
+inline constexpr Nanometres centreWavelengthNm = 1300.0;
+
+/** Comb channel spacing; 64 channels fit in a ~50 nm window. */
+inline constexpr Nanometres channelSpacingNm = 0.8;
+
+/** Wavelengths per comb / per waveguide (Section 2). */
+inline constexpr std::size_t wavelengthsPerComb = 64;
+
+/** Data rate per wavelength: 5 GHz double-data-rate = 10 Gb/s. */
+inline constexpr double bitsPerSecondPerWavelength = 10.0e9;
+
+/**
+ * A DWDM comb: @c count equally spaced wavelengths centred on @c centre.
+ */
+class DwdmComb
+{
+  public:
+    /**
+     * @param count Number of comb lines (>= 1).
+     * @param centre_nm Centre wavelength.
+     * @param spacing_nm Line spacing.
+     */
+    explicit DwdmComb(std::size_t count = wavelengthsPerComb,
+                      Nanometres centre_nm = centreWavelengthNm,
+                      Nanometres spacing_nm = channelSpacingNm);
+
+    std::size_t count() const { return _count; }
+    Nanometres spacing() const { return _spacing; }
+
+    /** Wavelength of comb line @p index (0-based). */
+    Nanometres wavelength(std::size_t index) const;
+
+    /** All comb lines, ascending. */
+    std::vector<Nanometres> wavelengths() const;
+
+    /** Index of the comb line nearest @p lambda (within half a spacing). */
+    std::size_t nearestIndex(Nanometres lambda) const;
+
+    /** Aggregate data rate of the comb in bits per second. */
+    double aggregateBitsPerSecond() const;
+
+  private:
+    std::size_t _count;
+    Nanometres _centre;
+    Nanometres _spacing;
+};
+
+} // namespace corona::photonics
+
+#endif // CORONA_PHOTONICS_WAVELENGTH_HH

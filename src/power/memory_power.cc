@@ -1,0 +1,28 @@
+#include "power/memory_power.hh"
+
+#include <stdexcept>
+
+namespace corona::power {
+
+double
+memoryInterconnectPowerW(double bytes_per_second, double mw_per_gbps)
+{
+    if (bytes_per_second < 0)
+        throw std::invalid_argument("memoryInterconnectPowerW: bad rate");
+    const double gbps = bytes_per_second * 8.0 / 1e9;
+    return gbps * mw_per_gbps * 1e-3;
+}
+
+double
+ocmInterconnectPowerW(double bytes_per_second)
+{
+    return memoryInterconnectPowerW(bytes_per_second, ocmMwPerGbps);
+}
+
+double
+ecmInterconnectPowerW(double bytes_per_second)
+{
+    return memoryInterconnectPowerW(bytes_per_second, ecmMwPerGbps);
+}
+
+} // namespace corona::power

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Memory interconnect power (Section 3.3, Table 4 context).
+ *
+ * The paper contrasts interconnect energy costs: an electrical off-stack
+ * link costs ~2 mW/Gb/s (Palmer et al.), so 10 TB/s would burn >160 W in
+ * links alone; the nanophotonic link costs ~0.078 mW/Gb/s, giving the
+ * full 10 TB/s OCM system roughly 6.4 W.
+ */
+
+#ifndef CORONA_POWER_MEMORY_POWER_HH
+#define CORONA_POWER_MEMORY_POWER_HH
+
+namespace corona::power {
+
+/** Optical memory link cost, mW per Gb/s. */
+inline constexpr double ocmMwPerGbps = 0.078;
+
+/** Electrical memory link cost, mW per Gb/s. */
+inline constexpr double ecmMwPerGbps = 2.0;
+
+/**
+ * Link power to move @p bytes_per_second at @p mw_per_gbps, watts.
+ */
+double memoryInterconnectPowerW(double bytes_per_second,
+                                double mw_per_gbps);
+
+/** OCM link power at a given transfer rate, watts. */
+double ocmInterconnectPowerW(double bytes_per_second);
+
+/** ECM link power at a given transfer rate, watts. */
+double ecmInterconnectPowerW(double bytes_per_second);
+
+} // namespace corona::power
+
+#endif // CORONA_POWER_MEMORY_POWER_HH

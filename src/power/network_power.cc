@@ -1,0 +1,40 @@
+#include "power/network_power.hh"
+
+#include <stdexcept>
+
+namespace corona::power {
+
+double
+xbarNetworkPowerW()
+{
+    return xbarContinuousPowerW;
+}
+
+double
+meshNetworkPowerW(std::uint64_t hop_traversals, sim::Tick elapsed)
+{
+    if (elapsed == 0)
+        throw std::invalid_argument("meshNetworkPowerW: zero interval");
+    const double energy =
+        static_cast<double>(hop_traversals) * meshEnergyPerHopJ;
+    return energy / sim::ticksToSeconds(elapsed);
+}
+
+PhotonicPowerBreakdown
+photonicInterconnectPower(const photonics::Inventory &inventory,
+                          const photonics::BudgetResult &budget,
+                          const PhotonicPowerParams &params)
+{
+    PhotonicPowerBreakdown b;
+    b.laser_w = budget.total_electrical_power_w;
+    b.trimming_w = static_cast<double>(inventory.totalRings()) *
+                   params.trimming_per_ring_w * params.trimmed_fraction;
+    b.modulator_w =
+        params.modulator_energy_per_bit_j * params.peak_bits_per_second;
+    b.receiver_w =
+        params.receiver_energy_per_bit_j * params.peak_bits_per_second;
+    b.total_w = b.laser_w + b.trimming_w + b.modulator_w + b.receiver_w;
+    return b;
+}
+
+} // namespace corona::power

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * On-chip network power models (Figure 11).
+ *
+ * The paper's accounting:
+ *  - XBar: a conservative *continuous* 26 W — laser, ring trimming, and
+ *    the other photonic fixed costs do not scale down with traffic;
+ *  - meshes: 196 pJ per transaction per hop (router overhead included),
+ *    dynamic only (leakage generously ignored), so power is proportional
+ *    to delivered hop-traversals per second.
+ * The photonic fixed power is cross-checked from first principles
+ * (laser budget + per-ring trimming + modulator dynamic energy), landing
+ * near the paper's 39 W total photonic interconnect estimate.
+ */
+
+#ifndef CORONA_POWER_NETWORK_POWER_HH
+#define CORONA_POWER_NETWORK_POWER_HH
+
+#include <cstdint>
+
+#include "photonics/inventory.hh"
+#include "photonics/loss_budget.hh"
+#include "sim/types.hh"
+
+namespace corona::power {
+
+/** Paper constant: continuous optical crossbar power, watts. */
+inline constexpr double xbarContinuousPowerW = 26.0;
+
+/** Paper constant: electrical mesh energy per transaction-hop, joules. */
+inline constexpr double meshEnergyPerHopJ = 196e-12;
+
+/** Crossbar network power over any interval (constant). */
+double xbarNetworkPowerW();
+
+/**
+ * Mesh dynamic network power.
+ *
+ * @param hop_traversals Sum over delivered messages of hops traversed.
+ * @param elapsed Interval, ticks.
+ */
+double meshNetworkPowerW(std::uint64_t hop_traversals, sim::Tick elapsed);
+
+/** Inputs for the bottom-up photonic power cross-check. */
+struct PhotonicPowerParams
+{
+    /** Per-ring trimming hold power, watts (20 uW). */
+    double trimming_per_ring_w = 20e-6;
+    /** Modulator driver energy, joules per bit (50 fJ). */
+    double modulator_energy_per_bit_j = 50e-15;
+    /** Receiver (detector + amp-less front end) energy, J/bit. */
+    double receiver_energy_per_bit_j = 25e-15;
+    /** Peak modulated bandwidth for dynamic power, bits per second
+     * (20.48 TB/s crossbar at full tilt). */
+    double peak_bits_per_second = 20.48e12 * 8;
+    /** Fraction of rings actively trimmed (others within tolerance). */
+    double trimmed_fraction = 1.0;
+};
+
+/** Breakdown of the bottom-up photonic power estimate. */
+struct PhotonicPowerBreakdown
+{
+    double laser_w;
+    double trimming_w;
+    double modulator_w;
+    double receiver_w;
+    double total_w;
+};
+
+/**
+ * Bottom-up photonic interconnect power: laser electrical power from the
+ * loss budget plus ring trimming plus modulation/reception dynamic power
+ * at peak traffic.
+ */
+PhotonicPowerBreakdown photonicInterconnectPower(
+    const photonics::Inventory &inventory,
+    const photonics::BudgetResult &budget,
+    const PhotonicPowerParams &params = {});
+
+} // namespace corona::power
+
+#endif // CORONA_POWER_NETWORK_POWER_HH

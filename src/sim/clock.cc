@@ -1,0 +1,36 @@
+#include "sim/clock.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace corona::sim {
+
+ClockDomain::ClockDomain(double frequency_hz)
+    : _frequencyHz(frequency_hz)
+{
+    if (frequency_hz <= 0)
+        throw std::invalid_argument("ClockDomain: frequency must be > 0");
+    const double period = static_cast<double>(oneSecond) / frequency_hz;
+    _period = static_cast<Tick>(std::llround(period));
+    if (_period == 0 ||
+        std::abs(period - static_cast<double>(_period)) > 1e-6) {
+        throw std::invalid_argument(
+            "ClockDomain: period must be a whole number of ticks");
+    }
+}
+
+Tick
+ClockDomain::nextEdge(Tick t) const
+{
+    const Tick rem = t % _period;
+    return rem == 0 ? t : t + (_period - rem);
+}
+
+const ClockDomain &
+coronaClock()
+{
+    static const ClockDomain domain(5.0e9);
+    return domain;
+}
+
+} // namespace corona::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Clock domain helper.
+ *
+ * Corona's digital logic runs at 5 GHz (Table 1). The optical serpentine
+ * introduces a further sub-clock quantum: the full 64-cluster loop takes 8
+ * clocks, so one cluster-to-cluster optical hop is 1/8 clock (25 ps at
+ * 5 GHz). ClockDomain provides exact conversions between cycles and ticks
+ * and cycle-alignment helpers used by the synchronous models.
+ */
+
+#ifndef CORONA_SIM_CLOCK_HH
+#define CORONA_SIM_CLOCK_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace corona::sim {
+
+/** Cycle count within a clock domain. */
+using Cycles = std::uint64_t;
+
+/**
+ * A fixed-frequency clock domain.
+ *
+ * All conversions are exact integer arithmetic; construction rejects
+ * frequencies whose period is not a whole number of ticks.
+ */
+class ClockDomain
+{
+  public:
+    /**
+     * @param frequency_hz Domain frequency; period must divide one second
+     *                     into a whole number of picoseconds.
+     */
+    explicit ClockDomain(double frequency_hz);
+
+    /** Clock period in ticks. */
+    Tick period() const { return _period; }
+
+    /** Frequency in hertz. */
+    double frequencyHz() const { return _frequencyHz; }
+
+    /** Convert a cycle count to ticks. */
+    Tick cyclesToTicks(Cycles c) const { return c * _period; }
+
+    /** Convert ticks to whole cycles (floor). */
+    Cycles ticksToCycles(Tick t) const { return t / _period; }
+
+    /** The first tick >= @p t that lies on a cycle boundary. */
+    Tick nextEdge(Tick t) const;
+
+    /** The first tick strictly after @p t on a cycle boundary. */
+    Tick edgeAfter(Tick t) const { return nextEdge(t + 1); }
+
+  private:
+    double _frequencyHz;
+    Tick _period;
+};
+
+/** The 5 GHz Corona core/interconnect clock (Table 1). */
+const ClockDomain &coronaClock();
+
+} // namespace corona::sim
+
+#endif // CORONA_SIM_CLOCK_HH

@@ -1,0 +1,48 @@
+#include "sim/event_queue.hh"
+
+#include <stdexcept>
+#include <utility>
+
+namespace corona::sim {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < _now)
+        throw std::logic_error("EventQueue: scheduling into the past");
+    _events.push(Entry{when, _nextSeq++, std::move(cb)});
+}
+
+bool
+EventQueue::step(Tick limit)
+{
+    if (_events.empty() || _events.top().when > limit)
+        return false;
+    // priority_queue::top() is const; the callback must be moved out before
+    // pop, so copy the POD fields and steal the callable.
+    Entry entry = std::move(const_cast<Entry &>(_events.top()));
+    _events.pop();
+    _now = entry.when;
+    ++_executed;
+    entry.cb();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (step(limit)) {
+    }
+    return _now;
+}
+
+void
+EventQueue::reset()
+{
+    _events = {};
+    _now = 0;
+    _nextSeq = 0;
+    _executed = 0;
+}
+
+} // namespace corona::sim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Discrete-event simulation queue.
+ *
+ * A minimal, deterministic event kernel in the spirit of M5's EventQueue
+ * (the simulator framework the Corona paper built on). Events are arbitrary
+ * callables scheduled at absolute ticks; ties are broken by insertion order
+ * so that simulations are reproducible run to run.
+ */
+
+#ifndef CORONA_SIM_EVENT_QUEUE_HH
+#define CORONA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace corona::sim {
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * The queue owns the notion of "now"; all model components schedule
+ * callbacks against it and must never move time themselves. Events
+ * scheduled for the same tick fire in FIFO order of scheduling.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param cb Callback to invoke.
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule a callback @p delta ticks in the future. */
+    void scheduleIn(Tick delta, Callback cb) { schedule(_now + delta, std::move(cb)); }
+
+    /** True when no events remain. */
+    bool empty() const { return _events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return _events.size(); }
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return _executed; }
+
+    /**
+     * Run until the queue drains or @p limit is reached.
+     *
+     * @param limit Stop (without executing) events scheduled after this
+     *              tick; defaults to "run to completion".
+     * @return The tick of the last executed event (or now() if none ran).
+     */
+    Tick run(Tick limit = maxTick);
+
+    /** Execute at most one event; @return false if none was ready. */
+    bool step(Tick limit = maxTick);
+
+    /** Drop all pending events (e.g. between test cases). */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _events;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace corona::sim
+
+#endif // CORONA_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,58 @@
+#include "sim/logging.hh"
+
+#include <iostream>
+#include <mutex>
+#include <unordered_set>
+
+namespace corona::sim {
+
+namespace {
+
+bool verboseFlag = false;
+std::mutex logMutex;
+std::unordered_set<std::string> warnedOnce;
+
+} // namespace
+
+void
+fatal(const std::string &message)
+{
+    throw FatalError("fatal: " + message);
+}
+
+void
+panic(const std::string &message)
+{
+    throw PanicError("panic: " + message);
+}
+
+void
+warn(const std::string &message)
+{
+    std::scoped_lock lock(logMutex);
+    if (warnedOnce.insert(message).second)
+        std::cerr << "warn: " << message << "\n";
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verboseEnabled()
+{
+    return verboseFlag;
+}
+
+void
+inform(const std::string &message)
+{
+    if (!verboseFlag)
+        return;
+    std::scoped_lock lock(logMutex);
+    std::cerr << "info: " << message << "\n";
+}
+
+} // namespace corona::sim

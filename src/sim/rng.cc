@@ -1,0 +1,106 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace corona::sim {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : _state)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    const std::uint64_t t = _state[1] << 17;
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    if (bound == 0)
+        throw std::invalid_argument("Rng::below: bound must be > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        throw std::invalid_argument("Rng::range: lo > hi");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double
+Rng::exponential(double mean)
+{
+    if (mean <= 0)
+        throw std::invalid_argument("Rng::exponential: mean must be > 0");
+    // Avoid log(0).
+    const double u = 1.0 - uniform();
+    return -mean * std::log(u);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::burstSize(double alpha, std::uint64_t cap)
+{
+    if (alpha <= 0 || cap == 0)
+        throw std::invalid_argument("Rng::burstSize: bad parameters");
+    const double u = 1.0 - uniform();
+    const double x = std::pow(u, -1.0 / alpha);
+    const auto n = static_cast<std::uint64_t>(x);
+    return n < 1 ? 1 : (n > cap ? cap : n);
+}
+
+} // namespace corona::sim

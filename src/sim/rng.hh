@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic random number generation for workload models.
+ *
+ * A thin wrapper over a fixed, documented engine so that every simulation
+ * is reproducible from its seed regardless of the host standard library.
+ * The engine is xoshiro256**; distributions are implemented locally since
+ * std:: distributions are not bit-stable across implementations.
+ */
+
+#ifndef CORONA_SIM_RNG_HH
+#define CORONA_SIM_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace corona::sim {
+
+/**
+ * Deterministic PRNG (xoshiro256**) with convenience distributions.
+ */
+class Rng
+{
+  public:
+    /** Seed with splitmix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound) (bound > 0). */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Exponential variate with the given mean (> 0). */
+    double exponential(double mean);
+
+    /** Geometric "success" test with probability @p p. */
+    bool chance(double p);
+
+    /**
+     * Bounded Pareto-ish burst size: heavy-tailed integer in [1, cap]
+     * with shape @p alpha. Used by bursty workload models.
+     */
+    std::uint64_t burstSize(double alpha, std::uint64_t cap);
+
+  private:
+    std::array<std::uint64_t, 4> _state;
+};
+
+} // namespace corona::sim
+
+#endif // CORONA_SIM_RNG_HH

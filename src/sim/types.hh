@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fundamental simulation types and unit helpers.
+ *
+ * The global time base is the Tick, defined as one picosecond. All
+ * latencies, clock periods, and bandwidth computations in the library are
+ * expressed in ticks so that the 5 GHz core clock (200 ps) and the optical
+ * propagation quantum (1/8 clock = 25 ps) are both exactly representable.
+ */
+
+#ifndef CORONA_SIM_TYPES_HH
+#define CORONA_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace corona::sim {
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "never" / unscheduled. */
+inline constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** One nanosecond in ticks. */
+inline constexpr Tick oneNanosecond = 1000;
+
+/** One microsecond in ticks. */
+inline constexpr Tick oneMicrosecond = 1000 * 1000;
+
+/** One millisecond in ticks. */
+inline constexpr Tick oneMillisecond = 1000ull * 1000 * 1000;
+
+/** One second in ticks. */
+inline constexpr Tick oneSecond = 1000ull * 1000 * 1000 * 1000;
+
+/** Convert a tick count to seconds (for rate and power computations). */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(oneSecond);
+}
+
+/** Convert seconds to ticks, rounding to nearest. */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(oneSecond) + 0.5);
+}
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+nanosecondsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(oneNanosecond) + 0.5);
+}
+
+} // namespace corona::sim
+
+#endif // CORONA_SIM_TYPES_HH

@@ -1,0 +1,126 @@
+#include "stats/report.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace corona::stats {
+
+TableWriter::TableWriter(std::string title)
+    : _title(std::move(title))
+{
+}
+
+void
+TableWriter::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+void
+TableWriter::addRow(std::vector<std::string> row)
+{
+    if (!_header.empty() && row.size() != _header.size())
+        throw std::invalid_argument("TableWriter: row/header size mismatch");
+    _rows.push_back(std::move(row));
+}
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto fit = [&widths](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    if (!_header.empty())
+        fit(_header);
+    for (const auto &row : _rows)
+        fit(row);
+
+    auto emit = [&os, &widths](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << row[i];
+        }
+        os << "\n";
+    };
+
+    os << "== " << _title << " ==\n";
+    if (!_header.empty()) {
+        emit(_header);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : _rows)
+        emit(row);
+}
+
+std::string
+TableWriter::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+void
+TableWriter::printCsv(std::ostream &os) const
+{
+    auto emit = [&os](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                os << ",";
+            const bool quote =
+                row[i].find_first_of(",\"\n") != std::string::npos;
+            if (!quote) {
+                os << row[i];
+                continue;
+            }
+            os << '"';
+            for (const char c : row[i]) {
+                if (c == '"')
+                    os << '"';
+                os << c;
+            }
+            os << '"';
+        }
+        os << "\n";
+    };
+    if (!_header.empty())
+        emit(_header);
+    for (const auto &row : _rows)
+        emit(row);
+}
+
+std::string
+formatDouble(double value, int digits)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(digits) << value;
+    return oss.str();
+}
+
+std::string
+formatBandwidth(double bytes_per_second)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(2);
+    if (bytes_per_second >= 1e12)
+        oss << bytes_per_second / 1e12 << " TB/s";
+    else if (bytes_per_second >= 1e9)
+        oss << bytes_per_second / 1e9 << " GB/s";
+    else if (bytes_per_second >= 1e6)
+        oss << bytes_per_second / 1e6 << " MB/s";
+    else
+        oss << bytes_per_second << " B/s";
+    return oss.str();
+}
+
+} // namespace corona::stats

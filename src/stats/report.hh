@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table formatting for experiment output.
+ *
+ * Every bench binary prints its table/figure data through TableWriter so
+ * that the regenerated results visually match the paper's row/column
+ * structure and can be diffed run to run.
+ */
+
+#ifndef CORONA_STATS_REPORT_HH
+#define CORONA_STATS_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace corona::stats {
+
+/**
+ * Accumulates rows of string cells and prints an aligned ASCII table.
+ */
+class TableWriter
+{
+  public:
+    /** @param title Printed above the table. */
+    explicit TableWriter(std::string title);
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; must match the header's column count if set. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string str() const;
+
+    /** Render as CSV (RFC-4180-style quoting) for plotting scripts. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Format a double with @p digits significant decimal places. */
+std::string formatDouble(double value, int digits = 2);
+
+/** Format a byte/s figure as a human-readable TB/s / GB/s string. */
+std::string formatBandwidth(double bytes_per_second);
+
+} // namespace corona::stats
+
+#endif // CORONA_STATS_REPORT_HH

@@ -1,0 +1,41 @@
+#include "topology/address_map.hh"
+
+#include <stdexcept>
+
+namespace corona::topology {
+
+namespace {
+
+// Finalizer from MurmurHash3; spreads frame numbers uniformly.
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+AddressMap::AddressMap(std::size_t clusters, std::uint64_t interleave_bytes,
+                       bool hash)
+    : _clusters(clusters), _interleaveBytes(interleave_bytes), _hash(hash)
+{
+    if (clusters == 0)
+        throw std::invalid_argument("AddressMap: need >= 1 cluster");
+    if (interleave_bytes == 0)
+        throw std::invalid_argument("AddressMap: bad interleave");
+}
+
+ClusterId
+AddressMap::homeOf(Addr addr) const
+{
+    const std::uint64_t frame = addr / _interleaveBytes;
+    const std::uint64_t key = _hash ? mix(frame) : frame;
+    return static_cast<ClusterId>(key % _clusters);
+}
+
+} // namespace corona::topology

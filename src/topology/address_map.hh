@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Physical address to home-cluster mapping.
+ *
+ * Corona attaches one memory controller to each cluster (Section 3.1.2)
+ * and interleaves physical memory across them so that aggregate bandwidth
+ * scales with cluster count. The map hashes page-granularity frames across
+ * the 64 controllers; workload models use it to turn per-thread address
+ * streams into network destinations.
+ */
+
+#ifndef CORONA_TOPOLOGY_ADDRESS_MAP_HH
+#define CORONA_TOPOLOGY_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "topology/geometry.hh"
+
+namespace corona::topology {
+
+/** Physical address type. */
+using Addr = std::uint64_t;
+
+/**
+ * Interleaved address map with a configurable interleave granularity.
+ */
+class AddressMap
+{
+  public:
+    /**
+     * @param clusters Number of memory controllers.
+     * @param interleave_bytes Contiguous bytes per controller before
+     *        moving to the next (page-sized by default).
+     * @param hash Whether to hash frame bits (spreads strided traffic).
+     */
+    explicit AddressMap(std::size_t clusters = 64,
+                        std::uint64_t interleave_bytes = 4096,
+                        bool hash = true);
+
+    /** Home memory controller (== cluster) of @p addr. */
+    ClusterId homeOf(Addr addr) const;
+
+    /** Cache-line address (64 B lines) containing @p addr. */
+    static Addr lineOf(Addr addr) { return addr & ~Addr{63}; }
+
+    std::size_t clusters() const { return _clusters; }
+    std::uint64_t interleaveBytes() const { return _interleaveBytes; }
+
+  private:
+    std::size_t _clusters;
+    std::uint64_t _interleaveBytes;
+    bool _hash;
+};
+
+} // namespace corona::topology
+
+#endif // CORONA_TOPOLOGY_ADDRESS_MAP_HH

@@ -1,0 +1,63 @@
+#include "topology/geometry.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace corona::topology {
+
+Geometry::Geometry(std::size_t clusters, double serpentine_cm)
+    : _clusters(clusters), _serpentineCm(serpentine_cm)
+{
+    if (clusters == 0)
+        throw std::invalid_argument("Geometry: need at least one cluster");
+    const auto radix =
+        static_cast<std::size_t>(std::lround(std::sqrt(clusters)));
+    if (radix * radix != clusters)
+        throw std::invalid_argument("Geometry: clusters must be square");
+    _radix = radix;
+    if (serpentine_cm <= 0)
+        throw std::invalid_argument("Geometry: bad serpentine length");
+}
+
+GridCoord
+Geometry::coordOf(ClusterId id) const
+{
+    if (id >= _clusters)
+        throw std::out_of_range("Geometry::coordOf: bad cluster id");
+    const std::size_t row = id / _radix;
+    const std::size_t offset = id % _radix;
+    // Boustrophedon: even rows run left-to-right, odd rows reversed.
+    const std::size_t col = (row % 2 == 0) ? offset : _radix - 1 - offset;
+    return GridCoord{col, row};
+}
+
+ClusterId
+Geometry::idAt(GridCoord c) const
+{
+    if (c.x >= _radix || c.y >= _radix)
+        throw std::out_of_range("Geometry::idAt: bad coordinate");
+    const std::size_t offset =
+        (c.y % 2 == 0) ? c.x : _radix - 1 - c.x;
+    return c.y * _radix + offset;
+}
+
+std::size_t
+Geometry::ringDistance(ClusterId src, ClusterId dst) const
+{
+    if (src >= _clusters || dst >= _clusters)
+        throw std::out_of_range("Geometry::ringDistance: bad cluster id");
+    return (dst + _clusters - src) % _clusters;
+}
+
+std::size_t
+Geometry::manhattanDistance(ClusterId a, ClusterId b) const
+{
+    const GridCoord ca = coordOf(a);
+    const GridCoord cb = coordOf(b);
+    const auto dx = ca.x > cb.x ? ca.x - cb.x : cb.x - ca.x;
+    const auto dy = ca.y > cb.y ? ca.y - cb.y : cb.y - ca.y;
+    return dx + dy;
+}
+
+} // namespace corona::topology

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Physical/logical geometry of the Corona die.
+ *
+ * 64 clusters sit on an 8x8 grid on the processor die; the optical
+ * serpentine visits them in a fixed clockwise order (Figure 3), so ring
+ * distance (for crossbar propagation and token travel) and Manhattan grid
+ * distance (for the electrical mesh baselines) are both defined here.
+ */
+
+#ifndef CORONA_TOPOLOGY_GEOMETRY_HH
+#define CORONA_TOPOLOGY_GEOMETRY_HH
+
+#include <cstddef>
+
+namespace corona::topology {
+
+/** Cluster identifier: serpentine (ring) order position, 0-based. */
+using ClusterId = std::size_t;
+
+/** (x, y) position on the cluster grid. */
+struct GridCoord
+{
+    std::size_t x;
+    std::size_t y;
+
+    bool operator==(const GridCoord &) const = default;
+};
+
+/**
+ * Geometry of an N-cluster die with a square mesh grid and a serpentine
+ * optical ring visiting clusters in boustrophedon order.
+ */
+class Geometry
+{
+  public:
+    /**
+     * @param clusters Total clusters; must be a perfect square (64).
+     * @param serpentine_cm Physical length of the full optical loop.
+     */
+    explicit Geometry(std::size_t clusters = 64,
+                      double serpentine_cm = 16.0);
+
+    std::size_t clusters() const { return _clusters; }
+
+    /** Grid radix (8 for 64 clusters). */
+    std::size_t radix() const { return _radix; }
+
+    /** Full serpentine length, cm. */
+    double serpentineCm() const { return _serpentineCm; }
+
+    /** Per-hop serpentine length between ring neighbours, cm. */
+    double hopCm() const { return _serpentineCm / _clusters; }
+
+    /**
+     * Grid coordinate of a cluster. The serpentine travels boustrophedon:
+     * row 0 left-to-right, row 1 right-to-left, etc., so ring neighbours
+     * are physically adjacent.
+     */
+    GridCoord coordOf(ClusterId id) const;
+
+    /** Inverse of coordOf. */
+    ClusterId idAt(GridCoord c) const;
+
+    /**
+     * Clockwise ring distance from @p src to @p dst in hops
+     * (0 when src == dst is interpreted as a full loop by callers that
+     * model round trips; here it returns 0).
+     */
+    std::size_t ringDistance(ClusterId src, ClusterId dst) const;
+
+    /** Manhattan distance on the grid (mesh hop count between routers). */
+    std::size_t manhattanDistance(ClusterId a, ClusterId b) const;
+
+    /** Number of links cut by the grid bisection (radix, per direction). */
+    std::size_t bisectionLinks() const { return _radix; }
+
+  private:
+    std::size_t _clusters;
+    std::size_t _radix;
+    double _serpentineCm;
+};
+
+} // namespace corona::topology
+
+#endif // CORONA_TOPOLOGY_GEOMETRY_HH

@@ -1,0 +1,23 @@
+#include "workload/thread_model.hh"
+
+#include "sim/logging.hh"
+
+namespace corona::workload {
+
+ThreadContext::ThreadContext(std::size_t id, topology::ClusterId cluster,
+                             std::size_t window)
+    : _id(id), _cluster(cluster), _window(window)
+{
+    if (window == 0)
+        sim::fatal("ThreadContext: window must be >= 1");
+}
+
+void
+ThreadContext::completed()
+{
+    if (_outstanding == 0)
+        sim::panic("ThreadContext::completed with nothing outstanding");
+    --_outstanding;
+}
+
+} // namespace corona::workload

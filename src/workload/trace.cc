@@ -1,0 +1,166 @@
+#include "workload/trace.hh"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "noc/message.hh"
+#include "sim/logging.hh"
+
+namespace corona::workload {
+
+namespace {
+
+constexpr char traceMagic[12] = {'C', 'O', 'R', 'O', 'N', 'A',
+                                 'T', 'R', 'A', 'C', 'E', '\0'};
+constexpr std::uint16_t traceVersion = 1;
+
+struct PackedRecord
+{
+    std::uint32_t thread;
+    std::uint32_t home;
+    std::uint64_t line;
+    std::uint64_t think_time;
+    std::uint8_t write;
+    std::uint8_t pad[7];
+};
+static_assert(sizeof(PackedRecord) == 32, "trace record must be 32 B");
+
+} // namespace
+
+TraceWriter::TraceWriter(std::ostream &os, std::uint32_t threads)
+    : _os(os)
+{
+    _os.write(traceMagic, sizeof(traceMagic));
+    std::uint16_t version = traceVersion;
+    _os.write(reinterpret_cast<const char *>(&version), sizeof(version));
+    std::uint16_t pad = 0;
+    _os.write(reinterpret_cast<const char *>(&pad), sizeof(pad));
+    _os.write(reinterpret_cast<const char *>(&threads), sizeof(threads));
+}
+
+void
+TraceWriter::append(const TraceRecord &record)
+{
+    PackedRecord packed{};
+    packed.thread = record.thread;
+    packed.home = record.home;
+    packed.line = record.line;
+    packed.think_time = record.think_time;
+    packed.write = record.write;
+    _os.write(reinterpret_cast<const char *>(&packed), sizeof(packed));
+    ++_written;
+}
+
+TraceReader::TraceReader(std::istream &is)
+{
+    char magic[sizeof(traceMagic)];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, traceMagic, sizeof(magic)) != 0)
+        sim::fatal("TraceReader: bad trace magic");
+    std::uint16_t version = 0;
+    std::uint16_t pad = 0;
+    is.read(reinterpret_cast<char *>(&version), sizeof(version));
+    is.read(reinterpret_cast<char *>(&pad), sizeof(pad));
+    if (!is || version != traceVersion)
+        sim::fatal("TraceReader: unsupported trace version");
+    is.read(reinterpret_cast<char *>(&_threads), sizeof(_threads));
+    if (!is || _threads == 0)
+        sim::fatal("TraceReader: bad thread count");
+
+    PackedRecord packed;
+    while (is.read(reinterpret_cast<char *>(&packed), sizeof(packed))) {
+        TraceRecord record;
+        record.thread = packed.thread;
+        record.home = packed.home;
+        record.line = packed.line;
+        record.think_time = packed.think_time;
+        record.write = packed.write;
+        if (record.thread >= _threads)
+            sim::fatal("TraceReader: record thread out of range");
+        _records.push_back(record);
+    }
+}
+
+TraceWorkload::TraceWorkload(std::vector<TraceRecord> records,
+                             std::uint32_t threads, std::string name)
+    : _name(std::move(name)), _perThread(threads), _cursor(threads, 0)
+{
+    if (threads == 0)
+        sim::fatal("TraceWorkload: need >= 1 thread");
+    double total_think = 0.0;
+    for (const auto &record : records) {
+        _perThread.at(record.thread).push_back(record);
+        total_think += static_cast<double>(record.think_time);
+    }
+    // Offered load estimate: bytes over mean per-thread issue period.
+    const double count = records.empty()
+                             ? 1.0
+                             : static_cast<double>(records.size());
+    const double mean_think = total_think / count;
+    _offered = mean_think > 0
+                   ? static_cast<double>(threads) * 64.0 /
+                         (mean_think / static_cast<double>(sim::oneSecond))
+                   : 0.0;
+}
+
+MissRequest
+TraceWorkload::next(std::size_t thread, sim::Tick, sim::Rng &)
+{
+    auto &records = _perThread.at(thread);
+    if (records.empty()) {
+        // A thread with no trace records idles forever.
+        MissRequest req;
+        req.think_time = sim::oneSecond;
+        return req;
+    }
+    const TraceRecord &record = records[_cursor[thread] % records.size()];
+    ++_cursor[thread];
+    MissRequest req;
+    req.think_time = record.think_time;
+    req.line = record.line;
+    req.home = static_cast<topology::ClusterId>(record.home);
+    req.write = record.write != 0;
+    return req;
+}
+
+std::uint64_t
+TraceWorkload::paperRequests() const
+{
+    std::uint64_t total = 0;
+    for (const auto &records : _perThread)
+        total += records.size();
+    return total;
+}
+
+double
+TraceWorkload::offeredBytesPerSecond() const
+{
+    return _offered;
+}
+
+std::vector<TraceRecord>
+captureTrace(Workload &workload, std::uint64_t requests, std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    std::vector<TraceRecord> records;
+    records.reserve(requests);
+    const std::size_t threads = workload.threads();
+    std::vector<sim::Tick> clocks(threads, 0);
+    for (std::uint64_t i = 0; i < requests; ++i) {
+        const std::size_t thread = i % threads;
+        const MissRequest req =
+            workload.next(thread, clocks[thread], rng);
+        clocks[thread] += req.think_time;
+        TraceRecord record;
+        record.thread = static_cast<std::uint32_t>(thread);
+        record.home = static_cast<std::uint32_t>(req.home);
+        record.line = req.line;
+        record.think_time = req.think_time;
+        record.write = req.write ? 1 : 0;
+        records.push_back(record);
+    }
+    return records;
+}
+
+} // namespace corona::workload

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Miss-trace capture and replay.
+ *
+ * The paper's methodology splits simulation in two: a full-system
+ * simulator emits annotated L2-miss traces, and the network simulator
+ * replays them. This module provides the same seam: any Workload can be
+ * captured to a compact binary trace, and a captured trace replays as a
+ * Workload — bit-identical input for cross-model comparisons.
+ *
+ * Format: a 16-byte header ("CORONATRACE", version, thread count)
+ * followed by fixed-size little-endian records.
+ */
+
+#ifndef CORONA_WORKLOAD_TRACE_HH
+#define CORONA_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace corona::workload {
+
+/** One trace record: a miss annotated with its thread and timing. */
+struct TraceRecord
+{
+    std::uint32_t thread;
+    std::uint32_t home;
+    std::uint64_t line;
+    std::uint64_t think_time;
+    std::uint8_t write;
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+/**
+ * Serializes trace records to a stream.
+ */
+class TraceWriter
+{
+  public:
+    /**
+     * @param os Output stream (binary).
+     * @param threads Thread count recorded in the header.
+     */
+    TraceWriter(std::ostream &os, std::uint32_t threads);
+
+    /** Append one record. */
+    void append(const TraceRecord &record);
+
+    std::uint64_t written() const { return _written; }
+
+  private:
+    std::ostream &_os;
+    std::uint64_t _written = 0;
+};
+
+/**
+ * Reads a trace from a stream into memory.
+ */
+class TraceReader
+{
+  public:
+    /** @param is Input stream (binary); throws FatalError on bad data. */
+    explicit TraceReader(std::istream &is);
+
+    std::uint32_t threads() const { return _threads; }
+    const std::vector<TraceRecord> &records() const { return _records; }
+
+  private:
+    std::uint32_t _threads;
+    std::vector<TraceRecord> _records;
+};
+
+/**
+ * Replays a captured trace as a Workload. Each thread consumes its own
+ * records in order; when a thread's records run out, it repeats from
+ * its first record (the harness bounds total requests anyway).
+ */
+class TraceWorkload : public Workload
+{
+  public:
+    /**
+     * @param records Trace records (any thread order).
+     * @param threads Thread count.
+     * @param name Reported name.
+     */
+    TraceWorkload(std::vector<TraceRecord> records, std::uint32_t threads,
+                  std::string name = "Trace");
+
+    std::string name() const override { return _name; }
+    MissRequest next(std::size_t thread, sim::Tick now,
+                     sim::Rng &rng) override;
+    std::uint64_t paperRequests() const override;
+    double offeredBytesPerSecond() const override;
+    std::size_t threads() const override { return _perThread.size(); }
+
+  private:
+    std::string _name;
+    std::vector<std::vector<TraceRecord>> _perThread;
+    std::vector<std::size_t> _cursor;
+    double _offered;
+};
+
+/**
+ * Capture @p requests records from a workload into a trace (drawing
+ * think times and destinations with the given seed).
+ */
+std::vector<TraceRecord> captureTrace(Workload &workload,
+                                      std::uint64_t requests,
+                                      std::uint64_t seed = 1);
+
+} // namespace corona::workload
+
+#endif // CORONA_WORKLOAD_TRACE_HH

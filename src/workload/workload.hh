@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Workload model interface.
+ *
+ * The paper's evaluation is trace-driven: COTSon produced 1024-thread L2
+ * miss streams (annotated with thread id and timing) that the network
+ * simulator replays. We reproduce the same contract with generative
+ * models: a Workload hands each thread its next miss (think time since
+ * the previous fill, target line address / home cluster, read or write).
+ * Models are deterministic given the run seed.
+ */
+
+#ifndef CORONA_WORKLOAD_WORKLOAD_HH
+#define CORONA_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+#include "topology/address_map.hh"
+
+namespace corona::workload {
+
+/** One L2 miss, as the trace format records it. */
+struct MissRequest
+{
+    /** Compute time separating this miss from the thread's previous
+     * fill, ticks. */
+    sim::Tick think_time = 0;
+    /** Line address of the miss. */
+    topology::Addr line = 0;
+    /** Home cluster (memory controller) of the line. */
+    topology::ClusterId home = 0;
+    /** True for a write miss / writeback. */
+    bool write = false;
+};
+
+/**
+ * A generative 1024-thread miss-stream model.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name as reported in tables. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Produce thread @p thread's next miss. @p now is the tick at which
+     * the thread observed its previous fill (models use it to align
+     * barrier-synchronized bursts).
+     */
+    virtual MissRequest next(std::size_t thread, sim::Tick now,
+                             sim::Rng &rng) = 0;
+
+    /** Table 3 network-request count for the full benchmark run. */
+    virtual std::uint64_t paperRequests() const = 0;
+
+    /**
+     * Nominal offered load of the model at full concurrency, bytes per
+     * second (used by calibration tests and reports).
+     */
+    virtual double offeredBytesPerSecond() const = 0;
+
+    /** Threads the model drives (1024 for all paper workloads). */
+    virtual std::size_t threads() const { return 1024; }
+};
+
+/** Factory type used by the experiment harness. */
+using WorkloadFactory = std::unique_ptr<Workload> (*)();
+
+} // namespace corona::workload
+
+#endif // CORONA_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,73 @@
+#include "xbar/barrier.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace corona::xbar {
+
+OpticalBarrier::OpticalBarrier(sim::EventQueue &eq, BroadcastBus &bus,
+                               std::size_t participants)
+    : _eq(eq), _bus(bus), _participants(participants)
+{
+    if (participants == 0)
+        throw std::invalid_argument("OpticalBarrier: no participants");
+    _bus.setDeliver([this](const noc::Message &msg,
+                           topology::ClusterId cluster) {
+        const auto it = _released.find(msg.tag);
+        if (it == _released.end())
+            return; // A stale episode's light.
+        // Release every waiter of that episode parked at this cluster
+        // at its own coil arrival time.
+        for (auto &waiter : it->second) {
+            if (waiter.cluster != cluster || !waiter.resume)
+                continue;
+            _waitStats.sample(
+                static_cast<double>(_eq.now() - waiter.arrived));
+            _releaseStats.sample(
+                static_cast<double>(_eq.now() - waiter.last_arrival));
+            auto resume = std::move(waiter.resume);
+            waiter.resume = nullptr;
+            resume();
+        }
+        // Episode fully drained once every waiter has resumed.
+        const bool done = std::all_of(
+            it->second.begin(), it->second.end(),
+            [](const Waiter &w) { return !w.resume; });
+        if (done)
+            _released.erase(it);
+    });
+}
+
+void
+OpticalBarrier::arrive(topology::ClusterId cluster, Resume resume)
+{
+    for (const auto &waiter : _waiters) {
+        if (waiter.cluster == cluster)
+            sim::panic("OpticalBarrier: duplicate arrival");
+    }
+    _waiters.push_back(
+        Waiter{cluster, std::move(resume), _eq.now(), 0});
+    if (_waiters.size() == _participants)
+        release();
+}
+
+void
+OpticalBarrier::release()
+{
+    ++_episodes;
+    ++_releaseTag;
+    for (auto &waiter : _waiters)
+        waiter.last_arrival = _eq.now();
+
+    noc::Message msg;
+    msg.src = _waiters.back().cluster; // Last arrival notifies.
+    msg.kind = noc::MsgKind::Invalidate; // Header-sized control phit.
+    msg.tag = _releaseTag;
+
+    _released.emplace(_releaseTag, std::move(_waiters));
+    _waiters.clear();
+    _bus.broadcast(msg);
+}
+
+} // namespace corona::xbar

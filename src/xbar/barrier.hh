@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Optical barrier notification (Section 3.2.2's proposed extension).
+ *
+ * "In addition to broadcasting invalidates, the bus' functionality
+ * could be generalized for other broadcast applications, such as
+ * bandwidth adaptive snooping and barrier notification."
+ *
+ * OpticalBarrier implements that generalization: clusters signal
+ * arrival; when the last participant arrives, a single broadcast-bus
+ * message releases every waiter at its own coil position. Release
+ * latency is two coil passes — independent of participant count,
+ * unlike a software tree barrier whose depth grows with log(N).
+ */
+
+#ifndef CORONA_XBAR_BARRIER_HH
+#define CORONA_XBAR_BARRIER_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/stats.hh"
+#include "xbar/broadcast_bus.hh"
+
+namespace corona::xbar {
+
+/**
+ * A broadcast-bus-released barrier across clusters.
+ *
+ * The barrier takes ownership of the bus's delivery callback; use a
+ * dedicated bus instance (the hardware would multiplex by wavelength).
+ */
+class OpticalBarrier
+{
+  public:
+    using Resume = std::function<void()>;
+
+    /**
+     * @param eq Event queue.
+     * @param bus Broadcast bus used for the release message.
+     * @param participants Clusters that must arrive per episode.
+     */
+    OpticalBarrier(sim::EventQueue &eq, BroadcastBus &bus,
+                   std::size_t participants);
+
+    /**
+     * Cluster @p cluster arrives and parks until release. Each
+     * participant may arrive once per episode.
+     */
+    void arrive(topology::ClusterId cluster, Resume resume);
+
+    /** Completed barrier episodes. */
+    std::uint64_t episodes() const { return _episodes; }
+
+    /** Arrival-to-release latency samples, ticks. */
+    const stats::RunningStats &waitStats() const { return _waitStats; }
+
+    /** Last-arrival-to-release (pure notification) latency, ticks. */
+    const stats::RunningStats &releaseStats() const
+    {
+        return _releaseStats;
+    }
+
+  private:
+    struct Waiter
+    {
+        topology::ClusterId cluster;
+        Resume resume;
+        sim::Tick arrived;
+        sim::Tick last_arrival;
+    };
+
+    void release();
+
+    sim::EventQueue &_eq;
+    BroadcastBus &_bus;
+    std::size_t _participants;
+    /** Waiters of the episode currently filling. */
+    std::vector<Waiter> _waiters;
+    /** Released episodes awaiting their broadcast light, by tag. */
+    std::unordered_map<std::uint64_t, std::vector<Waiter>> _released;
+    std::uint64_t _episodes = 0;
+    std::uint64_t _releaseTag = 0;
+    stats::RunningStats _waitStats;
+    stats::RunningStats _releaseStats;
+};
+
+} // namespace corona::xbar
+
+#endif // CORONA_XBAR_BARRIER_HH

@@ -1,0 +1,78 @@
+#include "xbar/broadcast_bus.hh"
+
+#include <stdexcept>
+
+#include "sim/logging.hh"
+
+namespace corona::xbar {
+
+BroadcastBus::BroadcastBus(sim::EventQueue &eq,
+                           const sim::ClockDomain &clock,
+                           std::size_t clusters,
+                           const BroadcastParams &params)
+    : _eq(eq), _clock(clock), _clusters(clusters), _params(params),
+      _arbiter(eq, clusters, params.pass_clocks * clock.period() / clusters)
+{
+    if (clusters < 2)
+        throw std::invalid_argument("BroadcastBus: need >= 2 clusters");
+}
+
+sim::Tick
+BroadcastBus::serializationTime(std::uint32_t bytes) const
+{
+    const std::uint32_t clocks =
+        (bytes + _params.bytes_per_clock - 1) / _params.bytes_per_clock;
+    return (clocks == 0 ? 1 : clocks) * _clock.period();
+}
+
+void
+BroadcastBus::broadcast(const noc::Message &msg)
+{
+    noc::Message stamped = msg;
+    stamped.injected = _eq.now();
+    _queue.push_back(Pending{stamped});
+    if (!_arbitrating) {
+        _arbitrating = true;
+        _arbiter.request(msg.src, [this] { transmit(); });
+    }
+}
+
+void
+BroadcastBus::transmit()
+{
+    if (_queue.empty())
+        sim::panic("BroadcastBus::transmit: queue empty");
+    const Pending pending = _queue.front();
+    _queue.pop_front();
+    const noc::Message msg = pending.msg;
+
+    const sim::Tick ser = serializationTime(msg.bytes());
+    const sim::Tick hop = _arbiter.hopTime();
+
+    _eq.scheduleIn(ser, [this, msg, hop] {
+        _arbiter.release(msg.src);
+        ++_broadcasts;
+
+        // The sender modulated at coil position msg.src on the first
+        // pass; a receiver at position k reads on the second pass after
+        // the remaining first-pass distance plus k hops into pass two.
+        for (topology::ClusterId k = 0; k < _clusters; ++k) {
+            const sim::Tick remaining_first =
+                (_clusters - msg.src) * hop;
+            const sim::Tick delay = remaining_first + k * hop;
+            _eq.scheduleIn(delay, [this, msg, k] {
+                if (_deliver)
+                    _deliver(msg, k);
+            });
+        }
+
+        _arbitrating = false;
+        if (!_queue.empty()) {
+            _arbitrating = true;
+            _arbiter.request(_queue.front().msg.src,
+                             [this] { transmit(); });
+        }
+    });
+}
+
+} // namespace corona::xbar

@@ -1,0 +1,115 @@
+#include "xbar/token_arbiter.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/logging.hh"
+
+namespace corona::xbar {
+
+TokenArbiter::TokenArbiter(sim::EventQueue &eq, std::size_t clusters,
+                           sim::Tick hop_time)
+    : _eq(eq), _clusters(clusters), _hopTime(hop_time)
+{
+    if (clusters < 2)
+        throw std::invalid_argument("TokenArbiter: need >= 2 clusters");
+    if (hop_time == 0)
+        throw std::invalid_argument("TokenArbiter: hop time must be > 0");
+}
+
+std::size_t
+TokenArbiter::forwardHops(topology::ClusterId from,
+                          topology::ClusterId to) const
+{
+    const std::size_t hops = (to + _clusters - from) % _clusters;
+    // A cluster cannot divert the token at the instant it injects it;
+    // reaching "itself" requires a full revolution.
+    return hops == 0 ? _clusters : hops;
+}
+
+sim::Tick
+TokenArbiter::freeTokenArrival(topology::ClusterId cluster) const
+{
+    const sim::Tick loop = loopTime();
+    sim::Tick arrival =
+        _tokenDeparture + forwardHops(_tokenOrigin, cluster) * _hopTime;
+    const sim::Tick now = _eq.now();
+    if (arrival < now) {
+        const sim::Tick deficit = now - arrival;
+        const sim::Tick loops = (deficit + loop - 1) / loop;
+        arrival += loops * loop;
+    }
+    return arrival;
+}
+
+void
+TokenArbiter::request(topology::ClusterId requester, GrantFn grant)
+{
+    if (requester >= _clusters)
+        throw std::out_of_range("TokenArbiter::request: bad cluster");
+    for (const auto &w : _waiters) {
+        if (w.cluster == requester)
+            sim::panic("TokenArbiter: duplicate request from cluster");
+    }
+    _waiters.push_back(Waiter{requester, std::move(grant), _eq.now()});
+    if (!_held)
+        scheduleNextGrant();
+}
+
+void
+TokenArbiter::release(topology::ClusterId holder)
+{
+    if (!_held)
+        sim::panic("TokenArbiter::release without a holder");
+    _held = false;
+    _tokenOrigin = holder;
+    _tokenDeparture = _eq.now();
+    scheduleNextGrant();
+}
+
+void
+TokenArbiter::scheduleNextGrant()
+{
+    if (_held || _waiters.empty())
+        return;
+    // Find the earliest tick at which the token reaches any waiter.
+    sim::Tick best_arrival = freeTokenArrival(_waiters[0].cluster);
+    for (std::size_t i = 1; i < _waiters.size(); ++i) {
+        const sim::Tick arrival = freeTokenArrival(_waiters[i].cluster);
+        if (arrival < best_arrival)
+            best_arrival = arrival;
+    }
+    const std::uint64_t epoch = ++_grantEpoch;
+    _eq.schedule(best_arrival, [this, epoch, best_arrival] {
+        if (epoch != _grantEpoch || _held)
+            return; // A newer schedule superseded this one.
+        // Re-resolve the winner at fire time (waiter set may have grown;
+        // any newcomer with an even earlier arrival would have bumped the
+        // epoch, so the minimum is unchanged — but recompute defensively).
+        std::size_t winner = _waiters.size();
+        for (std::size_t i = 0; i < _waiters.size(); ++i) {
+            if (freeTokenArrival(_waiters[i].cluster) <= _eq.now()) {
+                winner = i;
+                break;
+            }
+        }
+        if (winner == _waiters.size())
+            sim::panic("TokenArbiter: grant fired with no ready waiter");
+        fireGrant(winner, best_arrival);
+    });
+}
+
+void
+TokenArbiter::fireGrant(std::size_t waiter_index, sim::Tick granted_at)
+{
+    Waiter waiter = std::move(_waiters[waiter_index]);
+    _waiters.erase(_waiters.begin() +
+                   static_cast<std::ptrdiff_t>(waiter_index));
+    _held = true;
+    ++_grantEpoch; // Invalidate any other scheduled grant.
+    ++_grants;
+    _waitStats.sample(static_cast<double>(granted_at - waiter.since));
+    waiter.grant();
+}
+
+} // namespace corona::xbar

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the optical barrier (Section 3.2.2's broadcast-bus
+ * generalization).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "xbar/barrier.hh"
+
+namespace {
+
+using namespace corona;
+using sim::EventQueue;
+using sim::Tick;
+using xbar::BroadcastBus;
+using xbar::OpticalBarrier;
+
+struct BarrierFixture : ::testing::Test
+{
+    BarrierFixture()
+        : bus(eq, sim::coronaClock(), 64), barrier(eq, bus, 64)
+    {
+    }
+
+    EventQueue eq;
+    BroadcastBus bus;
+    OpticalBarrier barrier;
+};
+
+TEST_F(BarrierFixture, NobodyReleasesBeforeLastArrival)
+{
+    std::set<topology::ClusterId> released;
+    for (topology::ClusterId c = 0; c < 63; ++c)
+        barrier.arrive(c, [&released, c] { released.insert(c); });
+    eq.run();
+    EXPECT_TRUE(released.empty()) << "release before full arrival";
+    barrier.arrive(63, [&released] { released.insert(63); });
+    eq.run();
+    EXPECT_EQ(released.size(), 64u);
+    EXPECT_EQ(barrier.episodes(), 1u);
+}
+
+TEST_F(BarrierFixture, ReleaseLatencyIsParticipantCountIndependent)
+{
+    Tick last_arrival = 0;
+    Tick last_release = 0;
+    for (topology::ClusterId c = 0; c < 64; ++c) {
+        eq.scheduleIn(c * 100, [this, c, &last_arrival, &last_release] {
+            barrier.arrive(c, [this, &last_release] {
+                last_release = std::max(last_release, eq.now());
+            });
+            last_arrival = eq.now();
+        });
+    }
+    eq.run();
+    // Notification latency: bus token + serialization + two coil
+    // passes, i.e. a few tens of clocks — not O(participants) software
+    // messaging.
+    EXPECT_GT(last_release, last_arrival);
+    EXPECT_LE(last_release - last_arrival, 40 * 200u);
+    EXPECT_GT(barrier.releaseStats().mean(), 0.0);
+}
+
+TEST_F(BarrierFixture, BackToBackEpisodes)
+{
+    int resumed = 0;
+    std::function<void(int)> episode = [&](int remaining) {
+        for (topology::ClusterId c = 0; c < 64; ++c) {
+            barrier.arrive(c, [&, remaining, c] {
+                ++resumed;
+                // Cluster 0 chains the next episode for everyone.
+                if (c == 0 && remaining > 1) {
+                    eq.scheduleIn(100, [&, remaining] {
+                        episode(remaining - 1);
+                    });
+                }
+            });
+        }
+    };
+    episode(3);
+    eq.run();
+    EXPECT_EQ(resumed, 3 * 64);
+    EXPECT_EQ(barrier.episodes(), 3u);
+}
+
+TEST_F(BarrierFixture, DuplicateArrivalPanics)
+{
+    barrier.arrive(5, [] {});
+    EXPECT_THROW(barrier.arrive(5, [] {}), sim::PanicError);
+}
+
+TEST(Barrier, SmallGroupBarrier)
+{
+    EventQueue eq;
+    BroadcastBus bus(eq, sim::coronaClock(), 64);
+    OpticalBarrier barrier(eq, bus, 4);
+    int released = 0;
+    for (topology::ClusterId c = 10; c < 14; ++c)
+        barrier.arrive(c, [&] { ++released; });
+    eq.run();
+    EXPECT_EQ(released, 4);
+}
+
+TEST(Barrier, RejectsZeroParticipants)
+{
+    EventQueue eq;
+    BroadcastBus bus(eq, sim::coronaClock(), 64);
+    EXPECT_THROW(OpticalBarrier(eq, bus, 0), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the conventional open-page DRAM model and the
+ * Corona-vs-conventional energy comparison (Section 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/conventional_dram.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace corona;
+using memory::ConventionalDram;
+using memory::ConventionalDramParams;
+
+TEST(ConventionalDram, RowHitIsFastAndCheap)
+{
+    ConventionalDram dram;
+    const auto miss = dram.access(0x0, 0);
+    EXPECT_FALSE(miss.row_hit);
+    // Same row, next line: hit.
+    const auto hit = dram.access(0x40, miss.ready);
+    EXPECT_TRUE(hit.row_hit);
+    EXPECT_LT(hit.energy_pj, miss.energy_pj);
+    EXPECT_LT(hit.ready - miss.ready, miss.ready - 0);
+}
+
+TEST(ConventionalDram, RowMissPaysActivation)
+{
+    ConventionalDramParams params;
+    ConventionalDram dram(params);
+    const auto first = dram.access(0x0, 0);
+    // Different row, same bank (bank = row % banks; rows 0 and 8 share
+    // bank 0): precharge + activate + cas.
+    const topology::Addr conflict =
+        static_cast<topology::Addr>(params.banks) * params.row_bytes;
+    const auto second = dram.access(conflict, first.ready);
+    EXPECT_FALSE(second.row_hit);
+    EXPECT_EQ(second.ready - first.ready,
+              params.t_rp + params.t_rcd + params.t_cas);
+}
+
+TEST(ConventionalDram, ActivationEnergyDominatesAtLowLocality)
+{
+    // Random lines over a huge footprint: every access a row miss.
+    ConventionalDram dram;
+    sim::Rng rng(3);
+    for (int i = 0; i < 20000; ++i)
+        dram.access(rng.below(1ull << 32) * 64, 0);
+    EXPECT_LT(dram.rowHitRate(), 0.01);
+    // 8 KB activated per 64 B used = 128x overhead.
+    EXPECT_NEAR(dram.activationOverhead(), 128.0, 2.0);
+}
+
+TEST(ConventionalDram, SequentialScanHasHighLocality)
+{
+    ConventionalDram dram;
+    for (topology::Addr a = 0; a < (1 << 20); a += 64)
+        dram.access(a, 0);
+    // 128 lines per 8 KB row: 127/128 hits.
+    EXPECT_GT(dram.rowHitRate(), 0.98);
+    EXPECT_LT(dram.activationOverhead(), 1.1);
+}
+
+TEST(ConventionalDram, BankConcurrencyTracked)
+{
+    ConventionalDramParams params;
+    ConventionalDram dram(params);
+    EXPECT_NE(dram.bankOf(0), dram.bankOf(params.row_bytes));
+    EXPECT_EQ(dram.rowOf(0), 0u);
+    EXPECT_EQ(dram.rowOf(params.row_bytes), 1u);
+}
+
+TEST(ConventionalDram, RejectsBadGeometry)
+{
+    ConventionalDramParams bad;
+    bad.banks = 0;
+    EXPECT_THROW(ConventionalDram{bad}, std::invalid_argument);
+    ConventionalDramParams bad2;
+    bad2.row_bytes = 32; // Smaller than the line.
+    EXPECT_THROW(ConventionalDram{bad2}, std::invalid_argument);
+}
+
+TEST(DramEnergyComparison, OrderOfMagnitudeGap)
+{
+    // Section 3.3: with poor page locality the conventional system
+    // moves an order of magnitude more bits (and energy).
+    const auto poor = memory::compareDramEnergy(0.05);
+    EXPECT_GT(poor.ratio, 10.0);
+    // High locality narrows but does not close the gap.
+    const auto good = memory::compareDramEnergy(0.95);
+    EXPECT_LT(good.ratio, poor.ratio);
+    EXPECT_GT(good.ratio, 1.0);
+    EXPECT_THROW(memory::compareDramEnergy(1.5), std::invalid_argument);
+}
+
+class DramLocalitySweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DramLocalitySweep, EnergyMonotoneInHitRate)
+{
+    const double hit_rate = GetParam();
+    const auto at = memory::compareDramEnergy(hit_rate);
+    const auto better = memory::compareDramEnergy(
+        std::min(1.0, hit_rate + 0.1));
+    EXPECT_LE(better.conventional_pj_per_line,
+              at.conventional_pj_per_line);
+    EXPECT_DOUBLE_EQ(at.corona_pj_per_line,
+                     better.corona_pj_per_line)
+        << "Corona's single-mat energy is locality-independent";
+}
+
+INSTANTIATE_TEST_SUITE_P(HitRates, DramLocalitySweep,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8));
+
+} // namespace

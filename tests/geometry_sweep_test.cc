@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Parameterized property sweeps over die geometry, the component
+ * inventory, and the optical clock at non-Corona scales — the library
+ * must stay consistent when a user resizes the system.
+ */
+
+#include <gtest/gtest.h>
+
+#include "photonics/inventory.hh"
+#include "photonics/optical_clock.hh"
+#include "sim/clock.hh"
+#include "topology/geometry.hh"
+
+namespace {
+
+using namespace corona;
+using topology::ClusterId;
+using topology::Geometry;
+
+class GeometryScales : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(GeometryScales, SerpentineStaysPhysicallyContiguous)
+{
+    const std::size_t clusters = GetParam();
+    const Geometry geom(clusters, 0.25 * static_cast<double>(clusters));
+    // Every serpentine neighbour pair is grid-adjacent.
+    for (ClusterId id = 0; id + 1 < clusters; ++id)
+        EXPECT_EQ(geom.manhattanDistance(id, id + 1), 1u);
+    // Coordinates biject.
+    std::set<std::pair<std::size_t, std::size_t>> seen;
+    for (ClusterId id = 0; id < clusters; ++id) {
+        const auto c = geom.coordOf(id);
+        EXPECT_TRUE(seen.emplace(c.x, c.y).second);
+        EXPECT_EQ(geom.idAt(c), id);
+    }
+}
+
+TEST_P(GeometryScales, RingDistanceIsAMetricOnTheCycle)
+{
+    const std::size_t clusters = GetParam();
+    const Geometry geom(clusters, 16.0);
+    for (ClusterId a = 0; a < clusters; a += 3) {
+        EXPECT_EQ(geom.ringDistance(a, a), 0u);
+        for (ClusterId b = 0; b < clusters; b += 3) {
+            if (a == b)
+                continue;
+            EXPECT_EQ(geom.ringDistance(a, b) + geom.ringDistance(b, a),
+                      clusters);
+            EXPECT_LT(geom.ringDistance(a, b), clusters);
+        }
+    }
+}
+
+TEST_P(GeometryScales, OpticalClockPhasesStayUnderOnePeriod)
+{
+    const std::size_t clusters = GetParam();
+    // Keep the per-hop time a whole number of ticks.
+    const std::size_t loop_clocks = clusters / 8;
+    if (loop_clocks == 0)
+        GTEST_SKIP() << "too small for the 8-clusters-per-clock rule";
+    const photonics::OpticalClock clock(clusters, sim::coronaClock(),
+                                        loop_clocks);
+    for (ClusterId k = 0; k < clusters; ++k)
+        EXPECT_LT(clock.phaseOffset(k), sim::coronaClock().period());
+    // Wrap retiming fires for exactly the wrap-crossing pairs.
+    EXPECT_EQ(clock.retimingPenalty(0, clusters - 1), 0u);
+    EXPECT_EQ(clock.retimingPenalty(clusters - 1, 0),
+              sim::coronaClock().period());
+}
+
+INSTANTIATE_TEST_SUITE_P(Radices, GeometryScales,
+                         ::testing::Values(16, 64, 256));
+
+class InventoryScales : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(InventoryScales, RingCountsScaleByTheRightLaws)
+{
+    const std::size_t n = GetParam();
+    photonics::InventoryParams params;
+    params.clusters = n;
+    params.memory_controllers = n;
+    const photonics::Inventory inv(params);
+    // Crossbar rings scale with clusters^2 (MWSR replication), memory
+    // and broadcast with clusters.
+    EXPECT_EQ(inv.row("Crossbar").ring_resonators, n * n * 256);
+    EXPECT_EQ(inv.row("Memory").ring_resonators, n * 2 * 64 * 2);
+    EXPECT_EQ(inv.row("Broadcast").ring_resonators, n * 128);
+    EXPECT_EQ(inv.row("Clock").ring_resonators, n);
+    EXPECT_EQ(inv.row("Crossbar").waveguides, n * 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, InventoryScales,
+                         ::testing::Values(16, 32, 64, 128));
+
+} // namespace

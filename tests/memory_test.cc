@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Unit tests for the memory system: DRAM mats, MSHR file, memory
+ * controllers, and the OCM/ECM system arithmetic (Table 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "memory/dram.hh"
+#include "memory/ecm.hh"
+#include "memory/memory_controller.hh"
+#include "memory/mshr.hh"
+#include "memory/ocm.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace corona;
+using memory::DramModule;
+using memory::EcmSystem;
+using memory::MemoryController;
+using memory::MshrFile;
+using memory::OcmSystem;
+using noc::Message;
+using noc::MsgKind;
+using sim::EventQueue;
+using sim::Tick;
+
+TEST(Dram, MatMappingAndConcurrency)
+{
+    DramModule dram;
+    // Consecutive lines hit different mats (single-mat line reads).
+    EXPECT_NE(dram.matOf(0), dram.matOf(64));
+    // Accesses to distinct mats at the same tick do not conflict.
+    const Tick a = dram.access(0, 1000);
+    const Tick b = dram.access(64, 1000);
+    EXPECT_EQ(a, 1000u + 4000u);
+    EXPECT_EQ(b, 1000u + 4000u);
+    EXPECT_EQ(dram.matConflicts(), 0u);
+}
+
+TEST(Dram, SameMatAccessesSerialize)
+{
+    DramModule dram;
+    const Tick first = dram.access(0, 0);
+    const Tick second = dram.access(0, 100); // Same line -> same mat.
+    EXPECT_EQ(first, 4000u);
+    EXPECT_EQ(second, 8000u);
+    EXPECT_EQ(dram.matConflicts(), 1u);
+    EXPECT_EQ(dram.accesses(), 2u);
+}
+
+TEST(Dram, EnergyAccounting)
+{
+    memory::DramParams params;
+    params.access_energy_pj = 10.0;
+    DramModule dram(params);
+    for (int i = 0; i < 1000; ++i)
+        dram.access(static_cast<topology::Addr>(i) * 64, 0);
+    EXPECT_NEAR(dram.energyJ(), 1000 * 10e-12, 1e-15);
+}
+
+TEST(Dram, RejectsBadParams)
+{
+    memory::DramParams bad;
+    bad.mats = 0;
+    EXPECT_THROW(DramModule{bad}, std::invalid_argument);
+}
+
+TEST(Mshr, AllocateTrackRetire)
+{
+    MshrFile mshrs(4);
+    EXPECT_TRUE(mshrs.allocate(0x1000, 10));
+    EXPECT_TRUE(mshrs.outstanding(0x1000));
+    EXPECT_FALSE(mshrs.outstanding(0x2000));
+    EXPECT_EQ(mshrs.inUse(), 1u);
+    int woken = 0;
+    mshrs.coalesce(0x1000, [&] { ++woken; });
+    mshrs.coalesce(0x1000, [&] { ++woken; });
+    EXPECT_EQ(mshrs.coalesced(), 2u);
+    const auto wakers = mshrs.retire(0x1000, 50);
+    EXPECT_EQ(wakers.size(), 2u);
+    for (const auto &w : wakers)
+        w();
+    EXPECT_EQ(woken, 2);
+    EXPECT_EQ(mshrs.inUse(), 0u);
+    EXPECT_DOUBLE_EQ(mshrs.lifetime().mean(), 40.0);
+}
+
+TEST(Mshr, CapacityBoundsAllocation)
+{
+    MshrFile mshrs(2);
+    EXPECT_TRUE(mshrs.allocate(0x0, 0));
+    EXPECT_TRUE(mshrs.allocate(0x40, 0));
+    EXPECT_TRUE(mshrs.full());
+    EXPECT_FALSE(mshrs.allocate(0x80, 0));
+    mshrs.noteFullStall();
+    EXPECT_EQ(mshrs.fullStalls(), 1u);
+}
+
+TEST(Mshr, OnFreeFiresAtRetire)
+{
+    MshrFile mshrs(1);
+    int freed = 0;
+    mshrs.onFree([&] { ++freed; });
+    ASSERT_TRUE(mshrs.allocate(0x0, 0));
+    mshrs.retire(0x0, 10);
+    EXPECT_EQ(freed, 1);
+}
+
+TEST(Mshr, MisusePanics)
+{
+    MshrFile mshrs(2);
+    EXPECT_THROW(mshrs.retire(0x0, 0), sim::PanicError);
+    EXPECT_THROW(mshrs.coalesce(0x0, [] {}), sim::PanicError);
+    ASSERT_TRUE(mshrs.allocate(0x0, 0));
+    EXPECT_THROW(mshrs.allocate(0x0, 0), sim::PanicError);
+    EXPECT_THROW(MshrFile(0), std::invalid_argument);
+}
+
+TEST(OcmSystem, Table4Numbers)
+{
+    const OcmSystem ocm;
+    EXPECT_DOUBLE_EQ(ocm.perControllerBandwidth(), 160e9);
+    EXPECT_NEAR(ocm.aggregateBandwidth(), 10.24e12, 1e3);
+    EXPECT_EQ(ocm.totalFibers(), 256u);
+    // Section 3.3: ~6.4 W at 0.078 mW/Gb/s.
+    EXPECT_NEAR(ocm.interconnectPowerW(), 6.4, 0.2);
+    const auto params = ocm.controllerParams();
+    EXPECT_EQ(params.access_latency, 20000u);
+    EXPECT_EQ(params.name, "OCM");
+}
+
+TEST(OcmSystem, ChainDelayGrowsGently)
+{
+    const OcmSystem ocm;
+    EXPECT_EQ(ocm.chainDelay(0), 0u);
+    EXPECT_LT(ocm.chainDelay(3), 1000u); // Sub-ns even at chain end.
+    EXPECT_THROW(ocm.chainDelay(99), std::out_of_range);
+}
+
+TEST(EcmSystem, Table4Numbers)
+{
+    const EcmSystem ecm;
+    EXPECT_DOUBLE_EQ(ecm.perControllerBandwidth(), 15e9);
+    EXPECT_NEAR(ecm.aggregateBandwidth(), 0.96e12, 1e3);
+    // ECM at its own 0.96 TB/s burns ~15 W of link power...
+    EXPECT_NEAR(ecm.interconnectPowerW(), 15.36, 0.1);
+    // ...and matching the OCM's 10.24 TB/s would take >160 W
+    // (Section 3.3's infeasibility argument).
+    EXPECT_GT(ecm.powerToMatchW(10.24e12), 160.0);
+    EXPECT_EQ(ecm.controllerParams().name, "ECM");
+}
+
+class McFixture : public ::testing::Test
+{
+  protected:
+    Message
+    request(MsgKind kind, topology::ClusterId src, std::uint64_t tag)
+    {
+        Message msg;
+        msg.src = src;
+        msg.dst = 7;
+        msg.kind = kind;
+        msg.tag = tag;
+        return msg;
+    }
+
+    EventQueue eq_;
+};
+
+TEST_F(McFixture, ReadLatencyIsAccessPlusSerialization)
+{
+    MemoryController mc(eq_, 7, memory::ocmParams());
+    std::vector<Tick> completions;
+    Message resp_seen;
+    mc.access(request(MsgKind::ReadReq, 3, 0xAA), 0x1000,
+              [&](const Message &resp) {
+        completions.push_back(eq_.now());
+        resp_seen = resp;
+    });
+    eq_.run();
+    ASSERT_EQ(completions.size(), 1u);
+    // 20 ns access dominates (serialization 64 B / 160 GB/s = 400 ps).
+    EXPECT_GE(completions[0], 20000u);
+    EXPECT_LE(completions[0], 21000u);
+    EXPECT_EQ(resp_seen.kind, MsgKind::ReadResp);
+    EXPECT_EQ(resp_seen.src, 7u);
+    EXPECT_EQ(resp_seen.dst, 3u);
+    EXPECT_EQ(resp_seen.tag, 0xAAu);
+}
+
+TEST_F(McFixture, WriteProducesAck)
+{
+    MemoryController mc(eq_, 7, memory::ocmParams());
+    MsgKind kind = MsgKind::ReadReq;
+    mc.access(request(MsgKind::WriteReq, 4, 1), 0x2000,
+              [&](const Message &resp) { kind = resp.kind; });
+    eq_.run();
+    EXPECT_EQ(kind, MsgKind::WriteAck);
+}
+
+TEST_F(McFixture, ThroughputBoundedByLinkRate)
+{
+    MemoryController mc(eq_, 7, memory::ecmParams());
+    int done = 0;
+    const int n = 100;
+    for (int i = 0; i < n; ++i) {
+        mc.access(request(MsgKind::ReadReq, 1,
+                          static_cast<std::uint64_t>(i)),
+                  static_cast<topology::Addr>(i) * 64,
+                  [&](const Message &) { ++done; });
+    }
+    eq_.run();
+    EXPECT_EQ(done, n);
+    EXPECT_EQ(mc.accesses(), static_cast<std::uint64_t>(n));
+    EXPECT_EQ(mc.bytesMoved(), static_cast<std::uint64_t>(n) * 64);
+    // ECM: 64 B / 15 GB/s = ~4.27 ns serialization per line; 100 lines
+    // take >= 426 ns regardless of the 20 ns access pipeline.
+    EXPECT_GE(eq_.now(), 426000u);
+}
+
+TEST_F(McFixture, QueueDepthObserved)
+{
+    MemoryController mc(eq_, 7, memory::ecmParams());
+    for (int i = 0; i < 10; ++i) {
+        mc.access(request(MsgKind::ReadReq, 1,
+                          static_cast<std::uint64_t>(i)),
+                  static_cast<topology::Addr>(i) * 64,
+                  [](const Message &) {});
+    }
+    eq_.run();
+    EXPECT_GE(mc.peakQueueDepth(), 8u);
+    EXPECT_GT(mc.serviceTime().mean(), 20000.0);
+}
+
+TEST_F(McFixture, NonMemoryRequestPanics)
+{
+    MemoryController mc(eq_, 7, memory::ocmParams());
+    EXPECT_THROW(
+        mc.access(request(MsgKind::ReadResp, 1, 0), 0,
+                  [](const Message &) {}),
+        sim::PanicError);
+}
+
+TEST(MemoryParams, OcmVsEcmContrast)
+{
+    // Table 4's core contrast: 10x+ bandwidth at equal latency.
+    const auto ocm = memory::ocmParams();
+    const auto ecm = memory::ecmParams();
+    EXPECT_NEAR(ocm.bytes_per_second / ecm.bytes_per_second, 10.67, 0.1);
+    EXPECT_EQ(ocm.access_latency, ecm.access_latency);
+}
+
+} // namespace

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Unit and property tests for the electrical 2D mesh: dimension-order
+ * routing correctness and deadlock freedom, per-hop latency, bisection
+ * bandwidth ceilings, and back-pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "mesh/electrical_mesh.hh"
+#include "mesh/routing.hh"
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace corona;
+using mesh::Direction;
+using mesh::ElectricalMesh;
+using noc::Message;
+using noc::MsgKind;
+using sim::EventQueue;
+using sim::Tick;
+using topology::ClusterId;
+using topology::Geometry;
+
+constexpr Tick kClock = 200;
+
+Message
+makeMsg(ClusterId src, ClusterId dst, MsgKind kind = MsgKind::ReadReq,
+        std::uint64_t tag = 0)
+{
+    Message msg;
+    msg.src = src;
+    msg.dst = dst;
+    msg.kind = kind;
+    msg.tag = tag;
+    return msg;
+}
+
+TEST(Routing, DimensionOrderXFirst)
+{
+    const Geometry geom;
+    const ClusterId origin = geom.idAt({0, 0});
+    const ClusterId east = geom.idAt({3, 0});
+    const ClusterId north = geom.idAt({0, 3});
+    const ClusterId both = geom.idAt({3, 3});
+    EXPECT_EQ(mesh::route(geom, origin, east), Direction::East);
+    EXPECT_EQ(mesh::route(geom, origin, north), Direction::North);
+    // X corrected before Y.
+    EXPECT_EQ(mesh::route(geom, origin, both), Direction::East);
+    EXPECT_EQ(mesh::route(geom, east, both), Direction::North);
+    EXPECT_EQ(mesh::route(geom, both, both), Direction::Local);
+}
+
+TEST(Routing, NeighbourAndOpposite)
+{
+    const Geometry geom;
+    const ClusterId centre = geom.idAt({4, 4});
+    EXPECT_EQ(geom.coordOf(mesh::neighbour(geom, centre, Direction::East)),
+              (topology::GridCoord{5, 4}));
+    EXPECT_EQ(mesh::opposite(Direction::East), Direction::West);
+    EXPECT_EQ(mesh::opposite(Direction::North), Direction::South);
+    const ClusterId corner = geom.idAt({0, 0});
+    EXPECT_FALSE(mesh::hasNeighbour(geom, corner, Direction::West));
+    EXPECT_FALSE(mesh::hasNeighbour(geom, corner, Direction::South));
+    EXPECT_THROW(mesh::neighbour(geom, corner, Direction::West),
+                 std::out_of_range);
+}
+
+TEST(Routing, RouteAlwaysMakesProgress)
+{
+    const Geometry geom;
+    for (ClusterId s = 0; s < 64; ++s) {
+        for (ClusterId d = 0; d < 64; ++d) {
+            ClusterId here = s;
+            std::size_t hops = 0;
+            while (here != d) {
+                const Direction dir = mesh::route(geom, here, d);
+                ASSERT_NE(dir, Direction::Local);
+                here = mesh::neighbour(geom, here, dir);
+                ASSERT_LE(++hops, 14u) << "route diverged";
+            }
+            EXPECT_EQ(hops, geom.manhattanDistance(s, d));
+        }
+    }
+}
+
+TEST(MeshParams, PaperBisections)
+{
+    EXPECT_DOUBLE_EQ(mesh::hmeshParams().bisection_bytes_per_second,
+                     1.28e12);
+    EXPECT_DOUBLE_EQ(mesh::lmeshParams().bisection_bytes_per_second,
+                     0.64e12);
+}
+
+class MeshFixture : public ::testing::Test
+{
+  protected:
+    MeshFixture()
+        : mesh_(eq_, sim::coronaClock(), geom_, mesh::hmeshParams(),
+                "HMesh")
+    {
+    }
+
+    EventQueue eq_;
+    Geometry geom_;
+    ElectricalMesh mesh_;
+};
+
+TEST_F(MeshFixture, LinkBandwidthFromBisection)
+{
+    // 1.28 TB/s across the 8-channel cut, derated by the 0.8 wormhole
+    // flow-control efficiency = 128 GB/s per link.
+    EXPECT_DOUBLE_EQ(mesh_.linkBandwidth(), 128e9);
+    EXPECT_DOUBLE_EQ(mesh_.bisectionBandwidth(), 1.28e12);
+    EXPECT_EQ(mesh_.name(), "HMesh");
+}
+
+TEST_F(MeshFixture, SingleMessageLatencyIsFiveClocksPerHop)
+{
+    std::vector<Tick> deliveries;
+    mesh_.setDeliver([&](const Message &) {
+        deliveries.push_back(eq_.now());
+    });
+    const ClusterId src = geom_.idAt({0, 0});
+    const ClusterId dst = geom_.idAt({3, 0});
+    mesh_.send(makeMsg(src, dst)); // 3 hops
+    eq_.run();
+    ASSERT_EQ(deliveries.size(), 1u);
+    // Each hop: serialization (16 B at 128 GB/s = 125 ps) + 5-clock
+    // hop latency.
+    const Tick ser = 125; // 16 B / 128 GB/s
+    EXPECT_EQ(deliveries[0], 3 * (ser + 5 * kClock));
+}
+
+TEST_F(MeshFixture, HopCountMatchesManhattanDistance)
+{
+    EXPECT_EQ(mesh_.hopCount(geom_.idAt({0, 0}), geom_.idAt({7, 7})), 14u);
+    EXPECT_EQ(mesh_.hopCount(5, 5), 1u); // Local delivery counted as 1.
+}
+
+TEST_F(MeshFixture, AllPairsDeliverExactlyOnce)
+{
+    std::map<std::pair<unsigned, unsigned>, int> received;
+    mesh_.setDeliver([&](const Message &msg) {
+        ++received[{static_cast<unsigned>(msg.src),
+                    static_cast<unsigned>(msg.dst)}];
+    });
+    int sent = 0;
+    for (ClusterId s = 0; s < 64; s += 3) {
+        for (ClusterId d = 0; d < 64; d += 3) {
+            if (s == d)
+                continue;
+            mesh_.send(makeMsg(s, d, MsgKind::ReadReq,
+                               static_cast<std::uint64_t>(s) << 8 | d));
+            ++sent;
+        }
+    }
+    eq_.run();
+    EXPECT_EQ(static_cast<int>(received.size()), sent);
+    for (const auto &[key, count] : received)
+        EXPECT_EQ(count, 1);
+    EXPECT_EQ(mesh_.netStats().messages.value(),
+              static_cast<std::uint64_t>(sent));
+}
+
+TEST_F(MeshFixture, MisroutePanicGuard)
+{
+    EXPECT_THROW(mesh_.send(makeMsg(0, 200)), sim::PanicError);
+}
+
+TEST_F(MeshFixture, HopTraversalsAccumulateForPowerModel)
+{
+    mesh_.setDeliver([](const Message &) {});
+    const ClusterId src = geom_.idAt({0, 0});
+    const ClusterId dst = geom_.idAt({7, 7});
+    mesh_.send(makeMsg(src, dst));
+    mesh_.send(makeMsg(src, dst));
+    eq_.run();
+    EXPECT_EQ(mesh_.netStats().hopTraversals.value(), 28u);
+}
+
+TEST(Mesh, LMeshIsHalfTheBandwidth)
+{
+    EventQueue eq;
+    const Geometry geom;
+    ElectricalMesh lmesh(eq, sim::coronaClock(), geom,
+                         mesh::lmeshParams(), "LMesh");
+    EXPECT_DOUBLE_EQ(lmesh.linkBandwidth(), 64e9);
+}
+
+TEST(Mesh, SaturatedLinkThrottlesThroughput)
+{
+    EventQueue eq;
+    const Geometry geom;
+    ElectricalMesh mesh(eq, sim::coronaClock(), geom,
+                        mesh::hmeshParams(), "HMesh");
+    std::uint64_t bytes = 0;
+    mesh.setDeliver([&](const Message &msg) { bytes += msg.bytes(); });
+    // Hammer one link: (0,0) -> (1,0) with 80 B responses.
+    const ClusterId src = geom.idAt({0, 0});
+    const ClusterId dst = geom.idAt({1, 0});
+    const int n = 200;
+    for (int i = 0; i < n; ++i)
+        mesh.send(makeMsg(src, dst, MsgKind::ReadResp));
+    eq.run();
+    const double seconds = sim::ticksToSeconds(eq.now());
+    const double achieved = static_cast<double>(bytes) / seconds;
+    // Cannot exceed the derated 128 GB/s link rate.
+    EXPECT_LE(achieved, 128e9 * 1.01);
+    // And should come close (> 80%) once the pipeline fills.
+    EXPECT_GE(achieved, 0.8 * 128e9);
+}
+
+// -------------------------------------------------------------------
+// Property sweep: deadlock-free delivery under random traffic.
+// -------------------------------------------------------------------
+
+struct MeshTrafficCase
+{
+    std::uint64_t seed;
+    int messages;
+    bool lmesh;
+};
+
+class MeshRandomTraffic
+    : public ::testing::TestWithParam<MeshTrafficCase>
+{
+};
+
+TEST_P(MeshRandomTraffic, AllMessagesDeliveredUnmodified)
+{
+    const auto param = GetParam();
+    EventQueue eq;
+    const Geometry geom;
+    ElectricalMesh mesh(eq, sim::coronaClock(), geom,
+                        param.lmesh ? mesh::lmeshParams()
+                                    : mesh::hmeshParams(),
+                        param.lmesh ? "LMesh" : "HMesh");
+    sim::Rng rng(param.seed);
+    std::map<std::uint64_t, int> outstanding;
+    int delivered = 0;
+    mesh.setDeliver([&](const Message &msg) {
+        ++delivered;
+        auto it = outstanding.find(msg.tag);
+        ASSERT_NE(it, outstanding.end()) << "unknown or duplicate tag";
+        if (--it->second == 0)
+            outstanding.erase(it);
+    });
+    for (int i = 0; i < param.messages; ++i) {
+        const auto src = static_cast<ClusterId>(rng.below(64));
+        auto dst = static_cast<ClusterId>(rng.below(64));
+        const auto kind = rng.chance(0.5) ? MsgKind::ReadResp
+                                          : MsgKind::ReadReq;
+        ++outstanding[static_cast<std::uint64_t>(i)];
+        Message msg = makeMsg(src, dst, kind,
+                              static_cast<std::uint64_t>(i));
+        mesh.send(msg);
+    }
+    eq.run();
+    EXPECT_EQ(delivered, param.messages);
+    EXPECT_TRUE(outstanding.empty()) << "lost messages (deadlock?)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Traffic, MeshRandomTraffic,
+    ::testing::Values(MeshTrafficCase{1, 500, false},
+                      MeshTrafficCase{2, 2000, false},
+                      MeshTrafficCase{3, 2000, true},
+                      MeshTrafficCase{4, 5000, false},
+                      MeshTrafficCase{5, 5000, true}));
+
+} // namespace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit and property tests for the cache-hierarchy-driven workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/miss_stream.hh"
+
+namespace {
+
+using namespace corona;
+using workload::AccessPattern;
+using workload::MissRequest;
+using workload::MissStreamParams;
+using workload::MissStreamWorkload;
+
+TEST(MissStream, StreamingIsAllCompulsoryMisses)
+{
+    MissStreamParams params;
+    params.pattern = AccessPattern::Streaming;
+    MissStreamWorkload wl(params);
+    sim::Rng rng(1);
+    std::set<topology::Addr> lines;
+    for (int i = 0; i < 200; ++i) {
+        const MissRequest req = wl.next(0, 0, rng);
+        EXPECT_TRUE(lines.insert(req.line).second)
+            << "streaming must never revisit a line";
+        // One access per miss: think time is a single access period.
+        EXPECT_EQ(req.think_time, params.access_period);
+    }
+    EXPECT_DOUBLE_EQ(wl.l1MissRate(), 1.0);
+    EXPECT_DOUBLE_EQ(wl.l2MissRate(), 1.0);
+}
+
+TEST(MissStream, CacheResidentWorkingSetAbsorbsAccesses)
+{
+    MissStreamParams params;
+    params.pattern = AccessPattern::WorkingSet;
+    params.working_set_lines = 16; // 1 KB: L1-resident.
+    MissStreamWorkload wl(params);
+    sim::Rng rng(2);
+    // Warm up, then measure think times: once resident, misses only
+    // come from window drift, so think times stretch far beyond one
+    // access period.
+    for (int i = 0; i < 32; ++i)
+        (void)wl.next(0, 0, rng);
+    double total_think = 0.0;
+    const int n = 50;
+    for (int i = 0; i < n; ++i)
+        total_think += static_cast<double>(wl.next(0, 0, rng).think_time);
+    EXPECT_GT(total_think / n,
+              10.0 * static_cast<double>(params.access_period))
+        << "hits must accumulate into long think times";
+    EXPECT_LT(wl.l1MissRate(), 0.25);
+}
+
+TEST(MissStream, LargeWorkingSetSpillsBothLevels)
+{
+    MissStreamParams params;
+    params.pattern = AccessPattern::WorkingSet;
+    params.working_set_lines = 1 << 15; // 2 MB per thread.
+    MissStreamWorkload wl(params);
+    sim::Rng rng(3);
+    for (int i = 0; i < 500; ++i)
+        (void)wl.next(0, 0, rng);
+    EXPECT_GT(wl.l1MissRate(), 0.9);
+    EXPECT_GT(wl.l2MissRate(), 0.9);
+}
+
+TEST(MissStream, ThreadsHaveDisjointFootprints)
+{
+    MissStreamWorkload wl;
+    sim::Rng rng(4);
+    const MissRequest a = wl.next(0, 0, rng);
+    const MissRequest b = wl.next(1, 0, rng);
+    EXPECT_NE(a.line >> 40, b.line >> 40);
+}
+
+TEST(MissStream, DirtyL2VictimsEmergeAsWrites)
+{
+    MissStreamParams params;
+    params.pattern = AccessPattern::Streaming;
+    params.write_fraction = 1.0; // Everything dirty.
+    // Tiny L2 so victims appear quickly.
+    params.l2 = cache::CacheConfig{16 * 1024, 16, 64};
+    MissStreamWorkload wl(params);
+    sim::Rng rng(5);
+    // Streaming never revisits an address, so any repeated line must
+    // be a dirty L2 victim coming back as a writeback write.
+    std::set<topology::Addr> seen;
+    bool saw_writeback = false;
+    for (int i = 0; i < 2000 && !saw_writeback; ++i) {
+        const MissRequest req = wl.next(0, 0, rng);
+        if (!seen.insert(req.line).second) {
+            EXPECT_TRUE(req.write);
+            saw_writeback = true;
+        }
+    }
+    EXPECT_TRUE(saw_writeback);
+}
+
+TEST(MissStream, NameAndBounds)
+{
+    MissStreamWorkload wl;
+    EXPECT_EQ(wl.name(), "MissStream/WorkingSet");
+    EXPECT_EQ(wl.threads(), 1024u);
+    sim::Rng rng(1);
+    EXPECT_THROW(wl.next(99999, 0, rng), std::out_of_range);
+    EXPECT_EQ(workload::to_string(AccessPattern::Strided), "Strided");
+}
+
+class MissStreamPatterns
+    : public ::testing::TestWithParam<AccessPattern>
+{
+};
+
+TEST_P(MissStreamPatterns, RequestsAreWellFormed)
+{
+    MissStreamParams params;
+    params.pattern = GetParam();
+    MissStreamWorkload wl(params);
+    sim::Rng rng(6);
+    for (int i = 0; i < 300; ++i) {
+        const std::size_t thread = static_cast<std::size_t>(i) % 32;
+        const MissRequest req = wl.next(thread, 0, rng);
+        EXPECT_LT(req.home, 64u);
+        EXPECT_EQ(req.line % 64, 0u);
+        EXPECT_GT(req.think_time, 0u);
+    }
+    EXPECT_GT(wl.accesses(), 0u);
+    EXPECT_GT(wl.offeredBytesPerSecond(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, MissStreamPatterns,
+                         ::testing::Values(AccessPattern::Streaming,
+                                           AccessPattern::Strided,
+                                           AccessPattern::WorkingSet));
+
+} // namespace

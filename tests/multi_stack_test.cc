@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the multi-stack federation (Section 3.1.2's network
+ * interfaces and inter-stack DWDM links).
+ */
+
+#include <gtest/gtest.h>
+
+#include "corona/multi_stack.hh"
+
+namespace {
+
+using namespace corona;
+using core::MultiStackParams;
+using core::MultiStackSystem;
+using sim::EventQueue;
+using sim::Tick;
+
+TEST(MultiStack, LocalAccessMatchesSingleStack)
+{
+    EventQueue eq;
+    MultiStackSystem federation(eq);
+    bool filled = false;
+    Tick fill_time = 0;
+    federation.access(0, 3, 0, 9, 0x1000, false, [&] {
+        filled = true;
+        fill_time = eq.now();
+    });
+    eq.run();
+    EXPECT_TRUE(filled);
+    EXPECT_EQ(federation.localAccesses(), 1u);
+    EXPECT_EQ(federation.remoteAccesses(), 0u);
+    // Same ballpark as the single-stack remote-miss round trip.
+    EXPECT_GT(fill_time, 20000u);
+    EXPECT_LT(fill_time, 100000u);
+}
+
+TEST(MultiStack, RemoteAccessPaysFiberTier)
+{
+    EventQueue eq;
+    MultiStackSystem federation(eq);
+    Tick local_time = 0, remote_time = 0;
+    federation.access(0, 3, 0, 9, 0x1000, false,
+                      [&] { local_time = eq.now(); });
+    eq.run();
+    federation.access(0, 3, 1, 9, 0x2000, false,
+                      [&] { remote_time = eq.now() - local_time; });
+    eq.run();
+    EXPECT_GT(remote_time, local_time)
+        << "second NUMA tier must cost more than the first";
+    // Two fiber flights + two extra crossbar passes on top of local.
+    EXPECT_GE(remote_time, local_time + 2 * 2000u);
+}
+
+TEST(MultiStack, RemoteMemoryLandsOnRemoteController)
+{
+    EventQueue eq;
+    MultiStackSystem federation(eq);
+    federation.access(0, 5, 1, 7, 0x4000, false, [] {});
+    eq.run();
+    EXPECT_EQ(federation.stack(1).mc(7).accesses(), 1u);
+    EXPECT_EQ(federation.stack(0).mc(7).accesses(), 0u);
+    EXPECT_EQ(federation.remoteAccesses(), 1u);
+}
+
+TEST(MultiStack, ManyRemoteAccessesAllComplete)
+{
+    EventQueue eq;
+    MultiStackParams params;
+    params.stacks = 3;
+    MultiStackSystem federation(eq, params);
+    int fills = 0;
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+        federation.access(static_cast<std::size_t>(i % 3),
+                          static_cast<topology::ClusterId>(i % 64),
+                          static_cast<std::size_t>((i + 1) % 3),
+                          static_cast<topology::ClusterId>((i * 7) % 64),
+                          static_cast<topology::Addr>(i) * 64, i % 4 == 0,
+                          [&] { ++fills; });
+    }
+    eq.run();
+    EXPECT_EQ(fills, n);
+    EXPECT_EQ(federation.remoteAccesses(), static_cast<std::uint64_t>(n));
+    EXPECT_GT(federation.fiberUtilization(0, 1), 0.0);
+}
+
+TEST(MultiStack, FiberBandwidthBoundsRemoteThroughput)
+{
+    EventQueue eq;
+    MultiStackSystem federation(eq);
+    int fills = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        federation.access(0, static_cast<topology::ClusterId>(i % 64),
+                          1, static_cast<topology::ClusterId>(i % 64),
+                          static_cast<topology::Addr>(i) * 64, false,
+                          [&] { ++fills; });
+    }
+    eq.run();
+    EXPECT_EQ(fills, n);
+    // Return fibers carry n x 80 B of fills at <= 160 GB/s.
+    const double seconds = sim::ticksToSeconds(eq.now());
+    const double response_bytes = static_cast<double>(n) * 80.0;
+    EXPECT_LE(response_bytes / seconds, 160e9 * 1.01);
+}
+
+TEST(MultiStack, Validation)
+{
+    EventQueue eq;
+    MultiStackParams bad;
+    bad.stacks = 0;
+    EXPECT_THROW(MultiStackSystem(eq, bad), std::invalid_argument);
+    MultiStackSystem federation(eq);
+    EXPECT_THROW(federation.access(5, 0, 0, 0, 0, false, [] {}),
+                 std::out_of_range);
+}
+
+} // namespace

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Unit and property tests for the photonic device models, the component
+ * inventory (Table 2), the loss-budget solver, and optical clocking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "photonics/inventory.hh"
+#include "photonics/laser.hh"
+#include "photonics/loss_budget.hh"
+#include "photonics/optical_clock.hh"
+#include "photonics/ring_resonator.hh"
+#include "photonics/waveguide.hh"
+#include "photonics/wavelength.hh"
+#include "sim/clock.hh"
+
+namespace {
+
+using namespace corona;
+using namespace corona::photonics;
+
+TEST(DwdmComb, SixtyFourLinesCentredAt1300)
+{
+    const DwdmComb comb;
+    EXPECT_EQ(comb.count(), 64u);
+    const auto lines = comb.wavelengths();
+    EXPECT_EQ(lines.size(), 64u);
+    // Centre of the comb is the band centre.
+    const double mid = (lines.front() + lines.back()) / 2.0;
+    EXPECT_NEAR(mid, centreWavelengthNm, 1e-9);
+    // Even spacing.
+    for (std::size_t i = 1; i < lines.size(); ++i)
+        EXPECT_NEAR(lines[i] - lines[i - 1], channelSpacingNm, 1e-12);
+}
+
+TEST(DwdmComb, NearestIndexRoundTrips)
+{
+    const DwdmComb comb;
+    for (std::size_t i = 0; i < comb.count(); ++i)
+        EXPECT_EQ(comb.nearestIndex(comb.wavelength(i)), i);
+    EXPECT_THROW(comb.nearestIndex(9999.0), std::out_of_range);
+}
+
+TEST(DwdmComb, AggregateRateIs640Gbps)
+{
+    const DwdmComb comb;
+    EXPECT_DOUBLE_EQ(comb.aggregateBitsPerSecond(), 64.0 * 10e9);
+}
+
+TEST(DwdmComb, RejectsBadParameters)
+{
+    EXPECT_THROW(DwdmComb(0), std::invalid_argument);
+    EXPECT_THROW(DwdmComb(4, 1300.0, -1.0), std::invalid_argument);
+}
+
+TEST(RingResonator, ResonanceSelectivity)
+{
+    const RingResonator ring(RingRole::Modulator, 1300.0);
+    EXPECT_TRUE(ring.onResonance(1300.0));
+    EXPECT_TRUE(ring.onResonance(1300.05));
+    EXPECT_FALSE(ring.onResonance(1300.8)); // Next comb line.
+    EXPECT_FALSE(ring.onResonance(1299.2));
+}
+
+TEST(RingResonator, ChargeInjectionDetunes)
+{
+    RingResonator ring(RingRole::Modulator, 1300.0);
+    ring.setCharge(true);
+    // On-resonance wavelength passes when the ring is charge-shifted:
+    // this is exactly how a 1 is distinguished from a 0.
+    EXPECT_FALSE(ring.onResonance(1300.0));
+    ring.setCharge(false);
+    EXPECT_TRUE(ring.onResonance(1300.0));
+}
+
+TEST(RingResonator, TrimmingCancelsFabricationError)
+{
+    RingResonator ring(RingRole::Detector, 1300.0);
+    ring.setFabricationError(0.3);
+    EXPECT_FALSE(ring.onResonance(1300.0));
+    const double power = ring.trimToDesign();
+    EXPECT_TRUE(ring.onResonance(1300.0));
+    EXPECT_GT(power, 0.0);
+    // Trimming power grows with the correction magnitude.
+    RingResonator worse(RingRole::Detector, 1300.0);
+    worse.setFabricationError(0.6);
+    EXPECT_GT(worse.trimToDesign(), power);
+}
+
+TEST(RingResonator, ThroughLossSmallOffResonance)
+{
+    const RingResonator ring(RingRole::Modulator, 1300.0);
+    EXPECT_LE(ring.throughLossDb(1310.0), 0.05);
+    EXPECT_GT(ring.throughLossDb(1300.0), ring.throughLossDb(1310.0));
+}
+
+TEST(RingResonator, ModulationSupports10Gbps)
+{
+    const RingResonator ring(RingRole::Modulator, 1300.0);
+    // 10 Gb/s needs a bit time of 100 ps; toggling must fit in half.
+    EXPECT_LE(ring.params().modulation_time, 100u);
+}
+
+TEST(Waveguide, DelayMatchesPaperConstant)
+{
+    // Light covers ~2 cm per 5 GHz clock (Section 3.2.1).
+    EXPECT_EQ(propagationDelay(2.0), 200u);
+    // Full 16 cm serpentine = 8 clocks.
+    Waveguide serpentine(16.0);
+    EXPECT_EQ(serpentine.delay(), 1600u);
+}
+
+TEST(Waveguide, LossComposition)
+{
+    WaveguideParams params;
+    params.loss_db_per_cm = 0.5;
+    params.bend_loss_db = 0.1;
+    Waveguide wg(4.0, params);
+    wg.setBends(3);
+    wg.setRingPassBys(100);
+    wg.setRingThroughLossDb(0.002);
+    EXPECT_NEAR(wg.lossDb(), 4.0 * 0.5 + 3 * 0.1 + 100 * 0.002, 1e-12);
+}
+
+TEST(Waveguide, RejectsNegativeLength)
+{
+    EXPECT_THROW(Waveguide(-1.0), std::invalid_argument);
+}
+
+TEST(Splitter, EnergyConservation)
+{
+    const Splitter splitter(0.25);
+    const double tapped = dbToRatio(-splitter.tapLossDb());
+    const double through = dbToRatio(-splitter.throughLossDb());
+    EXPECT_NEAR(tapped + through, 1.0, 1e-9);
+    EXPECT_THROW(Splitter(0.0), std::invalid_argument);
+    EXPECT_THROW(Splitter(1.0), std::invalid_argument);
+}
+
+TEST(DbHelpers, RoundTrip)
+{
+    EXPECT_NEAR(ratioToDb(0.5), -3.0103, 1e-3);
+    EXPECT_NEAR(dbToRatio(ratioToDb(0.123)), 0.123, 1e-12);
+    EXPECT_THROW(ratioToDb(0.0), std::invalid_argument);
+}
+
+TEST(Laser, CombAndPower)
+{
+    const ModeLockedLaser laser;
+    EXPECT_EQ(laser.comb().count(), 64u);
+    EXPECT_DOUBLE_EQ(laser.opticalPowerMw(), 64.0 * 2.0);
+    EXPECT_DOUBLE_EQ(laser.electricalPowerMw(),
+                     laser.opticalPowerMw() / 0.15);
+}
+
+TEST(Laser, RejectsBadParams)
+{
+    LaserParams bad;
+    bad.power_per_line_mw = 0.0;
+    EXPECT_THROW(ModeLockedLaser{bad}, std::invalid_argument);
+    LaserParams bad2;
+    bad2.wall_plug_efficiency = 0.0;
+    EXPECT_THROW(ModeLockedLaser{bad2}, std::invalid_argument);
+}
+
+// -------------------------------------------------------------------
+// Table 2: optical resource inventory.
+// -------------------------------------------------------------------
+
+TEST(Inventory, Table2MemoryRow)
+{
+    const Inventory inv;
+    const auto &memory = inv.row("Memory");
+    EXPECT_EQ(memory.waveguides, 128u);
+    EXPECT_EQ(memory.ring_resonators, 16u * 1024u);
+}
+
+TEST(Inventory, Table2CrossbarRow)
+{
+    const Inventory inv;
+    const auto &xbar = inv.row("Crossbar");
+    EXPECT_EQ(xbar.waveguides, 256u);
+    EXPECT_EQ(xbar.ring_resonators, 1024u * 1024u);
+}
+
+TEST(Inventory, Table2BroadcastRow)
+{
+    const Inventory inv;
+    const auto &bcast = inv.row("Broadcast");
+    EXPECT_EQ(bcast.waveguides, 1u);
+    EXPECT_EQ(bcast.ring_resonators, 8u * 1024u);
+}
+
+TEST(Inventory, Table2ArbitrationRow)
+{
+    const Inventory inv;
+    const auto &arb = inv.row("Arbitration");
+    EXPECT_EQ(arb.waveguides, 2u);
+    EXPECT_EQ(arb.ring_resonators, 8u * 1024u);
+}
+
+TEST(Inventory, Table2ClockRowAndTotals)
+{
+    const Inventory inv;
+    const auto &clock = inv.row("Clock");
+    EXPECT_EQ(clock.waveguides, 1u);
+    EXPECT_EQ(clock.ring_resonators, 64u);
+    EXPECT_EQ(inv.totalWaveguides(), 388u); // Table 2 total.
+    // Table 2: ~1056 K rings.
+    EXPECT_EQ(inv.totalRings(), 1024u * 1024u + 16u * 1024u +
+                                    8u * 1024u + 8u * 1024u + 64u);
+    EXPECT_NEAR(static_cast<double>(inv.totalRings()) / 1024.0, 1056.0,
+                1.0);
+}
+
+TEST(Inventory, ScalesWithClusterCount)
+{
+    InventoryParams params;
+    params.clusters = 16;
+    params.memory_controllers = 16;
+    const Inventory inv(params);
+    EXPECT_EQ(inv.row("Crossbar").waveguides, 64u);
+    EXPECT_EQ(inv.row("Crossbar").ring_resonators, 16u * 16u * 256u);
+    EXPECT_THROW(inv.row("Nonexistent"), std::out_of_range);
+}
+
+// -------------------------------------------------------------------
+// Loss budget.
+// -------------------------------------------------------------------
+
+TEST(LossBudget, PathAccumulates)
+{
+    OpticalPath path;
+    path.add("a", 1.5);
+    path.add("b", 2.5);
+    EXPECT_DOUBLE_EQ(path.totalLossDb(), 4.0);
+    EXPECT_EQ(path.elements().size(), 2u);
+    EXPECT_THROW(path.add("neg", -0.1), std::invalid_argument);
+}
+
+TEST(LossBudget, SolverClosesLink)
+{
+    OpticalPath path;
+    path.add("link", 10.0);
+    BudgetParams params;
+    params.detector_sensitivity_dbm = -20.0;
+    params.margin_db = 3.0;
+    const BudgetResult r = solveBudget(path, 1000, params);
+    EXPECT_DOUBLE_EQ(r.path_loss_db, 10.0);
+    EXPECT_DOUBLE_EQ(r.required_at_source_dbm, -7.0);
+    // -7 dBm ~ 0.2 mW per wavelength; 1000 instances ~ 0.2 W optical.
+    EXPECT_NEAR(r.total_optical_power_w, 0.1995, 0.01);
+    EXPECT_NEAR(r.total_electrical_power_w,
+                r.total_optical_power_w / params.wall_plug_efficiency,
+                1e-9);
+}
+
+TEST(LossBudget, CoronaCrossbarBudgetIsClosable)
+{
+    // Worst-case data path: one of four bundle guides carries 64
+    // wavelengths past 64 clusters' worth of rings (64 rings per
+    // cluster on that guide).
+    const OpticalPath path =
+        crossbarWorstCasePath(64, 16.0, 64 * 64);
+    // The budget must be meaningfully positive but far below amplifier
+    // territory (< 20 dB excess; the ideal 1:64 split conserves total
+    // power and is excluded by design).
+    EXPECT_GT(path.totalLossDb(), 5.0);
+    EXPECT_LT(path.totalLossDb(), 20.0);
+
+    // All 64 channels x 256 lambdas must be lit simultaneously.
+    const BudgetResult r = solveBudget(path, 64 * 256);
+    EXPECT_GT(r.total_electrical_power_w, 0.5);
+    EXPECT_LT(r.total_electrical_power_w, 20.0);
+}
+
+TEST(LossBudget, SolverRejectsZeroInstances)
+{
+    OpticalPath path;
+    path.add("x", 1.0);
+    EXPECT_THROW(solveBudget(path, 0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------
+// Optical clock distribution.
+// -------------------------------------------------------------------
+
+TEST(OpticalClock, PhaseOffsetsAreEighthClocks)
+{
+    const OpticalClock clock(64, sim::coronaClock(), 8);
+    EXPECT_EQ(clock.hopTime(), 25u); // 8 x 200 ps / 64.
+    EXPECT_EQ(clock.phaseOffset(0), 0u);
+    EXPECT_EQ(clock.phaseOffset(1), 25u);
+    // Cluster 8 is a full clock downstream: back in phase.
+    EXPECT_EQ(clock.phaseOffset(8), 0u);
+    EXPECT_EQ(clock.phaseOffset(9), 25u);
+}
+
+TEST(OpticalClock, RetimingOnlyAtWrap)
+{
+    const OpticalClock clock(64, sim::coronaClock(), 8);
+    EXPECT_EQ(clock.retimingPenalty(3, 10), 0u);
+    EXPECT_EQ(clock.retimingPenalty(10, 3), 200u); // Crosses the wrap.
+    EXPECT_EQ(clock.retimingPenalty(63, 0), 200u);
+    EXPECT_EQ(clock.retimingPenalty(0, 63), 0u);
+}
+
+TEST(OpticalClock, ValidatesArguments)
+{
+    EXPECT_THROW(OpticalClock(0, sim::coronaClock()),
+                 std::invalid_argument);
+    const OpticalClock clock(64, sim::coronaClock(), 8);
+    EXPECT_THROW(clock.phaseOffset(64), std::out_of_range);
+    EXPECT_THROW(clock.crossesWrap(64, 0), std::out_of_range);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Analytical cross-validation of the queueing models: the memory
+ * controller under Poisson arrivals must track M/D/1 waiting times,
+ * and a bandwidth link must track its utilization law. These tests tie
+ * the simulator's contention behaviour to closed-form theory rather
+ * than to itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "memory/memory_controller.hh"
+#include "noc/link.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace corona;
+using sim::EventQueue;
+using sim::Tick;
+
+/** Drive a memory controller with Poisson arrivals at utilization rho;
+ * return the mean queueing delay (service time excluded), ticks. */
+double
+mcQueueingDelay(double rho, int arrivals, std::uint64_t seed)
+{
+    EventQueue eq;
+    memory::MemoryParams params = memory::ocmParams();
+    params.link_delay = 0;
+    // Isolate the link server: make mat occupancy negligible so the
+    // only queueing resource is the deterministic line serializer.
+    params.dram.mat_occupancy = 1;
+    memory::MemoryController mc(eq, 0, params);
+
+    // Deterministic service time: one line at 160 GB/s = 400 ticks.
+    const double service = 64.0 / (params.bytes_per_second /
+                                   static_cast<double>(sim::oneSecond));
+    const double mean_gap = service / rho;
+
+    sim::Rng rng(seed);
+    double total_wait = 0.0;
+    int completed = 0;
+    Tick arrival = 0;
+    for (int i = 0; i < arrivals; ++i) {
+        arrival += static_cast<Tick>(rng.exponential(mean_gap));
+        eq.schedule(arrival, [&, i, arrival] {
+            noc::Message req;
+            req.src = 1;
+            req.dst = 0;
+            req.kind = noc::MsgKind::ReadReq;
+            req.tag = static_cast<std::uint64_t>(i);
+            const Tick arrived = eq.now();
+            mc.access(req, static_cast<topology::Addr>(i) * 64,
+                      [&, arrived](const noc::Message &) {
+                // The 20 ns array access overlaps the 400-tick
+                // serialization and dominates it, so the service
+                // pipeline contributes a flat 20 ns; what remains is
+                // the time spent waiting for the link server.
+                const double in_system =
+                    static_cast<double>(eq.now() - arrived);
+                total_wait += in_system - 20000.0;
+                ++completed;
+            });
+        });
+    }
+    eq.run();
+    EXPECT_EQ(completed, arrivals);
+    return total_wait / completed;
+}
+
+class Md1Sweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(Md1Sweep, MemoryControllerMatchesMd1Waiting)
+{
+    const double rho = GetParam();
+    const double service = 400.0; // ticks
+    // M/D/1 mean wait: rho * s / (2 (1 - rho)).
+    const double expected = rho * service / (2.0 * (1.0 - rho));
+    const double measured = mcQueueingDelay(rho, 40000, 13);
+    // 10% + 20-tick tolerance: finite run, integer ticks.
+    EXPECT_NEAR(measured, expected, expected * 0.10 + 20.0)
+        << "rho = " << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Utilisations, Md1Sweep,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.85));
+
+TEST(QueueingLaws, LinkUtilizationMatchesOfferedLoad)
+{
+    EventQueue eq;
+    noc::BandwidthLink link(eq, 160e9, 0, 1 << 20);
+    link.setSink([](const noc::Message &) {});
+    sim::Rng rng(17);
+    // Offered load at 40% of capacity: 80 B per message, service 500
+    // ticks, mean gap 1250 ticks.
+    Tick arrival = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        arrival += static_cast<Tick>(rng.exponential(1250.0));
+        eq.schedule(arrival, [&link] {
+            noc::Message msg;
+            msg.kind = noc::MsgKind::ReadResp;
+            ASSERT_TRUE(link.trySend(msg));
+        });
+    }
+    eq.run();
+    const double utilization = static_cast<double>(link.busyTime()) /
+                               static_cast<double>(eq.now());
+    EXPECT_NEAR(utilization, 0.4, 0.02);
+    // M/D/1 wait at rho=0.4: 0.4*500/(2*0.6) = 166.7 ticks.
+    EXPECT_NEAR(link.queueWait().mean(), 166.7, 35.0);
+}
+
+TEST(QueueingLaws, LittlesLawHoldsForMcQueue)
+{
+    // N = lambda * W: check via the controller's own statistics.
+    EventQueue eq;
+    memory::MemoryController mc(eq, 0, memory::ecmParams());
+    sim::Rng rng(19);
+    Tick arrival = 0;
+    const int n = 5000;
+    int completed = 0;
+    double total_time = 0.0;
+    for (int i = 0; i < n; ++i) {
+        arrival += static_cast<Tick>(rng.exponential(6000.0));
+        eq.schedule(arrival, [&, i] {
+            noc::Message req;
+            req.kind = noc::MsgKind::ReadReq;
+            const Tick t0 = eq.now();
+            mc.access(req, static_cast<topology::Addr>(i) * 64,
+                      [&, t0](const noc::Message &) {
+                total_time += static_cast<double>(eq.now() - t0);
+                ++completed;
+            });
+        });
+    }
+    eq.run();
+    EXPECT_EQ(completed, n);
+    const double lambda =
+        static_cast<double>(n) / static_cast<double>(eq.now());
+    const double w = total_time / n;
+    const double l = lambda * w; // Mean requests in system.
+    // ECM service 64 B / 15 GB/s = ~4267 ticks at ~0.71 utilization:
+    // the system holds a handful of requests on average.
+    EXPECT_GT(l, 1.0);
+    EXPECT_LT(l, 20.0);
+}
+
+} // namespace

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering and
+ * determinism, clock-domain arithmetic, RNG distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace {
+
+using namespace corona;
+using sim::EventQueue;
+using sim::Tick;
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleIn(7, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.now(), 4u * 7u);
+}
+
+TEST(EventQueue, RunHonoursLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ThrowsOnPastScheduling)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ResetClearsState)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (Tick t = 1; t <= 42; ++t)
+        eq.schedule(t, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 42u);
+}
+
+TEST(ClockDomain, CoronaClockIs200ps)
+{
+    const auto &clock = sim::coronaClock();
+    EXPECT_EQ(clock.period(), 200u);
+    EXPECT_DOUBLE_EQ(clock.frequencyHz(), 5.0e9);
+}
+
+TEST(ClockDomain, CycleConversionsRoundTrip)
+{
+    const sim::ClockDomain clock(5.0e9);
+    EXPECT_EQ(clock.cyclesToTicks(8), 1600u);
+    EXPECT_EQ(clock.ticksToCycles(1600), 8u);
+    EXPECT_EQ(clock.ticksToCycles(1601), 8u);
+}
+
+TEST(ClockDomain, EdgeAlignment)
+{
+    const sim::ClockDomain clock(5.0e9);
+    EXPECT_EQ(clock.nextEdge(0), 0u);
+    EXPECT_EQ(clock.nextEdge(1), 200u);
+    EXPECT_EQ(clock.nextEdge(200), 200u);
+    EXPECT_EQ(clock.edgeAfter(200), 400u);
+    EXPECT_EQ(clock.edgeAfter(199), 200u);
+}
+
+TEST(ClockDomain, RejectsBadFrequencies)
+{
+    EXPECT_THROW(sim::ClockDomain(0.0), std::invalid_argument);
+    EXPECT_THROW(sim::ClockDomain(-1.0), std::invalid_argument);
+    // 3 GHz has a 333.33 ps period — not a whole number of ticks.
+    EXPECT_THROW(sim::ClockDomain(3.0e9), std::invalid_argument);
+}
+
+TEST(Types, UnitConstants)
+{
+    EXPECT_EQ(sim::oneNanosecond, 1000u);
+    EXPECT_EQ(sim::oneSecond, 1000000000000ull);
+    EXPECT_EQ(sim::nanosecondsToTicks(20.0), 20000u);
+    EXPECT_DOUBLE_EQ(sim::ticksToSeconds(sim::oneSecond), 1.0);
+    EXPECT_EQ(sim::secondsToTicks(1e-9), sim::oneNanosecond);
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    sim::Rng a(42), b(42), c(43);
+    bool differs = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next())
+            differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    sim::Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    sim::Rng rng(11);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 10000; ++i)
+        ++counts[rng.below(10)];
+    for (const int count : counts)
+        EXPECT_NEAR(count, 1000, 200);
+    EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    sim::Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+    EXPECT_THROW(rng.range(1, 0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanConverges)
+{
+    sim::Rng rng(17);
+    double sum = 0.0;
+    const double mean = 250.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(mean);
+    EXPECT_NEAR(sum / n, mean, mean * 0.05);
+    EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    sim::Rng rng(19);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits, 3000, 300);
+}
+
+TEST(Rng, BurstSizeBounded)
+{
+    sim::Rng rng(23);
+    for (int i = 0; i < 5000; ++i) {
+        const auto b = rng.burstSize(1.5, 64);
+        ASSERT_GE(b, 1u);
+        ASSERT_LE(b, 64u);
+    }
+    EXPECT_THROW(rng.burstSize(0.0, 64), std::invalid_argument);
+}
+
+TEST(Logging, FatalAndPanicThrowTypedErrors)
+{
+    EXPECT_THROW(sim::fatal("bad config"), sim::FatalError);
+    EXPECT_THROW(sim::panic("bug"), sim::PanicError);
+    try {
+        sim::fatal("message text");
+    } catch (const sim::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("message text"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, VerboseToggle)
+{
+    sim::setVerbose(true);
+    EXPECT_TRUE(sim::verboseEnabled());
+    sim::setVerbose(false);
+    EXPECT_FALSE(sim::verboseEnabled());
+}
+
+} // namespace

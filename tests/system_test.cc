@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for system assembly: configurations (Table 1 / Section 4),
+ * hub request plumbing, MSHR back-pressure, and local-access bypass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "corona/config.hh"
+#include "corona/hub.hh"
+#include "corona/system.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace corona;
+using core::CoronaSystem;
+using core::Hub;
+using core::MemoryKind;
+using core::NetworkKind;
+using core::SystemConfig;
+using sim::EventQueue;
+
+TEST(Config, PaperConfigsInFigureOrder)
+{
+    const auto configs = core::paperConfigs();
+    ASSERT_EQ(configs.size(), 5u);
+    EXPECT_EQ(configs[0].name(), "LMesh/ECM");
+    EXPECT_EQ(configs[1].name(), "HMesh/ECM");
+    EXPECT_EQ(configs[2].name(), "LMesh/OCM");
+    EXPECT_EQ(configs[3].name(), "HMesh/OCM");
+    EXPECT_EQ(configs[4].name(), "XBar/OCM");
+}
+
+TEST(Config, Table1Scale)
+{
+    const SystemConfig config;
+    EXPECT_EQ(config.clusters, 64u);
+    EXPECT_EQ(config.threads_per_cluster, 16u);
+    EXPECT_EQ(config.threads(), 1024u);
+}
+
+TEST(Config, MeshParamsFollowKind)
+{
+    const auto hmesh = core::makeConfig(NetworkKind::HMesh,
+                                        MemoryKind::ECM);
+    EXPECT_DOUBLE_EQ(hmesh.mesh.bisection_bytes_per_second, 1.28e12);
+    const auto lmesh = core::makeConfig(NetworkKind::LMesh,
+                                        MemoryKind::OCM);
+    EXPECT_DOUBLE_EQ(lmesh.mesh.bisection_bytes_per_second, 0.64e12);
+}
+
+TEST(System, BuildsAllFiveConfigurations)
+{
+    for (const auto &config : core::paperConfigs()) {
+        EventQueue eq;
+        CoronaSystem system(eq, config);
+        EXPECT_EQ(system.geometry().clusters(), 64u);
+        if (config.network == NetworkKind::XBar) {
+            EXPECT_NE(system.crossbar(), nullptr);
+            EXPECT_EQ(system.meshNetwork(), nullptr);
+        } else {
+            EXPECT_EQ(system.crossbar(), nullptr);
+            EXPECT_NE(system.meshNetwork(), nullptr);
+        }
+        const double expected_mem =
+            config.memory == MemoryKind::OCM ? 10.24e12 : 0.96e12;
+        EXPECT_NEAR(system.memoryBandwidth(), expected_mem, 1e6);
+    }
+}
+
+TEST(System, RemoteMissRoundTrip)
+{
+    EventQueue eq;
+    CoronaSystem system(eq, core::makeConfig(NetworkKind::XBar,
+                                             MemoryKind::OCM));
+    bool filled = false;
+    sim::Tick fill_time = 0;
+    const auto outcome = system.hub(3).issueMiss(
+        /*line=*/0x1000, /*home=*/9, /*write=*/false, [&] {
+            filled = true;
+            fill_time = eq.now();
+        });
+    EXPECT_EQ(outcome, Hub::Issue::Sent);
+    eq.run();
+    EXPECT_TRUE(filled);
+    // Round trip: network there (+ token + serialization), 20 ns
+    // memory, network back. Must exceed the raw 20 ns memory latency
+    // and stay well under a microsecond in an idle system.
+    EXPECT_GT(fill_time, 20000u);
+    EXPECT_LT(fill_time, 100000u);
+    EXPECT_EQ(system.hub(3).networkRequests(), 1u);
+    EXPECT_EQ(system.mc(9).accesses(), 1u);
+    EXPECT_EQ(system.memoryBytesMoved(), 64u);
+}
+
+TEST(System, LocalMissBypassesNetwork)
+{
+    EventQueue eq;
+    CoronaSystem system(eq, core::makeConfig(NetworkKind::XBar,
+                                             MemoryKind::OCM));
+    bool filled = false;
+    sim::Tick fill_time = 0;
+    system.hub(5).issueMiss(0x2000, /*home=*/5, false, [&] {
+        filled = true;
+        fill_time = eq.now();
+    });
+    eq.run();
+    EXPECT_TRUE(filled);
+    EXPECT_EQ(system.hub(5).localRequests(), 1u);
+    EXPECT_EQ(system.hub(5).networkRequests(), 0u);
+    EXPECT_EQ(system.network().netStats().messages.value(), 0u);
+    // 20 ns memory + two hub hops.
+    EXPECT_NEAR(static_cast<double>(fill_time), 20000.0 + 2 * 200 + 600,
+                1500.0);
+}
+
+TEST(System, CoalescingMergesSameLine)
+{
+    EventQueue eq;
+    CoronaSystem system(eq, core::makeConfig(NetworkKind::XBar,
+                                             MemoryKind::OCM));
+    int fills = 0;
+    auto first = system.hub(2).issueMiss(0x40, 11, false,
+                                         [&] { ++fills; });
+    auto second = system.hub(2).issueMiss(0x40, 11, false,
+                                          [&] { ++fills; });
+    EXPECT_EQ(first, Hub::Issue::Sent);
+    EXPECT_EQ(second, Hub::Issue::Coalesced);
+    eq.run();
+    EXPECT_EQ(fills, 2);
+    EXPECT_EQ(system.mc(11).accesses(), 1u) << "one fill, two wakers";
+}
+
+TEST(System, MshrFullStallsAndWakes)
+{
+    EventQueue eq;
+    auto config = core::makeConfig(NetworkKind::XBar, MemoryKind::OCM);
+    config.mshrs_per_cluster = 2;
+    CoronaSystem system(eq, config);
+    int fills = 0;
+    Hub &hub = system.hub(0);
+    EXPECT_EQ(hub.issueMiss(0x40, 1, false, [&] { ++fills; }),
+              Hub::Issue::Sent);
+    EXPECT_EQ(hub.issueMiss(0x80, 2, false, [&] { ++fills; }),
+              Hub::Issue::Sent);
+    EXPECT_EQ(hub.issueMiss(0xC0, 3, false, [&] { ++fills; }),
+              Hub::Issue::MshrFull);
+    bool retried = false;
+    hub.stallOnMshr([&] {
+        retried = true;
+        EXPECT_EQ(hub.issueMiss(0xC0, 3, false, [&] { ++fills; }),
+                  Hub::Issue::Sent);
+    });
+    eq.run();
+    EXPECT_TRUE(retried);
+    EXPECT_EQ(fills, 3);
+    EXPECT_EQ(hub.mshrs().fullStalls(), 1u);
+}
+
+TEST(System, WriteMissGetsAck)
+{
+    EventQueue eq;
+    CoronaSystem system(eq, core::makeConfig(NetworkKind::HMesh,
+                                             MemoryKind::ECM));
+    bool filled = false;
+    system.hub(1).issueMiss(0x3000, 8, /*write=*/true,
+                            [&] { filled = true; });
+    eq.run();
+    EXPECT_TRUE(filled);
+    EXPECT_EQ(system.mc(8).accesses(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit and property tests for die geometry and the address map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "topology/address_map.hh"
+#include "topology/geometry.hh"
+
+namespace {
+
+using namespace corona;
+using topology::AddressMap;
+using topology::ClusterId;
+using topology::Geometry;
+using topology::GridCoord;
+
+TEST(Geometry, DefaultIsCorona64)
+{
+    const Geometry geom;
+    EXPECT_EQ(geom.clusters(), 64u);
+    EXPECT_EQ(geom.radix(), 8u);
+    EXPECT_DOUBLE_EQ(geom.serpentineCm(), 16.0);
+    EXPECT_DOUBLE_EQ(geom.hopCm(), 0.25);
+    EXPECT_EQ(geom.bisectionLinks(), 8u);
+}
+
+TEST(Geometry, RejectsNonSquare)
+{
+    EXPECT_THROW(Geometry(60), std::invalid_argument);
+    EXPECT_THROW(Geometry(0), std::invalid_argument);
+    EXPECT_THROW(Geometry(64, -1.0), std::invalid_argument);
+}
+
+TEST(Geometry, BoustrophedonCoordsRoundTrip)
+{
+    const Geometry geom;
+    for (ClusterId id = 0; id < geom.clusters(); ++id)
+        EXPECT_EQ(geom.idAt(geom.coordOf(id)), id);
+    // Row 0 runs left-to-right.
+    EXPECT_EQ(geom.coordOf(0), (GridCoord{0, 0}));
+    EXPECT_EQ(geom.coordOf(7), (GridCoord{7, 0}));
+    // Row 1 runs right-to-left, so ring neighbours stay adjacent.
+    EXPECT_EQ(geom.coordOf(8), (GridCoord{7, 1}));
+    EXPECT_EQ(geom.coordOf(15), (GridCoord{0, 1}));
+}
+
+TEST(Geometry, RingNeighboursArePhysicallyAdjacent)
+{
+    const Geometry geom;
+    for (ClusterId id = 0; id + 1 < geom.clusters(); ++id)
+        EXPECT_EQ(geom.manhattanDistance(id, id + 1), 1u)
+            << "serpentine neighbours " << id << " and " << id + 1;
+}
+
+TEST(Geometry, RingDistanceProperties)
+{
+    const Geometry geom;
+    EXPECT_EQ(geom.ringDistance(0, 1), 1u);
+    EXPECT_EQ(geom.ringDistance(1, 0), 63u);
+    EXPECT_EQ(geom.ringDistance(5, 5), 0u);
+    // Cyclic consistency: d(a,b) + d(b,a) == N for a != b.
+    for (ClusterId a = 0; a < 64; a += 7) {
+        for (ClusterId b = 0; b < 64; b += 5) {
+            if (a == b)
+                continue;
+            EXPECT_EQ(geom.ringDistance(a, b) + geom.ringDistance(b, a),
+                      64u);
+        }
+    }
+}
+
+TEST(Geometry, ManhattanDistanceSymmetricTriangle)
+{
+    const Geometry geom;
+    for (ClusterId a = 0; a < 64; a += 3) {
+        for (ClusterId b = 0; b < 64; b += 3) {
+            EXPECT_EQ(geom.manhattanDistance(a, b),
+                      geom.manhattanDistance(b, a));
+            for (ClusterId c = 0; c < 64; c += 9) {
+                EXPECT_LE(geom.manhattanDistance(a, b),
+                          geom.manhattanDistance(a, c) +
+                              geom.manhattanDistance(c, b));
+            }
+        }
+    }
+    // Opposite corners of an 8x8 grid.
+    const ClusterId corner = geom.idAt({7, 7});
+    EXPECT_EQ(geom.manhattanDistance(0, corner), 14u);
+}
+
+TEST(Geometry, BoundsChecked)
+{
+    const Geometry geom;
+    EXPECT_THROW(geom.coordOf(64), std::out_of_range);
+    EXPECT_THROW(geom.idAt({8, 0}), std::out_of_range);
+    EXPECT_THROW(geom.ringDistance(64, 0), std::out_of_range);
+}
+
+TEST(AddressMap, CoversAllControllersRoughlyUniformly)
+{
+    const AddressMap map;
+    std::vector<int> counts(64, 0);
+    const int pages = 64 * 256;
+    for (int i = 0; i < pages; ++i)
+        ++counts[map.homeOf(static_cast<topology::Addr>(i) * 4096)];
+    for (const int count : counts)
+        EXPECT_NEAR(count, 256, 120) << "hashed interleave skew";
+}
+
+TEST(AddressMap, StableWithinInterleaveUnit)
+{
+    const AddressMap map;
+    const topology::Addr base = 0x12345000;
+    const auto home = map.homeOf(base);
+    for (topology::Addr offset = 0; offset < 4096; offset += 64)
+        EXPECT_EQ(map.homeOf(base + offset), home);
+}
+
+TEST(AddressMap, UnhashedIsRoundRobin)
+{
+    const AddressMap map(64, 4096, /*hash=*/false);
+    for (topology::Addr frame = 0; frame < 256; ++frame)
+        EXPECT_EQ(map.homeOf(frame * 4096), frame % 64);
+}
+
+TEST(AddressMap, LineOfMasksLowBits)
+{
+    EXPECT_EQ(AddressMap::lineOf(0x1234), 0x1200u | 0x00u);
+    EXPECT_EQ(AddressMap::lineOf(0x1240), 0x1240u);
+    EXPECT_EQ(AddressMap::lineOf(0x127f), 0x1240u);
+}
+
+TEST(AddressMap, RejectsBadConfig)
+{
+    EXPECT_THROW(AddressMap(0), std::invalid_argument);
+    EXPECT_THROW(AddressMap(64, 0), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for trace capture, serialization, and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "workload/synthetic.hh"
+#include "workload/trace.hh"
+
+namespace {
+
+using namespace corona;
+using workload::MissRequest;
+using workload::TraceReader;
+using workload::TraceRecord;
+using workload::TraceWorkload;
+using workload::TraceWriter;
+
+TEST(Trace, WriteReadRoundTrip)
+{
+    std::stringstream stream;
+    TraceWriter writer(stream, 1024);
+    std::vector<TraceRecord> originals;
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        TraceRecord r;
+        r.thread = i % 1024;
+        r.home = i % 64;
+        r.line = static_cast<std::uint64_t>(i) * 64;
+        r.think_time = 1000 + i;
+        r.write = i % 3 == 0 ? 1 : 0;
+        writer.append(r);
+        originals.push_back(r);
+    }
+    EXPECT_EQ(writer.written(), 100u);
+
+    TraceReader reader(stream);
+    EXPECT_EQ(reader.threads(), 1024u);
+    ASSERT_EQ(reader.records().size(), 100u);
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_EQ(reader.records()[i], originals[i]);
+}
+
+TEST(Trace, ReaderRejectsGarbage)
+{
+    std::stringstream garbage("this is not a corona trace at all......");
+    EXPECT_THROW(TraceReader{garbage}, sim::FatalError);
+}
+
+TEST(Trace, ReaderRejectsOutOfRangeThread)
+{
+    std::stringstream stream;
+    TraceWriter writer(stream, 4);
+    TraceRecord r{};
+    r.thread = 9; // > thread count
+    writer.append(r);
+    EXPECT_THROW(TraceReader{stream}, sim::FatalError);
+}
+
+TEST(Trace, CaptureFromSyntheticWorkload)
+{
+    workload::SyntheticWorkload uniform(workload::Pattern::Uniform,
+                                        topology::Geometry());
+    const auto records = workload::captureTrace(uniform, 2048, 5);
+    EXPECT_EQ(records.size(), 2048u);
+    // Every record is well-formed.
+    for (const auto &r : records) {
+        EXPECT_LT(r.thread, 1024u);
+        EXPECT_LT(r.home, 64u);
+        EXPECT_EQ(r.line % 64, 0u);
+    }
+}
+
+TEST(Trace, ReplayPreservesPerThreadOrder)
+{
+    std::vector<TraceRecord> records;
+    for (std::uint32_t i = 0; i < 6; ++i) {
+        TraceRecord r{};
+        r.thread = i % 2;
+        r.home = i;
+        r.line = i * 64;
+        r.think_time = 10 * (i + 1);
+        records.push_back(r);
+    }
+    TraceWorkload replay(records, 2, "replay");
+    EXPECT_EQ(replay.threads(), 2u);
+    EXPECT_EQ(replay.paperRequests(), 6u);
+    sim::Rng rng(1);
+    // Thread 0 sees records 0, 2, 4 in order.
+    EXPECT_EQ(replay.next(0, 0, rng).line, 0u);
+    EXPECT_EQ(replay.next(0, 0, rng).line, 2u * 64);
+    EXPECT_EQ(replay.next(0, 0, rng).line, 4u * 64);
+    // ...then wraps around.
+    EXPECT_EQ(replay.next(0, 0, rng).line, 0u);
+    // Thread 1 sees records 1, 3, 5.
+    EXPECT_EQ(replay.next(1, 0, rng).line, 1u * 64);
+}
+
+TEST(Trace, ReplayedWorkloadMatchesSource)
+{
+    workload::SyntheticWorkload hot(workload::Pattern::HotSpot,
+                                    topology::Geometry());
+    const auto records = workload::captureTrace(hot, 512, 9);
+    TraceWorkload replay(records, 1024, "hotspot-replay");
+    sim::Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        const MissRequest req = replay.next(static_cast<std::size_t>(i),
+                                            0, rng);
+        // Hot Spot traffic all goes to cluster 0 (or idles when the
+        // thread drew no records).
+        if (req.line != 0 || req.home != 0) {
+            EXPECT_EQ(req.home, 0u);
+        }
+    }
+}
+
+TEST(Trace, EmptyThreadIdles)
+{
+    TraceWorkload replay({}, 4, "empty");
+    sim::Rng rng(1);
+    const MissRequest req = replay.next(0, 0, rng);
+    EXPECT_GE(req.think_time, sim::oneSecond);
+    EXPECT_DOUBLE_EQ(replay.offeredBytesPerSecond(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit and property tests for the fabrication-variation model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "photonics/variation.hh"
+
+namespace {
+
+using namespace corona;
+using photonics::VariationModel;
+using photonics::VariationParams;
+
+TEST(Variation, ZeroSigmaIsPerfect)
+{
+    VariationParams params;
+    params.sigma_nm = 0.0;
+    const VariationModel model(params);
+    const auto result = model.analyze(10000, 1);
+    EXPECT_EQ(result.failed, 0u);
+    EXPECT_DOUBLE_EQ(result.yield, 1.0);
+    EXPECT_DOUBLE_EQ(result.mean_trim_nm, 0.0);
+    // Trimming still burns the per-ring hold power.
+    EXPECT_GT(result.total_trimming_w, 0.0);
+}
+
+TEST(Variation, GaussianSampleStatistics)
+{
+    VariationParams params;
+    params.sigma_nm = 0.5;
+    const VariationModel model(params);
+    sim::Rng rng(7);
+    double sum = 0.0, sq = 0.0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        const double e = model.sampleErrorNm(rng);
+        sum += e;
+        sq += e * e;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(std::sqrt(sq / n), 0.5, 0.01);
+}
+
+TEST(Variation, DeterministicForSeed)
+{
+    const VariationModel model;
+    const auto a = model.analyze(5000, 9);
+    const auto b = model.analyze(5000, 9);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_DOUBLE_EQ(a.total_trimming_w, b.total_trimming_w);
+}
+
+TEST(Variation, SubsystemYieldCollapsesAtScale)
+{
+    // 99.99% ring yield over a million rings is a dead chip — the
+    // integration problem the paper flags.
+    EXPECT_LT(VariationModel::subsystemYield(0.9999, 1'000'000), 1e-40);
+    EXPECT_GT(VariationModel::subsystemYield(0.9999999, 1'000'000), 0.9);
+    EXPECT_DOUBLE_EQ(VariationModel::subsystemYield(1.0, 1'000'000), 1.0);
+    EXPECT_THROW(VariationModel::subsystemYield(1.5, 10),
+                 std::invalid_argument);
+}
+
+TEST(Variation, RejectsBadParams)
+{
+    VariationParams bad;
+    bad.trim_range_nm = 0.0;
+    EXPECT_THROW(VariationModel{bad}, std::invalid_argument);
+}
+
+class VariationSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(VariationSweep, YieldFallsAndTrimPowerRisesWithSigma)
+{
+    VariationParams at_params;
+    at_params.sigma_nm = GetParam();
+    VariationParams worse_params;
+    worse_params.sigma_nm = GetParam() + 0.5;
+
+    const auto at = VariationModel(at_params).analyze(20000, 3);
+    const auto worse = VariationModel(worse_params).analyze(20000, 3);
+    EXPECT_LE(worse.yield, at.yield);
+    EXPECT_GE(worse.mean_trim_nm, at.mean_trim_nm);
+    // Per correctable ring, power grows with the correction size.
+    const double at_per_ring =
+        at.total_trimming_w / static_cast<double>(at.correctable);
+    const double worse_per_ring =
+        worse.total_trimming_w / static_cast<double>(worse.correctable);
+    EXPECT_GE(worse_per_ring, at_per_ring);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, VariationSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.8, 1.2));
+
+} // namespace
