@@ -5,13 +5,17 @@
  * node in the ring, whether or not the node is participating in the
  * arbitration." Corona's token flies past non-participants at the
  * speed of light. This bench compares both schemes at the arbiter
- * level (uncontested wait) and end to end (Uniform on XBar/OCM).
+ * level (uncontested wait) and end to end (Uniform on XBar/OCM), with
+ * the two end-to-end runs executed as one campaign.
  */
 
 #include <iostream>
 
+#include "campaign/runner.hh"
+#include "campaign/sink.hh"
 #include "common.hh"
 #include "sim/clock.hh"
+#include "sim/logging.hh"
 #include "sim/event_queue.hh"
 #include "stats/report.hh"
 #include "workload/synthetic.hh"
@@ -43,29 +47,47 @@ main()
 {
     using namespace corona;
 
-    core::SimParams params;
-    params.requests =
+    struct Scheme
+    {
+        const char *name;
+        sim::Tick pause;
+    };
+    const Scheme schemes[] = {
+        {"Corona (flying)", 0},
+        {"stop at every node (1 clock)", 200},
+    };
+
+    campaign::CampaignSpec spec;
+    spec.name = "token-scheme";
+    spec.workloads = {{"Uniform", true, workload::makeUniform}};
+    for (const Scheme &scheme : schemes) {
+        auto config = core::makeConfig(core::NetworkKind::XBar,
+                                       core::MemoryKind::OCM);
+        config.xbar_channel.token_node_pause = scheme.pause;
+        spec.configs.push_back(config);
+    }
+    spec.base.requests =
         std::min<std::uint64_t>(core::defaultRequestBudget(), 15'000);
+    spec.seed_policy = campaign::SeedPolicy::Fixed;
+
+    campaign::MemorySink sink;
+    campaign::RunnerOptions options;
+    options.threads = bench::sweepThreads();
+    campaign::CampaignRunner runner(options);
+    runner.addSink(sink);
+    runner.run(spec);
 
     stats::TableWriter table("Flying token vs stop-at-every-node token");
     table.setHeader({"scheme", "token loop (clocks)",
                      "worst uncontested wait (clocks)",
                      "Uniform XBar/OCM bandwidth", "avg latency (ns)"});
 
-    struct Scheme
-    {
-        const char *name;
-        sim::Tick pause;
-    };
-    for (const Scheme scheme :
-         {Scheme{"Corona (flying)", 0},
-          Scheme{"stop at every node (1 clock)", 200}}) {
-        auto config = core::makeConfig(core::NetworkKind::XBar,
-                                       core::MemoryKind::OCM);
-        config.xbar_channel.token_node_pause = scheme.pause;
-        auto workload = workload::makeUniform();
-        const auto metrics =
-            core::runExperiment(config, *workload, params);
+    for (const auto &record : sink.records()) {
+        if (!record.ok)
+            sim::fatal("token-scheme ablation: run " +
+                       std::to_string(record.index) +
+                       " failed: " + record.error);
+        const Scheme &scheme = schemes[record.config_index];
         const double loop_clocks =
             64.0 * (25.0 + static_cast<double>(scheme.pause)) / 200.0;
         table.addRow({
@@ -73,8 +95,9 @@ main()
             stats::formatDouble(loop_clocks, 0),
             stats::formatDouble(
                 uncontestedWaitClocks(25 + scheme.pause), 1),
-            stats::formatBandwidth(metrics.achieved_bytes_per_second),
-            stats::formatDouble(metrics.avg_latency_ns, 1),
+            stats::formatBandwidth(
+                record.metrics.achieved_bytes_per_second),
+            stats::formatDouble(record.metrics.avg_latency_ns, 1),
         });
     }
     table.print(std::cout);

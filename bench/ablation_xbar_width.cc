@@ -4,11 +4,17 @@
  * (waveguides per channel, hence bytes per clock) and measure Uniform
  * throughput and latency on XBar/OCM. The paper's 4-guide, 256-lambda
  * design moves a 64 B line in one clock; narrower bundles serialize.
+ *
+ * The four widths are one campaign (a config axis), executed
+ * concurrently on the campaign engine.
  */
 
 #include <iostream>
 
+#include "campaign/runner.hh"
+#include "campaign/sink.hh"
 #include "common.hh"
+#include "sim/logging.hh"
 #include "stats/report.hh"
 #include "workload/synthetic.hh"
 
@@ -17,9 +23,27 @@ main()
 {
     using namespace corona;
 
-    core::SimParams params;
-    params.requests =
+    constexpr std::uint32_t kGuides[] = {1, 2, 4, 8};
+
+    campaign::CampaignSpec spec;
+    spec.name = "xbar-width";
+    spec.workloads = {{"Uniform", true, workload::makeUniform}};
+    for (const std::uint32_t guides : kGuides) {
+        auto config = core::makeConfig(core::NetworkKind::XBar,
+                                       core::MemoryKind::OCM);
+        config.xbar_channel.bytes_per_clock = guides * 16; // 64 l DDR
+        spec.configs.push_back(config);
+    }
+    spec.base.requests =
         std::min<std::uint64_t>(core::defaultRequestBudget(), 20'000);
+    spec.seed_policy = campaign::SeedPolicy::Fixed;
+
+    campaign::MemorySink sink;
+    campaign::RunnerOptions options;
+    options.threads = bench::sweepThreads();
+    campaign::CampaignRunner runner(options);
+    runner.addSink(sink);
+    runner.run(spec);
 
     stats::TableWriter table(
         "Crossbar bundle-width ablation (Uniform, XBar/OCM)");
@@ -27,19 +51,19 @@ main()
                      "channel BW", "achieved memory BW",
                      "avg latency (ns)"});
 
-    for (const std::uint32_t guides : {1u, 2u, 4u, 8u}) {
-        auto config = core::makeConfig(core::NetworkKind::XBar,
-                                       core::MemoryKind::OCM);
-        config.xbar_channel.bytes_per_clock = guides * 16; // 64 l DDR
-        auto workload = workload::makeUniform();
-        const auto metrics =
-            core::runExperiment(config, *workload, params);
+    for (const auto &record : sink.records()) {
+        if (!record.ok)
+            sim::fatal("xbar-width ablation: run " +
+                       std::to_string(record.index) +
+                       " failed: " + record.error);
+        const std::uint32_t guides = kGuides[record.config_index];
         table.addRow({
             std::to_string(guides),
             std::to_string(guides * 16),
             stats::formatBandwidth(guides * 16 * 5e9),
-            stats::formatBandwidth(metrics.achieved_bytes_per_second),
-            stats::formatDouble(metrics.avg_latency_ns, 1),
+            stats::formatBandwidth(
+                record.metrics.achieved_bytes_per_second),
+            stats::formatDouble(record.metrics.avg_latency_ns, 1),
         });
     }
     table.print(std::cout);

@@ -1,11 +1,49 @@
 #include "common.hh"
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
+#include "campaign/progress.hh"
+#include "campaign/runner.hh"
+#include "campaign/sink.hh"
+#include "sim/logging.hh"
 #include "workload/splash.hh"
 #include "workload/synthetic.hh"
 
 namespace corona::bench {
+
+namespace {
+
+/** An open-for-write sink bound to a path named by an env variable. */
+struct FileSink
+{
+    std::ofstream stream;
+    std::unique_ptr<campaign::ResultSink> sink;
+};
+
+std::unique_ptr<FileSink>
+makeEnvFileSink(const char *env_name, bool csv)
+{
+    const char *path = std::getenv(env_name);
+    if (!path)
+        return nullptr;
+    auto file = std::make_unique<FileSink>();
+    file->stream.open(path, std::ios::trunc);
+    if (!file->stream)
+        sim::fatal(std::string(env_name) + ": cannot open \"" + path +
+                   "\" for writing");
+    if (csv)
+        file->sink =
+            std::make_unique<campaign::CsvSink>(file->stream);
+    else
+        file->sink =
+            std::make_unique<campaign::JsonLinesSink>(file->stream);
+    return file;
+}
+
+} // namespace
 
 std::vector<WorkloadEntry>
 allWorkloads()
@@ -24,31 +62,78 @@ allWorkloads()
     return entries;
 }
 
+campaign::CampaignSpec
+paperSweepSpec(std::uint64_t requests)
+{
+    campaign::CampaignSpec spec;
+    spec.name = "paper-sweep";
+    spec.workloads = allWorkloads();
+    spec.configs = core::paperConfigs();
+    spec.base.requests = requests;
+    // Measure steady state: a fifth of the budget warms the queues,
+    // MSHRs, and thread windows before the clocks start.
+    spec.base.warmup_requests = requests / 5;
+    // Every cell uses the SimParams default seed, exactly like the
+    // historical serial loop, so regenerated figures stay comparable.
+    spec.seed_policy = campaign::SeedPolicy::Fixed;
+    return spec;
+}
+
+std::size_t
+sweepThreads()
+{
+    if (const char *env = std::getenv("CORONA_JOBS")) {
+        const auto value = core::parsePositiveCount(env);
+        if (!value)
+            sim::fatal("CORONA_JOBS must be a positive decimal "
+                       "integer, got \"" +
+                       std::string(env) + "\"");
+        return static_cast<std::size_t>(*value);
+    }
+    return campaign::resolveWorkerThreads(0);
+}
+
 Sweep
 runSweep(std::uint64_t requests, bool quiet)
 {
+    const campaign::CampaignSpec spec = paperSweepSpec(requests);
+
+    campaign::MemorySink memory;
+    campaign::ProgressReporter progress(std::cerr);
+    campaign::RunnerOptions options;
+    options.threads = sweepThreads();
+    if (!quiet)
+        options.progress = &progress;
+
+    campaign::CampaignRunner runner(options);
+    runner.addSink(memory);
+    const auto csv = makeEnvFileSink("CORONA_SWEEP_CSV", /*csv=*/true);
+    if (csv)
+        runner.addSink(*csv->sink);
+    const auto jsonl =
+        makeEnvFileSink("CORONA_SWEEP_JSONL", /*csv=*/false);
+    if (jsonl)
+        runner.addSink(*jsonl->sink);
+
+    runner.run(spec);
+
+    // A truncated results file must not look like a finished sweep.
+    const auto checkWritten = [](const std::unique_ptr<FileSink> &file,
+                                 const char *env_name) {
+        if (!file)
+            return;
+        file->stream.flush();
+        if (!file->stream)
+            sim::fatal(std::string(env_name) +
+                       ": write error, results file is incomplete");
+    };
+    checkWritten(csv, "CORONA_SWEEP_CSV");
+    checkWritten(jsonl, "CORONA_SWEEP_JSONL");
+
     Sweep sweep;
-    sweep.workloads = allWorkloads();
-    sweep.configs = core::paperConfigs();
-    sweep.results.resize(sweep.workloads.size());
-
-    core::SimParams params;
-    params.requests = requests;
-    // Measure steady state: a fifth of the budget warms the queues,
-    // MSHRs, and thread windows before the clocks start.
-    params.warmup_requests = requests / 5;
-
-    for (std::size_t w = 0; w < sweep.workloads.size(); ++w) {
-        for (const auto &config : sweep.configs) {
-            auto workload = sweep.workloads[w].make();
-            if (!quiet) {
-                std::cerr << "  running " << sweep.workloads[w].name
-                          << " on " << config.name() << "...\n";
-            }
-            sweep.results[w].push_back(
-                core::runExperiment(config, *workload, params));
-        }
-    }
+    sweep.workloads = spec.workloads;
+    sweep.configs = spec.configs;
+    sweep.results = memory.grid();
     return sweep;
 }
 

@@ -2,30 +2,24 @@
  * @file
  * Shared harness for the table/figure benches: the 15-workload suite
  * (Table 3), the five system configurations (Section 4), and the full
- * (workload x configuration) sweep behind Figures 8-11.
+ * (workload x configuration) sweep behind Figures 8-11, executed on the
+ * multi-threaded campaign engine.
  */
 
 #ifndef CORONA_BENCH_COMMON_HH
 #define CORONA_BENCH_COMMON_HH
 
-#include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "campaign/spec.hh"
 #include "corona/metrics.hh"
 #include "corona/simulation.hh"
-#include "workload/workload.hh"
 
 namespace corona::bench {
 
-/** A named workload factory. */
-struct WorkloadEntry
-{
-    std::string name;
-    bool synthetic;
-    std::function<std::unique_ptr<workload::Workload>()> make;
-};
+/** A named workload factory (campaign axis entry). */
+using WorkloadEntry = campaign::WorkloadSpec;
 
 /** The paper's 15 workloads in Figure 8's x-axis order. */
 std::vector<WorkloadEntry> allWorkloads();
@@ -42,11 +36,28 @@ struct Sweep
 };
 
 /**
- * Run every workload on every configuration.
+ * The paper sweep as a declarative campaign: 15 workloads x 5 configs,
+ * fixed seed (bit-compatible with the historical serial loop).
+ */
+campaign::CampaignSpec paperSweepSpec(std::uint64_t requests);
+
+/**
+ * Worker threads the sweep engine uses: $CORONA_JOBS when set (strictly
+ * parsed), otherwise the hardware concurrency.
+ */
+std::size_t sweepThreads();
+
+/**
+ * Run every workload on every configuration on the campaign engine.
+ *
+ * Runs execute on sweepThreads() workers; results are bit-identical to
+ * the historical single-threaded loop for any worker count. Set
+ * $CORONA_SWEEP_CSV / $CORONA_SWEEP_JSONL to also stream per-run rows
+ * to those paths.
  *
  * @param requests Primary misses per run (bench default honours the
  *        CORONA_REQUESTS environment variable).
- * @param quiet Suppress progress lines on stderr.
+ * @param quiet Suppress progress/ETA lines on stderr.
  */
 Sweep runSweep(std::uint64_t requests, bool quiet = false);
 

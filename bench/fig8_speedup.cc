@@ -20,7 +20,9 @@ main()
 
     const std::uint64_t requests = core::defaultRequestBudget();
     std::cerr << "fig8: sweeping 15 workloads x 5 configs at " << requests
-              << " requests each (set CORONA_REQUESTS to change)\n";
+              << " requests each on " << bench::sweepThreads()
+              << " worker thread(s)\n      (CORONA_REQUESTS, CORONA_JOBS,"
+                 " CORONA_SWEEP_CSV/JSONL override)\n";
     const auto sweep = bench::runSweep(requests);
 
     stats::TableWriter table("Figure 8: Normalized Speedup (vs LMesh/ECM)");

@@ -1,0 +1,86 @@
+#include "campaign/progress.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace corona::campaign {
+
+namespace {
+
+std::string
+formatSeconds(double seconds)
+{
+    std::ostringstream os;
+    if (seconds < 10.0)
+        os << std::fixed << std::setprecision(2) << seconds << " s";
+    else if (seconds < 120.0)
+        os << std::fixed << std::setprecision(1) << seconds << " s";
+    else
+        os << std::fixed << std::setprecision(0) << seconds / 60.0
+           << " min";
+    return os.str();
+}
+
+} // namespace
+
+ProgressReporter::ProgressReporter(std::ostream &os) : _os(os)
+{
+}
+
+void
+ProgressReporter::begin(const CampaignSpec &spec,
+                        std::size_t total_runs, std::size_t threads)
+{
+    _total = total_runs;
+    _done = 0;
+    _failed = 0;
+    _width = 1;
+    for (std::size_t n = _total; n >= 10; n /= 10)
+        ++_width;
+    _start = std::chrono::steady_clock::now();
+    _os << "campaign \"" << spec.name << "\": " << total_runs
+        << " runs on " << threads
+        << (threads == 1 ? " worker thread\n" : " worker threads\n");
+}
+
+void
+ProgressReporter::completed(const RunRecord &record)
+{
+    ++_done;
+    if (!record.ok)
+        ++_failed;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      _start)
+            .count();
+    _os << "  [" << std::setw(_width) << _done << "/" << _total << "] "
+        << record.workload << " on " << record.config;
+    if (!record.override_label.empty())
+        _os << " (" << record.override_label << ")";
+    if (!record.ok)
+        _os << " FAILED: " << record.error;
+    _os << " in " << formatSeconds(record.wall_seconds);
+    if (_done < _total) {
+        const double eta = elapsed / static_cast<double>(_done) *
+                           static_cast<double>(_total - _done);
+        _os << ", ETA " << formatSeconds(eta);
+    }
+    _os << "\n";
+}
+
+void
+ProgressReporter::end()
+{
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      _start)
+            .count();
+    _os << "campaign finished: " << _done << " runs in "
+        << formatSeconds(elapsed);
+    if (_failed > 0)
+        _os << ", " << _failed << " FAILED";
+    _os << "\n";
+}
+
+} // namespace corona::campaign

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Wall-clock progress and ETA reporting for campaign runs.
+ *
+ * The runner calls completed() in completion order (so progress is live
+ * even when early-index runs are slow), already serialised under its
+ * lock. Output goes to stderr by convention, keeping stdout clean for
+ * tables and sink data.
+ */
+
+#ifndef CORONA_CAMPAIGN_PROGRESS_HH
+#define CORONA_CAMPAIGN_PROGRESS_HH
+
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "campaign/spec.hh"
+
+namespace corona::campaign {
+
+/** Prints one line per finished run with throughput-based ETA. */
+class ProgressReporter
+{
+  public:
+    explicit ProgressReporter(std::ostream &os);
+
+    /** Announce the campaign before the first run starts. */
+    void begin(const CampaignSpec &spec, std::size_t total_runs,
+               std::size_t threads);
+
+    /** Report one finished run (completion order). */
+    void completed(const RunRecord &record);
+
+    /** Final summary (total wall time, failures). */
+    void end();
+
+  private:
+    std::ostream &_os;
+    std::size_t _total = 0;
+    std::size_t _done = 0;
+    std::size_t _failed = 0;
+    int _width = 1; ///< Digits in _total, for aligned counters.
+    std::chrono::steady_clock::time_point _start;
+};
+
+} // namespace corona::campaign
+
+#endif // CORONA_CAMPAIGN_PROGRESS_HH

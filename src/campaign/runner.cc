@@ -1,0 +1,160 @@
+#include "campaign/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "corona/simulation.hh"
+#include "sim/logging.hh"
+
+namespace corona::campaign {
+
+RunRecord
+executePlan(const RunPlan &plan)
+{
+    RunRecord record;
+    record.index = plan.index;
+    record.workload_index = plan.workload_index;
+    record.config_index = plan.config_index;
+    record.seed_index = plan.seed_index;
+    record.override_index = plan.override_index;
+    record.workload = plan.workload;
+    record.config = plan.config;
+    record.override_label = plan.override_label;
+    record.seed = plan.params.seed;
+
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        auto workload = plan.make_workload();
+        if (!workload)
+            sim::fatal("campaign: workload factory for \"" +
+                       plan.workload + "\" returned null");
+        record.metrics =
+            core::runExperiment(plan.system, *workload, plan.params);
+    } catch (const std::exception &e) {
+        record.ok = false;
+        record.error = e.what();
+        record.metrics = core::RunMetrics{};
+        record.metrics.workload = plan.workload;
+        record.metrics.config = plan.config;
+    }
+    record.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return record;
+}
+
+CampaignRunner::CampaignRunner(RunnerOptions options)
+    : _options(options)
+{
+}
+
+void
+CampaignRunner::addSink(ResultSink &sink)
+{
+    _sinks.push_back(&sink);
+}
+
+std::size_t
+resolveWorkerThreads(std::size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::size_t
+CampaignRunner::effectiveThreads(std::size_t total_runs) const
+{
+    return std::min(resolveWorkerThreads(_options.threads), total_runs);
+}
+
+std::vector<RunRecord>
+CampaignRunner::run(const CampaignSpec &spec)
+{
+    const std::vector<RunPlan> plans = expand(spec);
+    const std::size_t total = plans.size();
+    const std::size_t threads = effectiveThreads(total);
+
+    for (ResultSink *sink : _sinks)
+        sink->begin(spec, total);
+    if (_options.progress)
+        _options.progress->begin(spec, total, threads);
+
+    // Workers pull the next un-run plan; completed records land in
+    // their index slot, and every consecutive ready record is flushed
+    // to the sinks so serialisation order never depends on threading.
+    std::vector<std::optional<RunRecord>> slots(total);
+    std::atomic<std::size_t> next_plan{0};
+    std::mutex emit_mutex;
+    std::size_t next_emit = 0;
+    // First exception a sink or the progress reporter throws: stop
+    // dispatching and rethrow on the caller's thread after the join —
+    // escaping a std::thread body would call std::terminate.
+    std::exception_ptr emit_error;
+
+    const auto worker = [&] {
+        while (true) {
+            const std::size_t idx =
+                next_plan.fetch_add(1, std::memory_order_relaxed);
+            if (idx >= total)
+                return;
+            RunRecord record = executePlan(plans[idx]);
+
+            std::scoped_lock lock(emit_mutex);
+            slots[idx] = std::move(record);
+            if (emit_error)
+                continue;
+            try {
+                if (_options.progress)
+                    _options.progress->completed(*slots[idx]);
+                while (next_emit < total && slots[next_emit]) {
+                    for (ResultSink *sink : _sinks)
+                        sink->consume(*slots[next_emit]);
+                    ++next_emit;
+                }
+            } catch (...) {
+                emit_error = std::current_exception();
+                next_plan.store(total, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+
+    if (emit_error)
+        std::rethrow_exception(emit_error);
+
+    for (ResultSink *sink : _sinks)
+        sink->end();
+    if (_options.progress)
+        _options.progress->end();
+
+    std::vector<RunRecord> records;
+    records.reserve(total);
+    for (std::optional<RunRecord> &slot : slots) {
+        if (!slot)
+            sim::panic("CampaignRunner: drained pool left a hole in "
+                       "the result list");
+        records.push_back(std::move(*slot));
+    }
+    return records;
+}
+
+} // namespace corona::campaign

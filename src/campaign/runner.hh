@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Multi-threaded campaign execution.
+ *
+ * CampaignRunner expands a CampaignSpec and executes the resulting runs
+ * on a std::thread worker pool. Each run owns its NetworkSimulation,
+ * EventQueue, Rng, and workload instance, so runs never share mutable
+ * state; per-run seeds come from the plan (derived from the campaign
+ * seed and grid index), so results are bit-identical for any worker
+ * count and any completion order. Sinks observe records in run-index
+ * order; the progress reporter observes them in completion order.
+ */
+
+#ifndef CORONA_CAMPAIGN_RUNNER_HH
+#define CORONA_CAMPAIGN_RUNNER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "campaign/progress.hh"
+#include "campaign/sink.hh"
+#include "campaign/spec.hh"
+
+namespace corona::campaign {
+
+/** Runner knobs. */
+struct RunnerOptions
+{
+    /** Worker threads; 0 means hardware concurrency (at least 1). The
+     * pool is capped at the campaign's run count. */
+    std::size_t threads = 0;
+    /** Optional progress/ETA reporter (not owned). */
+    ProgressReporter *progress = nullptr;
+};
+
+/**
+ * Executes campaigns over a worker pool and feeds attached sinks.
+ */
+class CampaignRunner
+{
+  public:
+    explicit CampaignRunner(RunnerOptions options = {});
+
+    /** Attach a sink (not owned; must outlive run()). */
+    void addSink(ResultSink &sink);
+
+    /**
+     * Expand and execute @p spec to completion.
+     *
+     * A run that throws is captured as a failed RunRecord (ok = false,
+     * zeroed metrics) without aborting the campaign. An exception from
+     * a sink or the progress reporter, by contrast, stops dispatch and
+     * propagates to the caller once the pool has drained. @return all
+     * records in run-index order.
+     */
+    std::vector<RunRecord> run(const CampaignSpec &spec);
+
+    /** The worker count run() will use for @p total_runs runs. */
+    std::size_t effectiveThreads(std::size_t total_runs) const;
+
+  private:
+    RunnerOptions _options;
+    std::vector<ResultSink *> _sinks;
+};
+
+/** Execute one plan on the calling thread (also used by the pool). */
+RunRecord executePlan(const RunPlan &plan);
+
+/** Resolve a requested worker count: 0 means hardware concurrency,
+ * never less than 1. Shared by the runner and the bench harness so a
+ * reported thread count always matches the pool actually used. */
+std::size_t resolveWorkerThreads(std::size_t requested);
+
+} // namespace corona::campaign
+
+#endif // CORONA_CAMPAIGN_RUNNER_HH

@@ -1,0 +1,181 @@
+#include "campaign/sink.hh"
+
+#include <array>
+#include <charconv>
+#include <ostream>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace corona::campaign {
+
+namespace {
+
+/** Shortest round-trip decimal form: deterministic and parseable. */
+std::string
+formatDouble(double value)
+{
+    std::array<char, 64> buffer;
+    const auto res = std::to_chars(buffer.data(),
+                                   buffer.data() + buffer.size(), value);
+    return std::string(buffer.data(), res.ptr);
+}
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (const char ch : cell) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (const char ch : text) {
+        switch (ch) {
+          case '"': escaped += "\\\""; break;
+          case '\\': escaped += "\\\\"; break;
+          case '\n': escaped += "\\n"; break;
+          case '\r': escaped += "\\r"; break;
+          case '\t': escaped += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                constexpr const char *hex = "0123456789abcdef";
+                escaped += "\\u00";
+                escaped += hex[(ch >> 4) & 0xF];
+                escaped += hex[ch & 0xF];
+            } else {
+                escaped += ch;
+            }
+        }
+    }
+    return escaped;
+}
+
+} // namespace
+
+void
+ResultSink::begin(const CampaignSpec &, std::size_t)
+{
+}
+
+void
+ResultSink::end()
+{
+}
+
+const char *
+CsvSink::header()
+{
+    return "run,workload,config,override,seed,status,error,"
+           "requests_issued,requests_coalesced,elapsed_ticks,"
+           "avg_latency_ns,p95_latency_ns,achieved_bytes_per_second,"
+           "offered_bytes_per_second,network_power_w,token_wait_ns,"
+           "hop_traversals,mshr_full_stalls,peak_mc_queue";
+}
+
+void
+CsvSink::begin(const CampaignSpec &, std::size_t)
+{
+    _os << header() << "\n";
+}
+
+void
+CsvSink::consume(const RunRecord &record)
+{
+    const core::RunMetrics &m = record.metrics;
+    _os << record.index << ',' << csvEscape(record.workload) << ','
+        << csvEscape(record.config) << ','
+        << csvEscape(record.override_label) << ',' << record.seed << ','
+        << (record.ok ? "ok" : "failed") << ','
+        << csvEscape(record.error) << ',' << m.requests_issued << ','
+        << m.requests_coalesced << ',' << m.elapsed << ','
+        << formatDouble(m.avg_latency_ns) << ','
+        << formatDouble(m.p95_latency_ns) << ','
+        << formatDouble(m.achieved_bytes_per_second) << ','
+        << formatDouble(m.offered_bytes_per_second) << ','
+        << formatDouble(m.network_power_w) << ','
+        << formatDouble(m.token_wait_ns) << ',' << m.hop_traversals
+        << ',' << m.mshr_full_stalls << ',' << m.peak_mc_queue << "\n";
+}
+
+void
+JsonLinesSink::consume(const RunRecord &record)
+{
+    const core::RunMetrics &m = record.metrics;
+    _os << "{\"run\":" << record.index << ",\"workload\":\""
+        << jsonEscape(record.workload) << "\",\"config\":\""
+        << jsonEscape(record.config) << "\",\"override\":\""
+        << jsonEscape(record.override_label) << "\",\"seed\":"
+        << record.seed << ",\"status\":\""
+        << (record.ok ? "ok" : "failed") << "\",\"error\":\""
+        << jsonEscape(record.error) << "\",\"requests_issued\":"
+        << m.requests_issued << ",\"requests_coalesced\":"
+        << m.requests_coalesced << ",\"elapsed_ticks\":" << m.elapsed
+        << ",\"avg_latency_ns\":" << formatDouble(m.avg_latency_ns)
+        << ",\"p95_latency_ns\":" << formatDouble(m.p95_latency_ns)
+        << ",\"achieved_bytes_per_second\":"
+        << formatDouble(m.achieved_bytes_per_second)
+        << ",\"offered_bytes_per_second\":"
+        << formatDouble(m.offered_bytes_per_second)
+        << ",\"network_power_w\":" << formatDouble(m.network_power_w)
+        << ",\"token_wait_ns\":" << formatDouble(m.token_wait_ns)
+        << ",\"hop_traversals\":" << m.hop_traversals
+        << ",\"mshr_full_stalls\":" << m.mshr_full_stalls
+        << ",\"peak_mc_queue\":" << m.peak_mc_queue << "}\n";
+}
+
+void
+MemorySink::begin(const CampaignSpec &spec, std::size_t total_runs)
+{
+    _records.clear();
+    _records.reserve(total_runs);
+    _workloads = spec.workloads.size();
+    _configs = spec.configs.size();
+    _seeds = spec.seeds.empty() ? 1 : spec.seeds.size();
+    _overrides = spec.overrides.empty() ? 1 : spec.overrides.size();
+}
+
+void
+MemorySink::consume(const RunRecord &record)
+{
+    _records.push_back(record);
+}
+
+std::vector<std::vector<core::RunMetrics>>
+MemorySink::grid() const
+{
+    if (_seeds != 1 || _overrides != 1)
+        sim::fatal("MemorySink::grid: campaign has replicate seed or "
+                   "override axes; use records() instead");
+    if (_records.size() != _workloads * _configs)
+        sim::fatal("MemorySink::grid: incomplete campaign (" +
+                   std::to_string(_records.size()) + " of " +
+                   std::to_string(_workloads * _configs) + " runs)");
+
+    std::vector<std::vector<core::RunMetrics>> grid(_workloads);
+    for (auto &row : grid)
+        row.resize(_configs);
+    for (const RunRecord &record : _records) {
+        if (!record.ok)
+            sim::fatal("MemorySink::grid: run " +
+                       std::to_string(record.index) + " (" +
+                       record.workload + " on " + record.config +
+                       ") failed: " + record.error);
+        grid[record.workload_index][record.config_index] =
+            record.metrics;
+    }
+    return grid;
+}
+
+} // namespace corona::campaign

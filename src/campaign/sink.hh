@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Structured result sinks for campaign runs.
+ *
+ * The runner hands every finished RunRecord to each attached sink in
+ * run-index order (not completion order), one record at a time under the
+ * runner's lock — sink output is therefore byte-identical regardless of
+ * worker-thread count. CsvSink and JsonLinesSink serialise the full
+ * RunMetrics field set for plotting scripts; MemorySink keeps records in
+ * memory and can reshape them into the [workload][config] grid the
+ * table/figure benches consume.
+ */
+
+#ifndef CORONA_CAMPAIGN_SINK_HH
+#define CORONA_CAMPAIGN_SINK_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "campaign/spec.hh"
+
+namespace corona::campaign {
+
+/** Consumer of finished runs. Callbacks arrive serialised, with
+ * consume() called in ascending RunRecord::index order. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** Called once before any run executes. */
+    virtual void begin(const CampaignSpec &spec, std::size_t total_runs);
+
+    /** Called once per finished run, in run-index order. */
+    virtual void consume(const RunRecord &record) = 0;
+
+    /** Called once after every run has been consumed. */
+    virtual void end();
+};
+
+/** Writes one RFC-4180-style CSV row per run (header first). */
+class CsvSink : public ResultSink
+{
+  public:
+    explicit CsvSink(std::ostream &os) : _os(os) {}
+
+    void begin(const CampaignSpec &spec,
+               std::size_t total_runs) override;
+    void consume(const RunRecord &record) override;
+
+    /** The schema, as written on the header line. */
+    static const char *header();
+
+  private:
+    std::ostream &_os;
+};
+
+/** Writes one JSON object per line per run. */
+class JsonLinesSink : public ResultSink
+{
+  public:
+    explicit JsonLinesSink(std::ostream &os) : _os(os) {}
+
+    void consume(const RunRecord &record) override;
+
+  private:
+    std::ostream &_os;
+};
+
+/** Retains records in memory, preserving the legacy Sweep shape. */
+class MemorySink : public ResultSink
+{
+  public:
+    void begin(const CampaignSpec &spec,
+               std::size_t total_runs) override;
+    void consume(const RunRecord &record) override;
+
+    /** All records, ordered by run index. */
+    const std::vector<RunRecord> &records() const { return _records; }
+
+    /**
+     * Metrics reshaped as [workload][config] — the seed repo's Sweep
+     * layout. Fatal if the campaign had replicate seed / override axes
+     * (the grid would be ambiguous) or if any run failed.
+     */
+    std::vector<std::vector<core::RunMetrics>> grid() const;
+
+  private:
+    std::vector<RunRecord> _records;
+    std::size_t _workloads = 0;
+    std::size_t _configs = 0;
+    std::size_t _seeds = 1;
+    std::size_t _overrides = 1;
+};
+
+} // namespace corona::campaign
+
+#endif // CORONA_CAMPAIGN_SINK_HH

@@ -1,6 +1,7 @@
 #include "corona/simulation.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 
@@ -201,13 +202,35 @@ runExperiment(const SystemConfig &config, workload::Workload &workload,
     return sim.run();
 }
 
+std::optional<std::uint64_t>
+parsePositiveCount(std::string_view text)
+{
+    if (text.empty())
+        return std::nullopt;
+    std::uint64_t value = 0;
+    for (const char ch : text) {
+        if (ch < '0' || ch > '9')
+            return std::nullopt;
+        const auto digit = static_cast<std::uint64_t>(ch - '0');
+        if (value > (UINT64_MAX - digit) / 10)
+            return std::nullopt; // Would overflow.
+        value = value * 10 + digit;
+    }
+    if (value == 0)
+        return std::nullopt;
+    return value;
+}
+
 std::uint64_t
 defaultRequestBudget()
 {
     if (const char *env = std::getenv("CORONA_REQUESTS")) {
-        const auto value = std::strtoull(env, nullptr, 10);
-        if (value > 0)
-            return value;
+        const auto value = parsePositiveCount(env);
+        if (!value)
+            sim::fatal("CORONA_REQUESTS must be a positive decimal "
+                       "integer within uint64 range, got \"" +
+                       std::string(env) + "\"");
+        return *value;
     }
     return 50'000;
 }

@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "corona/metrics.hh"
@@ -101,7 +102,20 @@ RunMetrics runExperiment(const SystemConfig &config,
                          workload::Workload &workload,
                          const SimParams &params = {});
 
-/** Bench request-count default, honouring $CORONA_REQUESTS. */
+/**
+ * Strictly parse a positive decimal count: digits only (no sign,
+ * whitespace, or trailing garbage), non-zero, and within uint64 range.
+ * @return std::nullopt on any violation.
+ */
+std::optional<std::uint64_t> parsePositiveCount(std::string_view text);
+
+/**
+ * Bench request-count default, honouring $CORONA_REQUESTS.
+ *
+ * Fatal (with the offending text) when the variable is set but is not a
+ * strictly positive in-range decimal — a silently ignored typo would
+ * otherwise run a 50k-request campaign the user never asked for.
+ */
 std::uint64_t defaultRequestBudget();
 
 } // namespace corona::core

@@ -8,16 +8,6 @@ namespace corona::sim {
 namespace {
 
 std::uint64_t
-splitmix64(std::uint64_t &x)
-{
-    x += 0x9E3779B97F4A7C15ull;
-    std::uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-    return z ^ (z >> 31);
-}
-
-std::uint64_t
 rotl(std::uint64_t x, int k)
 {
     return (x << k) | (x >> (64 - k));
@@ -25,11 +15,22 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
-    std::uint64_t s = seed;
-    for (auto &word : _state)
-        word = splitmix64(s);
+    // Identical to iterating the stateful splitmix64 stream from seed.
+    for (auto &word : _state) {
+        word = splitmix64(seed);
+        seed += 0x9E3779B97F4A7C15ull;
+    }
 }
 
 std::uint64_t

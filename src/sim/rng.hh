@@ -17,6 +17,15 @@
 namespace corona::sim {
 
 /**
+ * One splitmix64 step: advance state @p x by the golden-ratio increment
+ * and return the mixed output. Stateless form: the i-th output of a
+ * splitmix64 stream seeded with s is splitmix64(s + i * 0x9E3779B97F4A7C15).
+ * Used for Rng seeding and for deriving independent per-run seeds from a
+ * campaign seed.
+ */
+std::uint64_t splitmix64(std::uint64_t x);
+
+/**
  * Deterministic PRNG (xoshiro256**) with convenience distributions.
  */
 class Rng

@@ -79,6 +79,73 @@ TEST(EventQueue, RunHonoursLimit)
     EXPECT_EQ(fired, 2);
 }
 
+TEST(EventQueue, RunLimitIsInclusive)
+{
+    // An event scheduled exactly at the limit tick still executes:
+    // run(limit) means "run through tick `limit`", not "up to it".
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(50, [&] { ++fired; });
+    EXPECT_EQ(eq.run(50), 50u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, EventOneTickPastLimitStaysPending)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(50, [&] { ++fired; });
+    eq.schedule(51, [&] { ++fired; });
+    EXPECT_EQ(eq.run(50), 50u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    // now() rests on the last executed event, not the limit.
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.run(51), 51u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunWithNoEligibleEventIsANoOp)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(100, [&] { ++fired; });
+    // Limit below the first event: nothing runs, time does not move.
+    EXPECT_EQ(eq.run(99), 0u);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, EventAtLimitMaySpawnSameTickWork)
+{
+    // Work an at-limit event schedules for the same tick is still
+    // within the limit and must drain in the same run() call.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(50, [&] {
+        order.push_back(1);
+        eq.scheduleIn(0, [&] { order.push_back(2); });
+        eq.scheduleIn(1, [&] { order.push_back(3); });
+    });
+    EXPECT_EQ(eq.run(50), 50u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.pending(), 1u); // The tick-51 event waits.
+}
+
+TEST(EventQueue, StepHonoursTheSameInclusiveLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(50, [&] { ++fired; });
+    EXPECT_FALSE(eq.step(49));
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(eq.step(50));
+    EXPECT_EQ(fired, 1);
+}
+
 TEST(EventQueue, ThrowsOnPastScheduling)
 {
     EventQueue eq;

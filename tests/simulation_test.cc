@@ -154,8 +154,10 @@ TEST(Simulation, DefaultBudgetHonoursEnvironment)
     EXPECT_EQ(core::defaultRequestBudget(), 50'000u);
     setenv("CORONA_REQUESTS", "1234", 1);
     EXPECT_EQ(core::defaultRequestBudget(), 1234u);
+    // A set-but-invalid budget is a configuration error, not a silent
+    // fallback (campaign_test covers the full rejection matrix).
     setenv("CORONA_REQUESTS", "garbage", 1);
-    EXPECT_EQ(core::defaultRequestBudget(), 50'000u);
+    EXPECT_THROW(core::defaultRequestBudget(), sim::FatalError);
     unsetenv("CORONA_REQUESTS");
 }
 
