@@ -3,11 +3,18 @@
  * Ablation for Section 3.2.2: the broadcast bus versus translating each
  * multicast invalidate into unicast crossbar messages, swept over the
  * sharer count. Also times one physical broadcast on the bus model.
+ *
+ * Each sharer-count cell builds its own pair of CoherentSystems, so the
+ * sweep runs concurrently on campaign::parallelFor with rows printed in
+ * sweep order.
  */
 
 #include <iostream>
+#include <vector>
 
+#include "campaign/parallel_for.hh"
 #include "coherence/coherent_system.hh"
+#include "common.hh"
 #include "sim/clock.hh"
 #include "sim/event_queue.hh"
 #include "stats/report.hh"
@@ -44,17 +51,29 @@ main()
 {
     using namespace corona;
 
+    constexpr std::size_t kSharers[] = {2, 4, 8, 16, 32, 63};
+    constexpr std::size_t kCells = std::size(kSharers);
+    std::vector<std::uint64_t> unicast_msgs(kCells);
+    std::vector<std::uint64_t> broadcast_msgs(kCells);
+    campaign::parallelFor(kCells, bench::sweepThreads(),
+                          [&](std::size_t i) {
+                              unicast_msgs[i] = invalidationMessages(
+                                  coherence::InvalPolicy::Unicast,
+                                  kSharers[i]);
+                              broadcast_msgs[i] = invalidationMessages(
+                                  coherence::InvalPolicy::Broadcast,
+                                  kSharers[i]);
+                          });
+
     stats::TableWriter table(
         "Invalidation transport messages vs sharer count");
     table.setHeader({"sharers", "unicast msgs", "broadcast msgs",
                      "reduction"});
-    for (const std::size_t sharers : {2u, 4u, 8u, 16u, 32u, 63u}) {
-        const auto unicast = invalidationMessages(
-            coherence::InvalPolicy::Unicast, sharers);
-        const auto bcast = invalidationMessages(
-            coherence::InvalPolicy::Broadcast, sharers);
-        table.addRow({std::to_string(sharers), std::to_string(unicast),
-                      std::to_string(bcast),
+    for (std::size_t i = 0; i < kCells; ++i) {
+        const auto unicast = unicast_msgs[i];
+        const auto bcast = broadcast_msgs[i];
+        table.addRow({std::to_string(kSharers[i]),
+                      std::to_string(unicast), std::to_string(bcast),
                       bcast == 0
                           ? std::string("-")
                           : stats::formatDouble(

@@ -5,11 +5,18 @@
  * average bandwidth demand is modest; the crossbar's single-hop,
  * token-arbitrated channels absorb them. Sweeps burst size at constant
  * average offered load and compares HMesh/OCM vs XBar/OCM latency.
+ *
+ * The 4 burst sizes x 2 networks are one campaign (burst variants as
+ * the workload axis), executed concurrently on the campaign engine.
  */
 
 #include <iostream>
+#include <memory>
 
+#include "campaign/runner.hh"
+#include "campaign/sink.hh"
 #include "common.hh"
+#include "sim/logging.hh"
 #include "stats/report.hh"
 #include "workload/splash.hh"
 
@@ -18,16 +25,12 @@ main()
 {
     using namespace corona;
 
-    core::SimParams params;
-    params.requests =
-        std::min<std::uint64_t>(core::defaultRequestBudget(), 15'000);
+    constexpr std::uint32_t kBursts[] = {1, 8, 24, 48};
 
-    stats::TableWriter table(
-        "Burstiness ablation (LU-derived model, constant offered load)");
-    table.setHeader({"burst size", "epoch (ns)", "HMesh/OCM lat (ns)",
-                     "XBar/OCM lat (ns)", "XBar advantage"});
-
-    for (const std::uint32_t burst : {1u, 8u, 24u, 48u}) {
+    campaign::CampaignSpec spec;
+    spec.name = "burstiness";
+    std::vector<std::uint64_t> epochs_ns;
+    for (const std::uint32_t burst : kBursts) {
         // Keep offered load fixed: epoch scales with burst size.
         auto base = workload::splashParams("LU");
         if (burst == 1) {
@@ -37,25 +40,42 @@ main()
             base.burst.epoch_length =
                 burst * base.mean_think; // rate-preserving
         }
+        epochs_ns.push_back(burst * base.mean_think);
+        spec.workloads.push_back(campaign::WorkloadSpec{
+            "burst=" + std::to_string(burst), false, [base] {
+                return std::make_unique<workload::SplashWorkload>(base);
+            }});
+    }
+    spec.configs = {
+        core::makeConfig(core::NetworkKind::HMesh, core::MemoryKind::OCM),
+        core::makeConfig(core::NetworkKind::XBar, core::MemoryKind::OCM),
+    };
+    spec.base.requests =
+        std::min<std::uint64_t>(core::defaultRequestBudget(), 15'000);
+    spec.seed_policy = campaign::SeedPolicy::Fixed;
 
-        double latency[2];
-        int idx = 0;
-        for (const auto kind :
-             {core::NetworkKind::HMesh, core::NetworkKind::XBar}) {
-            workload::SplashWorkload workload(base);
-            const auto config =
-                core::makeConfig(kind, core::MemoryKind::OCM);
-            latency[idx++] =
-                core::runExperiment(config, workload, params)
-                    .avg_latency_ns;
-        }
+    campaign::MemorySink sink;
+    campaign::RunnerOptions options;
+    options.threads = bench::sweepThreads();
+    campaign::CampaignRunner runner(options);
+    runner.addSink(sink);
+    runner.run(spec);
+    const auto grid = sink.grid();
+
+    stats::TableWriter table(
+        "Burstiness ablation (LU-derived model, constant offered load)");
+    table.setHeader({"burst size", "epoch (ns)", "HMesh/OCM lat (ns)",
+                     "XBar/OCM lat (ns)", "XBar advantage"});
+    for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+        const double hmesh = grid[w][0].avg_latency_ns;
+        const double xbar = grid[w][1].avg_latency_ns;
         table.addRow({
-            std::to_string(burst),
+            std::to_string(kBursts[w]),
             stats::formatDouble(
-                static_cast<double>(burst * base.mean_think) / 1000.0, 0),
-            stats::formatDouble(latency[0], 0),
-            stats::formatDouble(latency[1], 0),
-            stats::formatDouble(latency[0] / latency[1], 2) + "x",
+                static_cast<double>(epochs_ns[w]) / 1000.0, 0),
+            stats::formatDouble(hmesh, 0),
+            stats::formatDouble(xbar, 0),
+            stats::formatDouble(hmesh / xbar, 2) + "x",
         });
     }
     table.print(std::cout);

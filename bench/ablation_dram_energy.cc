@@ -9,7 +9,10 @@
  */
 
 #include <iostream>
+#include <vector>
 
+#include "campaign/parallel_for.hh"
+#include "common.hh"
 #include "memory/conventional_dram.hh"
 #include "memory/dram.hh"
 #include "sim/rng.hh"
@@ -22,14 +25,24 @@ main()
     using memory::ConventionalDram;
     using memory::DramModule;
 
-    // Closed-form comparison across row-buffer hit rates.
+    // Closed-form comparison across row-buffer hit rates, swept on
+    // the campaign engine's worker pool (rows printed in sweep order).
+    constexpr double kHitRates[] = {0.9, 0.5, 0.2, 0.05, 0.0};
+    constexpr std::size_t kCells = std::size(kHitRates);
+    std::vector<memory::DramEnergyComparison> comparisons(kCells);
+    campaign::parallelFor(kCells, bench::sweepThreads(),
+                          [&](std::size_t i) {
+                              comparisons[i] =
+                                  memory::compareDramEnergy(kHitRates[i]);
+                          });
+
     stats::TableWriter closed(
         "Energy per 64 B line vs row-buffer locality (closed form)");
     closed.setHeader({"row hit rate", "conventional (pJ)",
                       "Corona mat (pJ)", "ratio"});
-    for (const double hit_rate : {0.9, 0.5, 0.2, 0.05, 0.0}) {
-        const auto cmp = memory::compareDramEnergy(hit_rate);
-        closed.addRow({stats::formatDouble(hit_rate, 2),
+    for (std::size_t i = 0; i < kCells; ++i) {
+        const auto &cmp = comparisons[i];
+        closed.addRow({stats::formatDouble(kHitRates[i], 2),
                        stats::formatDouble(cmp.conventional_pj_per_line, 0),
                        stats::formatDouble(cmp.corona_pj_per_line, 0),
                        stats::formatDouble(cmp.ratio, 1) + "x"});
@@ -39,18 +52,25 @@ main()
     // Monte-Carlo: a thousand-thread interleaved miss stream hitting
     // one controller's DRAM. Random line addresses across a large
     // footprint model the paper's "chances of the next access being to
-    // an open page are small".
+    // an open page are small". The two DRAM models are independent, so
+    // each runs on its own worker with its own Rng; seeding both with
+    // 11 keeps the two address streams identical to each other (and to
+    // the historical interleaved loop).
     ConventionalDram conventional;
     DramModule corona_dram;
-    sim::Rng rng(11);
     const int accesses = 200'000;
-    sim::Tick now = 0;
-    for (int i = 0; i < accesses; ++i) {
-        const topology::Addr addr = rng.below(1ull << 30) * 64;
-        conventional.access(addr, now);
-        corona_dram.access(addr, now);
-        now += 400; // One line every 0.4 ns at 160 GB/s.
-    }
+    campaign::parallelFor(2, bench::sweepThreads(), [&](std::size_t m) {
+        sim::Rng rng(11);
+        sim::Tick now = 0;
+        for (int i = 0; i < accesses; ++i) {
+            const topology::Addr addr = rng.below(1ull << 30) * 64;
+            if (m == 0)
+                conventional.access(addr, now);
+            else
+                corona_dram.access(addr, now);
+            now += 400; // One line every 0.4 ns at 160 GB/s.
+        }
+    });
 
     std::cout << "\nInterleaved 1024-thread stream ("
               << accesses << " line accesses):\n"

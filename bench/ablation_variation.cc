@@ -8,7 +8,10 @@
  */
 
 #include <iostream>
+#include <vector>
 
+#include "campaign/parallel_for.hh"
+#include "common.hh"
 #include "photonics/inventory.hh"
 #include "photonics/variation.hh"
 #include "stats/report.hh"
@@ -31,11 +34,23 @@ main()
     table.setHeader({"sigma (nm)", "ring yield", "crossbar yield",
                      "mean trim (nm)", "trimming power (W)"});
 
-    for (const double sigma : {0.1, 0.25, 0.5, 0.75, 1.0}) {
-        VariationParams params;
-        params.sigma_nm = sigma;
-        const VariationModel model(params);
-        const auto result = model.analyze(sample, 42);
+    // Each sigma is an independent Monte-Carlo with its own fixed
+    // seed, so the sweep runs concurrently on the campaign engine's
+    // worker pool, rows printed in sweep order.
+    constexpr double kSigmas[] = {0.1, 0.25, 0.5, 0.75, 1.0};
+    constexpr std::size_t kCells = std::size(kSigmas);
+    std::vector<photonics::VariationResult> results(kCells);
+    campaign::parallelFor(kCells, bench::sweepThreads(),
+                          [&](std::size_t i) {
+                              VariationParams params;
+                              params.sigma_nm = kSigmas[i];
+                              const VariationModel model(params);
+                              results[i] = model.analyze(sample, 42);
+                          });
+
+    for (std::size_t i = 0; i < kCells; ++i) {
+        const double sigma = kSigmas[i];
+        const auto &result = results[i];
         const double scale =
             static_cast<double>(rings) / static_cast<double>(sample);
         const double chip_yield =

@@ -1,10 +1,15 @@
 #include "common.hh"
 
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <unordered_set>
 
+#include "campaign/aggregate.hh"
+#include "campaign/checkpoint.hh"
 #include "campaign/progress.hh"
 #include "campaign/runner.hh"
 #include "campaign/sink.hh"
@@ -23,8 +28,15 @@ struct FileSink
     std::unique_ptr<campaign::ResultSink> sink;
 };
 
+enum class EnvSinkKind
+{
+    Csv,
+    JsonLines,
+    Summary,
+};
+
 std::unique_ptr<FileSink>
-makeEnvFileSink(const char *env_name, bool csv)
+makeEnvFileSink(const char *env_name, EnvSinkKind kind)
 {
     const char *path = std::getenv(env_name);
     if (!path)
@@ -34,12 +46,109 @@ makeEnvFileSink(const char *env_name, bool csv)
     if (!file->stream)
         sim::fatal(std::string(env_name) + ": cannot open \"" + path +
                    "\" for writing");
-    if (csv)
+    switch (kind) {
+      case EnvSinkKind::Csv:
         file->sink =
             std::make_unique<campaign::CsvSink>(file->stream);
-    else
+        break;
+      case EnvSinkKind::JsonLines:
         file->sink =
             std::make_unique<campaign::JsonLinesSink>(file->stream);
+        break;
+      case EnvSinkKind::Summary:
+        file->sink =
+            std::make_unique<campaign::SummarySink>(&file->stream);
+        break;
+    }
+    return file;
+}
+
+/** $CORONA_SHARD, parsed strictly; the whole campaign when unset. */
+campaign::ShardSpec
+envShard()
+{
+    const char *text = std::getenv("CORONA_SHARD");
+    if (!text)
+        return {};
+    const auto shard = campaign::parseShardSpec(text);
+    if (!shard)
+        sim::fatal("CORONA_SHARD must be \"i/N\" with 1 <= i <= N, "
+                   "got \"" +
+                   std::string(text) + "\"");
+    return *shard;
+}
+
+/** The $CORONA_CHECKPOINT file: records loaded from a previous
+ * session plus a writer appending this session's runs. */
+struct CheckpointFile
+{
+    std::ofstream stream;
+    std::unique_ptr<campaign::CheckpointWriter> sink;
+    std::vector<campaign::RunRecord> completed;
+};
+
+std::unique_ptr<CheckpointFile>
+openEnvCheckpoint(const campaign::CampaignSpec &spec)
+{
+    const char *path = std::getenv("CORONA_CHECKPOINT");
+    if (!path)
+        return nullptr;
+    auto file = std::make_unique<CheckpointFile>();
+
+    bool fresh = true;
+    {
+        std::ifstream existing(path);
+        if (existing) {
+            if (existing.peek() !=
+                std::ifstream::traits_type::eof()) {
+                file->completed =
+                    campaign::loadCheckpoint(existing, spec);
+                fresh = false;
+            }
+        } else if (std::filesystem::exists(path)) {
+            // Unreadable but present: truncating it as "fresh" would
+            // destroy completed results the file exists to protect.
+            sim::fatal("CORONA_CHECKPOINT: \"" + std::string(path) +
+                       "\" exists but cannot be read — refusing to "
+                       "overwrite it");
+        }
+    }
+
+    if (!fresh) {
+        // Compact before appending: a crash may have left torn
+        // trailing bytes that would fuse with the next appended row.
+        // Rewrite to a temp file and rename so a crash mid-compaction
+        // cannot lose the original either.
+        const std::string temp = std::string(path) + ".tmp";
+        {
+            std::ofstream rewritten(temp, std::ios::trunc);
+            if (!rewritten)
+                sim::fatal("CORONA_CHECKPOINT: cannot open \"" + temp +
+                           "\" for writing");
+            campaign::rewriteCheckpoint(rewritten, spec,
+                                        file->completed);
+        }
+        if (std::rename(temp.c_str(), path) != 0)
+            sim::fatal("CORONA_CHECKPOINT: cannot replace \"" +
+                       std::string(path) + "\" with compacted copy");
+    }
+
+    // Only successful rows are replayed (and must not double-write);
+    // a failed run re-executes, and its fresh row must append so
+    // last-wins dedupe supersedes the failure on the next load.
+    std::unordered_set<std::size_t> persisted;
+    persisted.reserve(file->completed.size());
+    for (const campaign::RunRecord &record : file->completed) {
+        if (record.ok)
+            persisted.insert(record.index);
+    }
+
+    file->stream.open(path, fresh ? std::ios::trunc : std::ios::app);
+    if (!file->stream)
+        sim::fatal("CORONA_CHECKPOINT: cannot open \"" +
+                   std::string(path) + "\" for writing");
+    file->sink = std::make_unique<campaign::CheckpointWriter>(
+        file->stream, fresh, std::move(persisted));
     return file;
 }
 
@@ -82,14 +191,8 @@ paperSweepSpec(std::uint64_t requests)
 std::size_t
 sweepThreads()
 {
-    if (const char *env = std::getenv("CORONA_JOBS")) {
-        const auto value = core::parsePositiveCount(env);
-        if (!value)
-            sim::fatal("CORONA_JOBS must be a positive decimal "
-                       "integer, got \"" +
-                       std::string(env) + "\"");
-        return static_cast<std::size_t>(*value);
-    }
+    // CORONA_JOBS resolution lives in the engine so every entry point
+    // (CampaignRunner, parallelFor, examples) honours it identically.
     return campaign::resolveWorkerThreads(0);
 }
 
@@ -102,33 +205,69 @@ runSweep(std::uint64_t requests, bool quiet)
     campaign::ProgressReporter progress(std::cerr);
     campaign::RunnerOptions options;
     options.threads = sweepThreads();
+    options.shard = envShard();
     if (!quiet)
         options.progress = &progress;
 
     campaign::CampaignRunner runner(options);
     runner.addSink(memory);
-    const auto csv = makeEnvFileSink("CORONA_SWEEP_CSV", /*csv=*/true);
+    const auto csv =
+        makeEnvFileSink("CORONA_SWEEP_CSV", EnvSinkKind::Csv);
     if (csv)
         runner.addSink(*csv->sink);
     const auto jsonl =
-        makeEnvFileSink("CORONA_SWEEP_JSONL", /*csv=*/false);
+        makeEnvFileSink("CORONA_SWEEP_JSONL", EnvSinkKind::JsonLines);
     if (jsonl)
         runner.addSink(*jsonl->sink);
+    const auto summary =
+        makeEnvFileSink("CORONA_SUMMARY_CSV", EnvSinkKind::Summary);
+    if (summary)
+        runner.addSink(*summary->sink);
+    const auto checkpoint = openEnvCheckpoint(spec);
+    if (checkpoint)
+        runner.addSink(*checkpoint->sink);
 
-    runner.run(spec);
+    runner.run(spec, checkpoint ? checkpoint->completed
+                                : std::vector<campaign::RunRecord>{});
 
     // A truncated results file must not look like a finished sweep.
-    const auto checkWritten = [](const std::unique_ptr<FileSink> &file,
+    const auto checkWritten = [](std::ofstream &stream,
                                  const char *env_name) {
-        if (!file)
-            return;
-        file->stream.flush();
-        if (!file->stream)
+        stream.flush();
+        if (!stream)
             sim::fatal(std::string(env_name) +
                        ": write error, results file is incomplete");
     };
-    checkWritten(csv, "CORONA_SWEEP_CSV");
-    checkWritten(jsonl, "CORONA_SWEEP_JSONL");
+    if (csv)
+        checkWritten(csv->stream, "CORONA_SWEEP_CSV");
+    if (jsonl)
+        checkWritten(jsonl->stream, "CORONA_SWEEP_JSONL");
+    if (summary)
+        checkWritten(summary->stream, "CORONA_SUMMARY_CSV");
+    if (checkpoint)
+        checkWritten(checkpoint->stream, "CORONA_CHECKPOINT");
+
+    if (!options.shard.isWhole()) {
+        // No single shard holds the full grid, so there are no tables
+        // to print: flush what this slice produced and stop. Merge the
+        // shards' checkpoint files (cat, any order) and re-run
+        // un-sharded with CORONA_CHECKPOINT to render results without
+        // re-simulating.
+        if (!checkpoint && !csv && !jsonl && !summary)
+            sim::warn("CORONA_SHARD is set but no file sink "
+                      "(CORONA_CHECKPOINT / CORONA_SWEEP_CSV / "
+                      "CORONA_SWEEP_JSONL / CORONA_SUMMARY_CSV) is — "
+                      "this shard's results are discarded");
+        if (summary)
+            sim::warn("CORONA_SUMMARY_CSV under CORONA_SHARD "
+                      "aggregates only this shard's replicates — "
+                      "for full-sample statistics, merge the shards' "
+                      "checkpoints and re-run un-sharded");
+        std::cerr << "shard " << options.shard.label()
+                  << " complete; run the merged checkpoint un-sharded "
+                     "to print tables\n";
+        std::exit(0);
+    }
 
     Sweep sweep;
     sweep.workloads = spec.workloads;

@@ -53,7 +53,17 @@ std::size_t sweepThreads();
  * Runs execute on sweepThreads() workers; results are bit-identical to
  * the historical single-threaded loop for any worker count. Set
  * $CORONA_SWEEP_CSV / $CORONA_SWEEP_JSONL to also stream per-run rows
- * to those paths.
+ * to those paths, and $CORONA_SUMMARY_CSV for per-cell aggregate rows.
+ *
+ * $CORONA_CHECKPOINT names a crash-tolerant checkpoint file: finished
+ * runs append as they complete, and an interrupted sweep re-executes
+ * only the missing cells on the next invocation (sink output stays
+ * byte-identical to an uninterrupted sweep). $CORONA_SHARD="i/N"
+ * restricts this process to shard i of N: it executes its slice,
+ * flushes the file sinks, and exits without printing tables (no single
+ * shard holds the full grid); concatenate the shards' checkpoint files
+ * and re-run un-sharded with $CORONA_CHECKPOINT to render results
+ * without re-simulating.
  *
  * @param requests Primary misses per run (bench default honours the
  *        CORONA_REQUESTS environment variable).

@@ -3,8 +3,16 @@
  * Drive a custom campaign grid end to end on the campaign engine:
  * 2 workloads x 2 configurations x 2 seed replicates x 2 SimParams
  * overrides = 16 runs, executed concurrently with derived per-run
- * seeds, live progress/ETA on stderr, and every structured sink —
- * a summary table plus the full CSV on stdout, JSON-lines to a file.
+ * seeds, live progress/ETA on stderr, and every structured sink.
+ *
+ * The demo deliberately runs the campaign in two sessions to exercise
+ * fault tolerance: session 1 executes only shard 1/2 of the grid,
+ * appending each finished run to a checkpoint file, as if the process
+ * died halfway; session 2 loads the checkpoint, replays the persisted
+ * half into the sinks, and executes only the missing runs — ending
+ * with the summary table (replicate mean ± 95 % CI via SummarySink),
+ * the full CSV on stdout, and JSON-lines to a file, byte-identical to
+ * an uninterrupted run.
  *
  * Usage: campaign_demo [requests] [threads]
  */
@@ -12,13 +20,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <map>
 
+#include "campaign/aggregate.hh"
+#include "campaign/checkpoint.hh"
 #include "campaign/progress.hh"
 #include "campaign/runner.hh"
 #include "campaign/sink.hh"
 #include "stats/report.hh"
-#include "stats/stats.hh"
 #include "workload/splash.hh"
 #include "workload/synthetic.hh"
 
@@ -68,9 +76,47 @@ main(int argc, char **argv)
     };
     spec.base.requests = requests;
 
+    const char *checkpoint_path = "campaign_demo.ckpt";
+
+    // ---- Session 1: execute only shard 1/2, checkpointing each run,
+    // then "die" before the rest of the grid runs.
+    {
+        std::ofstream stream(checkpoint_path, std::ios::trunc);
+        if (!stream) {
+            std::cerr << "campaign_demo: cannot write "
+                      << checkpoint_path << "\n";
+            return 1;
+        }
+        campaign::CheckpointWriter checkpoint(stream,
+                                              /*write_header=*/true);
+        campaign::ProgressReporter progress(std::cerr);
+        campaign::RunnerOptions options;
+        options.threads = threads;
+        options.progress = &progress;
+        options.shard = *campaign::parseShardSpec("1/2");
+        campaign::CampaignRunner runner(options);
+        runner.addSink(checkpoint);
+        std::cerr << "session 1: shard 1/2 only, checkpointing to "
+                  << checkpoint_path << "\n";
+        runner.run(spec);
+    }
+
+    // ---- Session 2: resume from the checkpoint. The persisted half
+    // replays into every sink without re-simulating; only the other
+    // half executes.
+    std::vector<campaign::RunRecord> completed;
+    {
+        std::ifstream stream(checkpoint_path);
+        completed = campaign::loadCheckpoint(stream, spec);
+    }
+    std::cerr << "session 2: resumed " << completed.size() << " of "
+              << spec.totalRuns() << " runs from " << checkpoint_path
+              << "\n";
+
     std::ofstream jsonl("campaign_demo.jsonl", std::ios::trunc);
     campaign::JsonLinesSink jsonl_sink(jsonl);
     campaign::MemorySink memory;
+    campaign::SummarySink summary;
     campaign::ProgressReporter progress(std::cerr);
 
     campaign::RunnerOptions options;
@@ -78,41 +124,36 @@ main(int argc, char **argv)
     options.progress = &progress;
     campaign::CampaignRunner runner(options);
     runner.addSink(memory);
+    runner.addSink(summary);
     if (jsonl)
         runner.addSink(jsonl_sink);
 
-    const auto records = runner.run(spec);
+    const auto records = runner.run(spec, std::move(completed));
 
-    // Summarise each grid cell over its seed replicates.
-    const auto replicates = static_cast<double>(spec.seeds.size());
+    for (const auto &record : records) {
+        if (!record.ok)
+            std::cerr << "run " << record.index
+                      << " failed: " << record.error << "\n";
+    }
+
+    // Each grid cell folded over its seed replicates by SummarySink.
     stats::TableWriter table("Campaign demo: mean over " +
                              std::to_string(spec.seeds.size()) +
                              " seeds");
     table.setHeader({"workload", "config", "phase", "bandwidth",
-                     "avg latency (ns)"});
-    std::map<std::tuple<std::size_t, std::size_t, std::size_t>,
-             std::pair<double, double>>
-        cells;
-    for (const auto &record : records) {
-        if (!record.ok) {
-            std::cerr << "run " << record.index
-                      << " failed: " << record.error << "\n";
-            continue;
-        }
-        auto &cell = cells[{record.workload_index, record.config_index,
-                            record.override_index}];
-        cell.first +=
-            record.metrics.achieved_bytes_per_second / replicates;
-        cell.second += record.metrics.avg_latency_ns / replicates;
-    }
-    for (const auto &[key, cell] : cells) {
-        const auto &[w, c, o] = key;
+                     "avg latency (ns)", "lat 95% CI (ns)"});
+    for (const campaign::CellSummary &cell : summary.summaries()) {
+        using campaign::SummaryMetric;
+        const auto &latency = cell.metric(SummaryMetric::AvgLatencyNs);
         table.addRow({
-            spec.workloads[w].name,
-            spec.configs[c].name(),
-            spec.overrides[o].label,
-            stats::formatBandwidth(cell.first),
-            stats::formatDouble(cell.second, 1),
+            cell.workload,
+            cell.config,
+            cell.override_label,
+            stats::formatBandwidth(
+                cell.metric(SummaryMetric::AchievedBytesPerSecond)
+                    .mean),
+            stats::formatDouble(latency.mean, 1),
+            "+/- " + stats::formatDouble(latency.ci95, 1),
         });
     }
     table.print(std::cout);
@@ -126,7 +167,7 @@ main(int argc, char **argv)
     jsonl.flush();
     if (jsonl) {
         std::cout << "\nwrote campaign_demo.jsonl (" << records.size()
-                  << " runs)\n";
+                  << " runs) and " << checkpoint_path << "\n";
     } else {
         std::cerr << "campaign_demo: could not write "
                      "campaign_demo.jsonl\n";

@@ -7,12 +7,19 @@
  * locality, not a calibration knob, determines bandwidth demand and
  * which system configuration that demand rewards.
  *
+ * The 4 patterns x 2 configurations run concurrently on the campaign
+ * engine's worker pool (campaign::parallelFor — each cell owns its
+ * workload so the emergent L1/L2 miss rates can be read back after
+ * the run), rows printed in sweep order.
+ *
  * Usage: miss_stream_demo [requests]
  */
 
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
+#include "campaign/parallel_for.hh"
 #include "corona/simulation.hh"
 #include "stats/report.hh"
 #include "workload/miss_stream.hh"
@@ -48,34 +55,47 @@ main(int argc, char **argv)
         {"streaming scan", workload::AccessPattern::Streaming, 0},
         {"strided walk", workload::AccessPattern::Strided, 0},
     };
-    for (const Case &c : cases) {
+    // Flattened (case, config) grid: cell 2i is case i on XBar/OCM,
+    // cell 2i+1 the same case on the LMesh/ECM baseline.
+    constexpr std::size_t kCases = std::size(cases);
+    struct Cell
+    {
+        core::RunMetrics metrics;
+        double l1_miss_rate = 0.0;
+        double l2_miss_rate = 0.0;
+    };
+    std::vector<Cell> cells(kCases * 2);
+    campaign::parallelFor(cells.size(), 0, [&](std::size_t i) {
+        const Case &c = cases[i / 2];
         workload::MissStreamParams wl_params;
         wl_params.pattern = c.pattern;
         if (c.working_set_lines)
             wl_params.working_set_lines = c.working_set_lines;
 
-        workload::MissStreamWorkload corona_wl(wl_params);
-        const auto corona_metrics = core::runExperiment(
-            core::makeConfig(core::NetworkKind::XBar,
-                             core::MemoryKind::OCM),
-            corona_wl, params);
+        workload::MissStreamWorkload workload(wl_params);
+        const auto config =
+            i % 2 == 0 ? core::makeConfig(core::NetworkKind::XBar,
+                                          core::MemoryKind::OCM)
+                       : core::makeConfig(core::NetworkKind::LMesh,
+                                          core::MemoryKind::ECM);
+        cells[i].metrics = core::runExperiment(config, workload, params);
+        cells[i].l1_miss_rate = workload.l1MissRate();
+        cells[i].l2_miss_rate = workload.l2MissRate();
+    });
 
-        workload::MissStreamWorkload baseline_wl(wl_params);
-        const auto baseline_metrics = core::runExperiment(
-            core::makeConfig(core::NetworkKind::LMesh,
-                             core::MemoryKind::ECM),
-            baseline_wl, params);
-
+    for (std::size_t i = 0; i < kCases; ++i) {
+        const Cell &corona = cells[2 * i];
+        const Cell &baseline = cells[2 * i + 1];
         table.addRow({
-            c.label,
-            stats::formatDouble(corona_wl.l1MissRate() * 100.0, 1) + " %",
-            stats::formatDouble(corona_wl.l2MissRate() * 100.0, 1) + " %",
+            cases[i].label,
+            stats::formatDouble(corona.l1_miss_rate * 100.0, 1) + " %",
+            stats::formatDouble(corona.l2_miss_rate * 100.0, 1) + " %",
             stats::formatBandwidth(
-                corona_metrics.achieved_bytes_per_second),
+                corona.metrics.achieved_bytes_per_second),
             stats::formatBandwidth(
-                baseline_metrics.achieved_bytes_per_second),
+                baseline.metrics.achieved_bytes_per_second),
             stats::formatDouble(
-                corona_metrics.speedupOver(baseline_metrics), 2) + "x",
+                corona.metrics.speedupOver(baseline.metrics), 2) + "x",
         });
     }
     table.print(std::cout);

@@ -1,0 +1,386 @@
+#include "campaign/checkpoint.hh"
+
+#include <charconv>
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace corona::campaign {
+
+namespace {
+
+constexpr const char *kMagic = "corona-campaign-checkpoint";
+constexpr const char *kVersion = "v1";
+
+/** Order-sensitive chained hash over the spec's identity fields. */
+class Fingerprint
+{
+  public:
+    void mix(std::uint64_t x)
+    {
+        _h = sim::splitmix64(_h ^ sim::splitmix64(x));
+    }
+
+    void mix(const std::string &text)
+    {
+        mix(text.size());
+        std::uint64_t chunk = 0;
+        std::size_t filled = 0;
+        for (const char ch : text) {
+            chunk |= static_cast<std::uint64_t>(
+                         static_cast<unsigned char>(ch))
+                     << (8 * filled);
+            if (++filled == 8) {
+                mix(chunk);
+                chunk = 0;
+                filled = 0;
+            }
+        }
+        if (filled > 0)
+            mix(chunk);
+    }
+
+    std::uint64_t value() const { return _h; }
+
+  private:
+    std::uint64_t _h = 0x436f726f6e614350ull; // "CoronaCP"
+};
+
+std::string
+toHex(std::uint64_t value)
+{
+    constexpr const char *digits = "0123456789abcdef";
+    std::string hex(16, '0');
+    for (int nibble = 15; nibble >= 0; --nibble) {
+        hex[static_cast<std::size_t>(nibble)] = digits[value & 0xF];
+        value >>= 4;
+    }
+    return hex;
+}
+
+/** Split one RFC-4180 CSV row into fields; nullopt on bad quoting. */
+std::optional<std::vector<std::string>>
+splitCsvRow(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char ch = line[i];
+        if (quoted) {
+            if (ch == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field += ch;
+            }
+        } else if (ch == '"') {
+            if (!field.empty())
+                return std::nullopt; // Quote mid-field.
+            quoted = true;
+        } else if (ch == ',') {
+            fields.push_back(std::move(field));
+            field.clear();
+        } else {
+            field += ch;
+        }
+    }
+    if (quoted)
+        return std::nullopt; // Unterminated quote.
+    fields.push_back(std::move(field));
+    return fields;
+}
+
+template <typename T>
+std::optional<T>
+parseNumber(const std::string &text)
+{
+    T value{};
+    const auto res = std::from_chars(text.data(),
+                                     text.data() + text.size(), value);
+    if (res.ec != std::errc{} || res.ptr != text.data() + text.size())
+        return std::nullopt;
+    return value;
+}
+
+/** Decode one CsvSink-schema row; nullopt on any malformed field. */
+std::optional<RunRecord>
+parseRecordRow(const std::string &line)
+{
+    const auto fields = splitCsvRow(line);
+    if (!fields || fields->size() != 19)
+        return std::nullopt;
+    const std::vector<std::string> &f = *fields;
+
+    RunRecord record;
+    core::RunMetrics &m = record.metrics;
+
+    const auto index = parseNumber<std::size_t>(f[0]);
+    const auto seed = parseNumber<std::uint64_t>(f[4]);
+    const auto requests_issued = parseNumber<std::uint64_t>(f[7]);
+    const auto requests_coalesced = parseNumber<std::uint64_t>(f[8]);
+    const auto elapsed = parseNumber<std::uint64_t>(f[9]);
+    const auto avg_latency = parseNumber<double>(f[10]);
+    const auto p95_latency = parseNumber<double>(f[11]);
+    const auto achieved = parseNumber<double>(f[12]);
+    const auto offered = parseNumber<double>(f[13]);
+    const auto power = parseNumber<double>(f[14]);
+    const auto token_wait = parseNumber<double>(f[15]);
+    const auto hops = parseNumber<std::uint64_t>(f[16]);
+    const auto mshr = parseNumber<std::uint64_t>(f[17]);
+    const auto peak_queue = parseNumber<std::size_t>(f[18]);
+    if (!index || !seed || !requests_issued || !requests_coalesced ||
+        !elapsed || !avg_latency || !p95_latency || !achieved ||
+        !offered || !power || !token_wait || !hops || !mshr ||
+        !peak_queue)
+        return std::nullopt;
+    if (f[5] != "ok" && f[5] != "failed")
+        return std::nullopt;
+
+    record.index = *index;
+    record.workload = f[1];
+    record.config = f[2];
+    record.override_label = f[3];
+    record.seed = *seed;
+    record.ok = f[5] == "ok";
+    record.error = f[6];
+    m.workload = record.workload;
+    m.config = record.config;
+    m.requests_issued = *requests_issued;
+    m.requests_coalesced = *requests_coalesced;
+    m.elapsed = *elapsed;
+    m.avg_latency_ns = *avg_latency;
+    m.p95_latency_ns = *p95_latency;
+    m.achieved_bytes_per_second = *achieved;
+    m.offered_bytes_per_second = *offered;
+    m.network_power_w = *power;
+    m.token_wait_ns = *token_wait;
+    m.hop_traversals = *hops;
+    m.mshr_full_stalls = *mshr;
+    m.peak_mc_queue = *peak_queue;
+    return record;
+}
+
+std::string
+headerLine(std::uint64_t fingerprint, std::size_t total_runs)
+{
+    return std::string(kMagic) + " " + kVersion +
+           " fingerprint=" + toHex(fingerprint) +
+           " total=" + std::to_string(total_runs);
+}
+
+} // namespace
+
+std::uint64_t
+specFingerprint(const CampaignSpec &spec)
+{
+    Fingerprint fp;
+    fp.mix(spec.name);
+    fp.mix(spec.workloads.size());
+    for (const WorkloadSpec &workload : spec.workloads) {
+        fp.mix(workload.name);
+        fp.mix(workload.synthetic ? 1 : 0);
+    }
+    fp.mix(spec.configs.size());
+    for (const core::SystemConfig &config : spec.configs)
+        fp.mix(config.name());
+    fp.mix(spec.seeds.size());
+    for (const std::uint64_t salt : spec.seeds)
+        fp.mix(salt);
+    fp.mix(spec.overrides.size());
+    for (const ParamsOverride &override_ : spec.overrides)
+        fp.mix(override_.label);
+    fp.mix(spec.campaign_seed);
+    fp.mix(static_cast<std::uint64_t>(spec.seed_policy));
+    fp.mix(spec.base.requests);
+    fp.mix(spec.base.warmup_requests);
+    fp.mix(spec.base.seed);
+    return fp.value();
+}
+
+namespace {
+
+/** Parse "<magic> <version> fingerprint=<hex> total=<N>". */
+std::optional<std::pair<std::uint64_t, std::size_t>>
+parseHeaderLine(const std::string &line)
+{
+    std::istringstream header(line);
+    std::string magic, version, fingerprint_kv, total_kv;
+    header >> magic >> version >> fingerprint_kv >> total_kv;
+    const auto value = [](const std::string &kv, const std::string &key)
+        -> std::optional<std::string> {
+        if (kv.rfind(key + "=", 0) != 0)
+            return std::nullopt;
+        return kv.substr(key.size() + 1);
+    };
+    const auto fingerprint_hex = value(fingerprint_kv, "fingerprint");
+    const auto total_text = value(total_kv, "total");
+    if (magic != kMagic || version != kVersion || !fingerprint_hex ||
+        !total_text)
+        return std::nullopt;
+    std::uint64_t fingerprint = 0;
+    const std::string &hex = *fingerprint_hex;
+    const auto res = std::from_chars(hex.data(),
+                                     hex.data() + hex.size(),
+                                     fingerprint, 16);
+    const auto total = parseNumber<std::size_t>(*total_text);
+    if (res.ec != std::errc{} || res.ptr != hex.data() + hex.size() ||
+        !total)
+        return std::nullopt;
+    return std::make_pair(fingerprint, *total);
+}
+
+} // namespace
+
+CheckpointData
+readCheckpoint(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || is.eof())
+        sim::fatal("checkpoint: missing or torn header line");
+
+    CheckpointData data;
+    {
+        const auto header = parseHeaderLine(line);
+        if (!header)
+            sim::fatal("checkpoint: malformed header \"" + line + "\"");
+        data.fingerprint = header->first;
+        data.total_runs = header->second;
+    }
+
+    // Ordered so resume replay and concatenated shard files come back
+    // in ascending run index; later rows overwrite earlier ones (a
+    // failed run re-executed in a later session appends its ok row).
+    std::map<std::size_t, RunRecord> by_index;
+    std::size_t line_number = 1;
+    while (std::getline(is, line)) {
+        ++line_number;
+        // getline hitting EOF means the line had no terminating
+        // newline: the process died mid-write, so drop the torn row.
+        if (is.eof())
+            break;
+        if (line.empty())
+            continue;
+        // Concatenated shard files carry interior headers: accept
+        // them when they name the same campaign, reject otherwise.
+        if (line.rfind(kMagic, 0) == 0) {
+            const auto header = parseHeaderLine(line);
+            if (!header || header->first != data.fingerprint ||
+                header->second != data.total_runs)
+                sim::fatal("checkpoint: header at line " +
+                           std::to_string(line_number) +
+                           " names a different campaign — refusing "
+                           "to merge");
+            continue;
+        }
+        auto record = parseRecordRow(line);
+        if (!record)
+            sim::fatal("checkpoint: malformed row at line " +
+                       std::to_string(line_number));
+        if (record->index >= data.total_runs)
+            sim::fatal("checkpoint: row at line " +
+                       std::to_string(line_number) + " has run index " +
+                       std::to_string(record->index) +
+                       " outside the campaign's " +
+                       std::to_string(data.total_runs) + " runs");
+        by_index.insert_or_assign(record->index, std::move(*record));
+    }
+
+    data.records.reserve(by_index.size());
+    for (auto &[index, record] : by_index)
+        data.records.push_back(std::move(record));
+    return data;
+}
+
+std::vector<RunRecord>
+loadCheckpoint(std::istream &is, const CampaignSpec &spec)
+{
+    CheckpointData data = readCheckpoint(is);
+    const std::uint64_t expected = specFingerprint(spec);
+    if (data.fingerprint != expected)
+        sim::fatal("checkpoint: fingerprint " + toHex(data.fingerprint) +
+                   " does not match campaign \"" + spec.name + "\" (" +
+                   toHex(expected) + ") — refusing to resume");
+    if (data.total_runs != spec.totalRuns())
+        sim::fatal("checkpoint: grid cardinality " +
+                   std::to_string(data.total_runs) +
+                   " does not match campaign \"" + spec.name + "\" (" +
+                   std::to_string(spec.totalRuns()) + ")");
+
+    // Rebuild the axis indices the CSV schema omits from the run
+    // index's mixed-radix decomposition (workload-major, then config,
+    // seed, override — the expand() order).
+    const std::size_t seed_count =
+        spec.seeds.empty() ? 1 : spec.seeds.size();
+    const std::size_t override_count =
+        spec.overrides.empty() ? 1 : spec.overrides.size();
+    for (RunRecord &record : data.records) {
+        std::size_t rest = record.index;
+        record.override_index = rest % override_count;
+        rest /= override_count;
+        record.seed_index = rest % seed_count;
+        rest /= seed_count;
+        record.config_index = rest % spec.configs.size();
+        record.workload_index = rest / spec.configs.size();
+    }
+    return data.records;
+}
+
+void
+rewriteCheckpoint(std::ostream &os, const CampaignSpec &spec,
+                  const std::vector<RunRecord> &records)
+{
+    os << headerLine(specFingerprint(spec), spec.totalRuns()) << "\n";
+    for (const RunRecord &record : records)
+        os << csvRow(record) << "\n";
+    os.flush();
+    if (!os)
+        sim::fatal("checkpoint: write error while rewriting "
+                   "checkpoint");
+}
+
+CheckpointWriter::CheckpointWriter(
+    std::ostream &os, bool write_header,
+    std::unordered_set<std::size_t> persisted)
+    : _os(os), _write_header(write_header),
+      _persisted(std::move(persisted))
+{
+}
+
+void
+CheckpointWriter::begin(const CampaignSpec &spec, std::size_t)
+{
+    // The header records the full grid cardinality (not this shard's
+    // slice) so any shard's file validates against the whole spec and
+    // shard files concatenate into one resumable checkpoint.
+    if (_write_header) {
+        _os << headerLine(specFingerprint(spec), spec.totalRuns())
+            << "\n";
+        _os.flush();
+    }
+}
+
+void
+CheckpointWriter::consume(const RunRecord &record)
+{
+    if (_persisted.count(record.index))
+        return; // Replayed from this very file; already on disk.
+    _os << csvRow(record) << "\n";
+    _os.flush();
+    if (!_os)
+        sim::fatal("checkpoint: write error — checkpoint file is "
+                   "incomplete");
+}
+
+} // namespace corona::campaign

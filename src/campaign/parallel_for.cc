@@ -1,0 +1,59 @@
+#include "campaign/parallel_for.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "campaign/runner.hh"
+
+namespace corona::campaign {
+
+void
+parallelFor(std::size_t n, std::size_t threads,
+            const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    const std::size_t workers =
+        std::min(resolveWorkerThreads(threads), n);
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+
+    const auto worker = [&] {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::scoped_lock lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                next.store(n, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace corona::campaign

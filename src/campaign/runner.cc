@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "corona/simulation.hh"
@@ -66,6 +68,14 @@ resolveWorkerThreads(std::size_t requested)
 {
     if (requested > 0)
         return requested;
+    if (const char *env = std::getenv("CORONA_JOBS")) {
+        const auto value = core::parsePositiveCount(env);
+        if (!value)
+            sim::fatal("CORONA_JOBS must be a positive decimal "
+                       "integer, got \"" +
+                       std::string(env) + "\"");
+        return static_cast<std::size_t>(*value);
+    }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
 }
@@ -79,19 +89,51 @@ CampaignRunner::effectiveThreads(std::size_t total_runs) const
 std::vector<RunRecord>
 CampaignRunner::run(const CampaignSpec &spec)
 {
-    const std::vector<RunPlan> plans = expand(spec);
+    return run(spec, {});
+}
+
+std::vector<RunRecord>
+CampaignRunner::run(const CampaignSpec &spec,
+                    std::vector<RunRecord> completed)
+{
+    std::vector<RunPlan> plans = expand(spec);
+    applyShard(plans, _options.shard);
     const std::size_t total = plans.size();
-    const std::size_t threads = effectiveThreads(total);
+
+    // Replayed records fill their slot up front; only successful runs
+    // count as done (a failed run re-executes on resume), and records
+    // from other shards of the grid are simply not this process's.
+    std::vector<std::optional<RunRecord>> slots(total);
+    {
+        std::unordered_map<std::size_t, std::size_t> slot_by_index;
+        slot_by_index.reserve(total);
+        for (std::size_t p = 0; p < total; ++p)
+            slot_by_index.emplace(plans[p].index, p);
+        for (RunRecord &record : completed) {
+            const auto it = slot_by_index.find(record.index);
+            if (it == slot_by_index.end() || !record.ok)
+                continue;
+            slots[it->second] = std::move(record);
+        }
+    }
+
+    // Slot positions still needing execution, in ascending run index.
+    std::vector<std::size_t> pending;
+    pending.reserve(total);
+    for (std::size_t p = 0; p < total; ++p) {
+        if (!slots[p])
+            pending.push_back(p);
+    }
+    const std::size_t threads = effectiveThreads(pending.size());
 
     for (ResultSink *sink : _sinks)
         sink->begin(spec, total);
     if (_options.progress)
-        _options.progress->begin(spec, total, threads);
+        _options.progress->begin(spec, pending.size(), threads);
 
     // Workers pull the next un-run plan; completed records land in
     // their index slot, and every consecutive ready record is flushed
     // to the sinks so serialisation order never depends on threading.
-    std::vector<std::optional<RunRecord>> slots(total);
     std::atomic<std::size_t> next_plan{0};
     std::mutex emit_mutex;
     std::size_t next_emit = 0;
@@ -100,12 +142,27 @@ CampaignRunner::run(const CampaignSpec &spec)
     // escaping a std::thread body would call std::terminate.
     std::exception_ptr emit_error;
 
+    // Flush every consecutive ready slot to the sinks. Caller holds
+    // emit_mutex (or is still single-threaded).
+    const auto flushReady = [&] {
+        while (next_emit < total && slots[next_emit]) {
+            for (ResultSink *sink : _sinks)
+                sink->consume(*slots[next_emit]);
+            ++next_emit;
+        }
+    };
+
+    // Replayed records at the head of the grid (and a fully resumed
+    // campaign's entire record list) flush before any worker starts.
+    flushReady();
+
     const auto worker = [&] {
         while (true) {
-            const std::size_t idx =
+            const std::size_t at =
                 next_plan.fetch_add(1, std::memory_order_relaxed);
-            if (idx >= total)
+            if (at >= pending.size())
                 return;
+            const std::size_t idx = pending[at];
             RunRecord record = executePlan(plans[idx]);
 
             std::scoped_lock lock(emit_mutex);
@@ -115,20 +172,18 @@ CampaignRunner::run(const CampaignSpec &spec)
             try {
                 if (_options.progress)
                     _options.progress->completed(*slots[idx]);
-                while (next_emit < total && slots[next_emit]) {
-                    for (ResultSink *sink : _sinks)
-                        sink->consume(*slots[next_emit]);
-                    ++next_emit;
-                }
+                flushReady();
             } catch (...) {
                 emit_error = std::current_exception();
-                next_plan.store(total, std::memory_order_relaxed);
+                next_plan.store(pending.size(),
+                                std::memory_order_relaxed);
             }
         }
     };
 
     if (threads <= 1) {
-        worker();
+        if (!pending.empty())
+            worker();
     } else {
         std::vector<std::thread> pool;
         pool.reserve(threads);

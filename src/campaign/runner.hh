@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "campaign/progress.hh"
+#include "campaign/shard.hh"
 #include "campaign/sink.hh"
 #include "campaign/spec.hh"
 
@@ -31,6 +32,9 @@ struct RunnerOptions
     std::size_t threads = 0;
     /** Optional progress/ETA reporter (not owned). */
     ProgressReporter *progress = nullptr;
+    /** Slice of the grid this process executes (default: all of it).
+     * Sinks observe only this shard's records. */
+    ShardSpec shard{};
 };
 
 /**
@@ -55,6 +59,18 @@ class CampaignRunner
      */
     std::vector<RunRecord> run(const CampaignSpec &spec);
 
+    /**
+     * Resume @p spec from previously completed records (typically
+     * loadCheckpoint output). Successful records whose run index falls
+     * in this shard are replayed to the sinks verbatim instead of
+     * re-executing; failed or missing runs execute as usual. Sinks see
+     * the same records in the same order as an uninterrupted run, so
+     * their output bytes are identical. @return all of this shard's
+     * records (replayed + executed) in run-index order.
+     */
+    std::vector<RunRecord> run(const CampaignSpec &spec,
+                               std::vector<RunRecord> completed);
+
     /** The worker count run() will use for @p total_runs runs. */
     std::size_t effectiveThreads(std::size_t total_runs) const;
 
@@ -66,9 +82,11 @@ class CampaignRunner
 /** Execute one plan on the calling thread (also used by the pool). */
 RunRecord executePlan(const RunPlan &plan);
 
-/** Resolve a requested worker count: 0 means hardware concurrency,
- * never less than 1. Shared by the runner and the bench harness so a
- * reported thread count always matches the pool actually used. */
+/** Resolve a requested worker count: 0 defers to $CORONA_JOBS when
+ * set (strictly parsed, fatal on garbage), else hardware concurrency;
+ * never less than 1. Shared by the runner, parallelFor, and the bench
+ * harness so a reported thread count always matches the pool actually
+ * used and CORONA_JOBS bounds every engine entry point. */
 std::size_t resolveWorkerThreads(std::size_t requested);
 
 } // namespace corona::campaign

@@ -1,0 +1,43 @@
+#include "campaign/shard.hh"
+
+#include <algorithm>
+
+#include "corona/simulation.hh"
+
+namespace corona::campaign {
+
+std::string
+ShardSpec::label() const
+{
+    return std::to_string(index + 1) + "/" + std::to_string(count);
+}
+
+std::optional<ShardSpec>
+parseShardSpec(std::string_view text)
+{
+    const std::size_t slash = text.find('/');
+    if (slash == std::string_view::npos)
+        return std::nullopt;
+    // Strict positive parsing (rejects 0, signs, junk, overflow) —
+    // the same rules as every other CORONA_* count.
+    const auto index = core::parsePositiveCount(text.substr(0, slash));
+    const auto count = core::parsePositiveCount(text.substr(slash + 1));
+    if (!index || !count || *index > *count)
+        return std::nullopt;
+    return ShardSpec{static_cast<std::size_t>(*index - 1),
+                     static_cast<std::size_t>(*count)};
+}
+
+void
+applyShard(std::vector<RunPlan> &plans, const ShardSpec &shard)
+{
+    if (shard.isWhole())
+        return;
+    plans.erase(std::remove_if(plans.begin(), plans.end(),
+                               [&](const RunPlan &plan) {
+                                   return !shard.covers(plan.index);
+                               }),
+                plans.end());
+}
+
+} // namespace corona::campaign

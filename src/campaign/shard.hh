@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic campaign sharding.
+ *
+ * A ShardSpec names one slice of an expanded run list: shard i of N
+ * executes exactly the plans whose grid index is congruent to i mod N.
+ * The partition depends only on grid indices — never on execution order
+ * or thread count — so N processes (or machines) given the same
+ * CampaignSpec and distinct shard indices execute disjoint slices whose
+ * union is the full grid, with every run's derived seed unchanged.
+ */
+
+#ifndef CORONA_CAMPAIGN_SHARD_HH
+#define CORONA_CAMPAIGN_SHARD_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/spec.hh"
+
+namespace corona::campaign {
+
+/** One slice of a campaign: shard @c index of @c count. The default
+ * (0 of 1) is the whole campaign. */
+struct ShardSpec
+{
+    std::size_t index = 0;
+    std::size_t count = 1;
+
+    bool isWhole() const { return count == 1; }
+    /** Does this shard execute grid index @p run_index? */
+    bool covers(std::size_t run_index) const
+    {
+        return run_index % count == index;
+    }
+    /** "i/N" with a 1-based index, as parseShardSpec accepts. */
+    std::string label() const;
+};
+
+/**
+ * Parse a human-facing "i/N" shard designator (1 <= i <= N), e.g.
+ * "3/8" for the third of eight shards. Returns nullopt on malformed
+ * input, i == 0, N == 0, or i > N.
+ */
+std::optional<ShardSpec> parseShardSpec(std::string_view text);
+
+/** Keep only the plans @p shard covers, preserving order. */
+void applyShard(std::vector<RunPlan> &plans, const ShardSpec &shard);
+
+} // namespace corona::campaign
+
+#endif // CORONA_CAMPAIGN_SHARD_HH

@@ -9,11 +9,8 @@
 
 namespace corona::campaign {
 
-namespace {
-
-/** Shortest round-trip decimal form: deterministic and parseable. */
 std::string
-formatDouble(double value)
+formatShortestDouble(double value)
 {
     std::array<char, 64> buffer;
     const auto res = std::to_chars(buffer.data(),
@@ -35,6 +32,8 @@ csvEscape(const std::string &cell)
     quoted += '"';
     return quoted;
 }
+
+namespace {
 
 std::string
 jsonEscape(const std::string &text)
@@ -84,6 +83,68 @@ CsvSink::header()
            "hop_traversals,mshr_full_stalls,peak_mc_queue";
 }
 
+namespace {
+
+/** Flatten newlines so every row occupies exactly one line: the
+ * checkpoint reader is line-based, and a multi-line quoted field
+ * (e.g. an exception message) would make the file unparseable. */
+std::string
+singleLine(std::string text)
+{
+    for (char &ch : text) {
+        if (ch == '\n' || ch == '\r')
+            ch = ' ';
+    }
+    return text;
+}
+
+} // namespace
+
+std::string
+csvRow(const RunRecord &record)
+{
+    const core::RunMetrics &m = record.metrics;
+    std::string row;
+    row += std::to_string(record.index);
+    row += ',';
+    row += csvEscape(singleLine(record.workload));
+    row += ',';
+    row += csvEscape(singleLine(record.config));
+    row += ',';
+    row += csvEscape(singleLine(record.override_label));
+    row += ',';
+    row += std::to_string(record.seed);
+    row += ',';
+    row += record.ok ? "ok" : "failed";
+    row += ',';
+    row += csvEscape(singleLine(record.error));
+    row += ',';
+    row += std::to_string(m.requests_issued);
+    row += ',';
+    row += std::to_string(m.requests_coalesced);
+    row += ',';
+    row += std::to_string(m.elapsed);
+    row += ',';
+    row += formatShortestDouble(m.avg_latency_ns);
+    row += ',';
+    row += formatShortestDouble(m.p95_latency_ns);
+    row += ',';
+    row += formatShortestDouble(m.achieved_bytes_per_second);
+    row += ',';
+    row += formatShortestDouble(m.offered_bytes_per_second);
+    row += ',';
+    row += formatShortestDouble(m.network_power_w);
+    row += ',';
+    row += formatShortestDouble(m.token_wait_ns);
+    row += ',';
+    row += std::to_string(m.hop_traversals);
+    row += ',';
+    row += std::to_string(m.mshr_full_stalls);
+    row += ',';
+    row += std::to_string(m.peak_mc_queue);
+    return row;
+}
+
 void
 CsvSink::begin(const CampaignSpec &, std::size_t)
 {
@@ -93,20 +154,7 @@ CsvSink::begin(const CampaignSpec &, std::size_t)
 void
 CsvSink::consume(const RunRecord &record)
 {
-    const core::RunMetrics &m = record.metrics;
-    _os << record.index << ',' << csvEscape(record.workload) << ','
-        << csvEscape(record.config) << ','
-        << csvEscape(record.override_label) << ',' << record.seed << ','
-        << (record.ok ? "ok" : "failed") << ','
-        << csvEscape(record.error) << ',' << m.requests_issued << ','
-        << m.requests_coalesced << ',' << m.elapsed << ','
-        << formatDouble(m.avg_latency_ns) << ','
-        << formatDouble(m.p95_latency_ns) << ','
-        << formatDouble(m.achieved_bytes_per_second) << ','
-        << formatDouble(m.offered_bytes_per_second) << ','
-        << formatDouble(m.network_power_w) << ','
-        << formatDouble(m.token_wait_ns) << ',' << m.hop_traversals
-        << ',' << m.mshr_full_stalls << ',' << m.peak_mc_queue << "\n";
+    _os << csvRow(record) << "\n";
 }
 
 void
@@ -122,14 +170,14 @@ JsonLinesSink::consume(const RunRecord &record)
         << jsonEscape(record.error) << "\",\"requests_issued\":"
         << m.requests_issued << ",\"requests_coalesced\":"
         << m.requests_coalesced << ",\"elapsed_ticks\":" << m.elapsed
-        << ",\"avg_latency_ns\":" << formatDouble(m.avg_latency_ns)
-        << ",\"p95_latency_ns\":" << formatDouble(m.p95_latency_ns)
+        << ",\"avg_latency_ns\":" << formatShortestDouble(m.avg_latency_ns)
+        << ",\"p95_latency_ns\":" << formatShortestDouble(m.p95_latency_ns)
         << ",\"achieved_bytes_per_second\":"
-        << formatDouble(m.achieved_bytes_per_second)
+        << formatShortestDouble(m.achieved_bytes_per_second)
         << ",\"offered_bytes_per_second\":"
-        << formatDouble(m.offered_bytes_per_second)
-        << ",\"network_power_w\":" << formatDouble(m.network_power_w)
-        << ",\"token_wait_ns\":" << formatDouble(m.token_wait_ns)
+        << formatShortestDouble(m.offered_bytes_per_second)
+        << ",\"network_power_w\":" << formatShortestDouble(m.network_power_w)
+        << ",\"token_wait_ns\":" << formatShortestDouble(m.token_wait_ns)
         << ",\"hop_traversals\":" << m.hop_traversals
         << ",\"mshr_full_stalls\":" << m.mshr_full_stalls
         << ",\"peak_mc_queue\":" << m.peak_mc_queue << "}\n";

@@ -38,6 +38,22 @@ class ResultSink
     virtual void end();
 };
 
+/** Shortest round-trip decimal form (std::to_chars): the double
+ * dialect every campaign CSV/JSON artifact shares — the checkpoint
+ * reader depends on values surviving a parse exactly. */
+std::string formatShortestDouble(double value);
+
+/** RFC-4180 quoting, shared by every campaign CSV writer. */
+std::string csvEscape(const std::string &cell);
+
+/** One RFC-4180-style CSV row for @p record in CsvSink::header()
+ * column order, without a trailing newline. Doubles use the shortest
+ * round-trip form, so parsing the row recovers the exact values, and
+ * newlines inside string fields (e.g. exception messages) are
+ * flattened to spaces so a row never spans lines — the line-based
+ * checkpoint reader depends on both. */
+std::string csvRow(const RunRecord &record);
+
 /** Writes one RFC-4180-style CSV row per run (header first). */
 class CsvSink : public ResultSink
 {

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for campaign sharding: the "i/N" designator parser and the
+ * deterministic partition — every run lands in exactly one shard, the
+ * shards' union is the full grid, order is preserved, and per-run
+ * seeds are untouched by the slicing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "campaign/shard.hh"
+#include "campaign/spec.hh"
+#include "workload/synthetic.hh"
+
+namespace {
+
+using namespace corona;
+
+campaign::CampaignSpec
+gridSpec()
+{
+    campaign::CampaignSpec spec;
+    spec.name = "shard-test";
+    spec.workloads = {
+        {"Uniform", true, workload::makeUniform},
+        {"Tornado", true, workload::makeTornado},
+    };
+    spec.configs = {
+        core::makeConfig(core::NetworkKind::XBar, core::MemoryKind::OCM),
+        core::makeConfig(core::NetworkKind::HMesh,
+                         core::MemoryKind::OCM),
+    };
+    spec.seeds = {0, 1};
+    spec.overrides = {
+        {"cold", nullptr},
+        {"warm", [](core::SimParams &p) { p.warmup_requests = 10; }},
+    };
+    return spec;
+}
+
+TEST(ShardSpec, ParsesHumanDesignators)
+{
+    const auto first = campaign::parseShardSpec("1/4");
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->index, 0u);
+    EXPECT_EQ(first->count, 4u);
+    EXPECT_EQ(first->label(), "1/4");
+
+    const auto last = campaign::parseShardSpec("8/8");
+    ASSERT_TRUE(last.has_value());
+    EXPECT_EQ(last->index, 7u);
+
+    const auto whole = campaign::parseShardSpec("1/1");
+    ASSERT_TRUE(whole.has_value());
+    EXPECT_TRUE(whole->isWhole());
+}
+
+TEST(ShardSpec, RejectsMalformedDesignators)
+{
+    for (const char *bad : {"", "3", "/", "3/", "/8", "0/4", "5/4",
+                            "4/0", "a/4", "3/b", "1/4x", "-1/4",
+                            "1.5/4"}) {
+        EXPECT_FALSE(campaign::parseShardSpec(bad).has_value())
+            << "accepted \"" << bad << "\"";
+    }
+}
+
+TEST(ShardSpec, DefaultCoversEverything)
+{
+    const campaign::ShardSpec whole;
+    EXPECT_TRUE(whole.isWhole());
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_TRUE(whole.covers(i));
+}
+
+TEST(ApplyShard, PartitionIsDisjointCompleteAndOrdered)
+{
+    const auto spec = gridSpec();
+    const auto full = campaign::expand(spec);
+    ASSERT_EQ(full.size(), 16u);
+
+    const std::size_t shards = 3; // Deliberately not a divisor of 16.
+    std::set<std::size_t> seen;
+    for (std::size_t s = 0; s < shards; ++s) {
+        auto plans = campaign::expand(spec);
+        campaign::applyShard(plans, campaign::ShardSpec{s, shards});
+        std::size_t previous_index = 0;
+        bool first = true;
+        for (const auto &plan : plans) {
+            // Disjoint: no run index appears in two shards.
+            EXPECT_TRUE(seen.insert(plan.index).second);
+            // Order preserved within the shard.
+            if (!first) {
+                EXPECT_GT(plan.index, previous_index);
+            }
+            previous_index = plan.index;
+            first = false;
+            // The slicing never rewrites the plan itself.
+            EXPECT_EQ(plan.params.seed, full[plan.index].params.seed);
+            EXPECT_EQ(plan.workload, full[plan.index].workload);
+        }
+    }
+    // Complete: the union is the whole grid.
+    EXPECT_EQ(seen.size(), full.size());
+}
+
+TEST(ApplyShard, WholeShardIsANoOp)
+{
+    auto plans = campaign::expand(gridSpec());
+    const auto before = plans.size();
+    campaign::applyShard(plans, campaign::ShardSpec{});
+    EXPECT_EQ(plans.size(), before);
+}
+
+} // namespace
