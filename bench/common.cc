@@ -1,12 +1,9 @@
 #include "common.hh"
 
-#include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <unordered_set>
 
 #include "campaign/aggregate.hh"
 #include "campaign/checkpoint.hh"
@@ -78,78 +75,14 @@ envShard()
     return *shard;
 }
 
-/** The $CORONA_CHECKPOINT file: records loaded from a previous
- * session plus a writer appending this session's runs. */
-struct CheckpointFile
-{
-    std::ofstream stream;
-    std::unique_ptr<campaign::CheckpointWriter> sink;
-    std::vector<campaign::RunRecord> completed;
-};
-
-std::unique_ptr<CheckpointFile>
+/** The $CORONA_CHECKPOINT session, when the variable is set. */
+std::unique_ptr<campaign::CheckpointFile>
 openEnvCheckpoint(const campaign::CampaignSpec &spec)
 {
     const char *path = std::getenv("CORONA_CHECKPOINT");
     if (!path)
         return nullptr;
-    auto file = std::make_unique<CheckpointFile>();
-
-    bool fresh = true;
-    {
-        std::ifstream existing(path);
-        if (existing) {
-            if (existing.peek() !=
-                std::ifstream::traits_type::eof()) {
-                file->completed =
-                    campaign::loadCheckpoint(existing, spec);
-                fresh = false;
-            }
-        } else if (std::filesystem::exists(path)) {
-            // Unreadable but present: truncating it as "fresh" would
-            // destroy completed results the file exists to protect.
-            sim::fatal("CORONA_CHECKPOINT: \"" + std::string(path) +
-                       "\" exists but cannot be read — refusing to "
-                       "overwrite it");
-        }
-    }
-
-    if (!fresh) {
-        // Compact before appending: a crash may have left torn
-        // trailing bytes that would fuse with the next appended row.
-        // Rewrite to a temp file and rename so a crash mid-compaction
-        // cannot lose the original either.
-        const std::string temp = std::string(path) + ".tmp";
-        {
-            std::ofstream rewritten(temp, std::ios::trunc);
-            if (!rewritten)
-                sim::fatal("CORONA_CHECKPOINT: cannot open \"" + temp +
-                           "\" for writing");
-            campaign::rewriteCheckpoint(rewritten, spec,
-                                        file->completed);
-        }
-        if (std::rename(temp.c_str(), path) != 0)
-            sim::fatal("CORONA_CHECKPOINT: cannot replace \"" +
-                       std::string(path) + "\" with compacted copy");
-    }
-
-    // Only successful rows are replayed (and must not double-write);
-    // a failed run re-executes, and its fresh row must append so
-    // last-wins dedupe supersedes the failure on the next load.
-    std::unordered_set<std::size_t> persisted;
-    persisted.reserve(file->completed.size());
-    for (const campaign::RunRecord &record : file->completed) {
-        if (record.ok)
-            persisted.insert(record.index);
-    }
-
-    file->stream.open(path, fresh ? std::ios::trunc : std::ios::app);
-    if (!file->stream)
-        sim::fatal("CORONA_CHECKPOINT: cannot open \"" +
-                   std::string(path) + "\" for writing");
-    file->sink = std::make_unique<campaign::CheckpointWriter>(
-        file->stream, fresh, std::move(persisted));
-    return file;
+    return std::make_unique<campaign::CheckpointFile>(path, spec);
 }
 
 } // namespace
@@ -225,10 +158,11 @@ runSweep(std::uint64_t requests, bool quiet)
         runner.addSink(*summary->sink);
     const auto checkpoint = openEnvCheckpoint(spec);
     if (checkpoint)
-        runner.addSink(*checkpoint->sink);
+        runner.addSink(checkpoint->sink());
 
-    runner.run(spec, checkpoint ? checkpoint->completed
-                                : std::vector<campaign::RunRecord>{});
+    runner.run(spec, checkpoint
+                         ? checkpoint->takeCompleted()
+                         : std::vector<campaign::RunRecord>{});
 
     // A truncated results file must not look like a finished sweep.
     const auto checkWritten = [](std::ofstream &stream,
@@ -245,13 +179,21 @@ runSweep(std::uint64_t requests, bool quiet)
     if (summary)
         checkWritten(summary->stream, "CORONA_SUMMARY_CSV");
     if (checkpoint)
-        checkWritten(checkpoint->stream, "CORONA_CHECKPOINT");
+        checkpoint->checkWritten();
 
-    if (!options.shard.isWhole()) {
+    Sweep sweep;
+    sweep.workloads = spec.workloads;
+    sweep.configs = spec.configs;
+    sweep.shard = options.shard;
+
+    if (!sweep.complete()) {
         // No single shard holds the full grid, so there are no tables
-        // to print: flush what this slice produced and stop. Merge the
-        // shards' checkpoint files (cat, any order) and re-run
-        // un-sharded with CORONA_CHECKPOINT to render results without
+        // to print: flush what this slice produced and return a
+        // shard-only outcome the callers skip. Returning (rather than
+        // std::exit) lets destructors flush/close every sink and lets
+        // the launcher host shard runs in-process. Merge the shards'
+        // checkpoint files (corona-launch, or cat + an un-sharded
+        // CORONA_CHECKPOINT re-run) to render results without
         // re-simulating.
         if (!checkpoint && !csv && !jsonl && !summary)
             sim::warn("CORONA_SHARD is set but no file sink "
@@ -266,12 +208,9 @@ runSweep(std::uint64_t requests, bool quiet)
         std::cerr << "shard " << options.shard.label()
                   << " complete; run the merged checkpoint un-sharded "
                      "to print tables\n";
-        std::exit(0);
+        return sweep;
     }
 
-    Sweep sweep;
-    sweep.workloads = spec.workloads;
-    sweep.configs = spec.configs;
     sweep.results = memory.grid();
     return sweep;
 }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/shard.hh"
 #include "campaign/spec.hh"
 #include "corona/metrics.hh"
 #include "corona/simulation.hh"
@@ -29,7 +30,14 @@ struct Sweep
 {
     std::vector<WorkloadEntry> workloads;
     std::vector<core::SystemConfig> configs;
+    /** Empty for a shard-only run (no single shard holds the grid). */
     std::vector<std::vector<core::RunMetrics>> results;
+    /** The slice this process executed ($CORONA_SHARD). */
+    campaign::ShardSpec shard{};
+
+    /** False when only one shard of the grid ran: the file sinks were
+     * flushed but there are no tables to print — callers return. */
+    bool complete() const { return shard.isWhole(); }
 
     /** Index of the LMesh/ECM baseline column. */
     std::size_t baselineIndex() const { return 0; }
@@ -60,10 +68,12 @@ std::size_t sweepThreads();
  * only the missing cells on the next invocation (sink output stays
  * byte-identical to an uninterrupted sweep). $CORONA_SHARD="i/N"
  * restricts this process to shard i of N: it executes its slice,
- * flushes the file sinks, and exits without printing tables (no single
- * shard holds the full grid); concatenate the shards' checkpoint files
- * and re-run un-sharded with $CORONA_CHECKPOINT to render results
- * without re-simulating.
+ * flushes the file sinks, and returns a shard-only Sweep (empty
+ * results; Sweep::complete() is false) — callers print nothing, since
+ * no single shard holds the full grid. Merge the shards' checkpoint
+ * files (corona-launch does all of this in one command) and re-run
+ * un-sharded with $CORONA_CHECKPOINT to render results without
+ * re-simulating.
  *
  * @param requests Primary misses per run (bench default honours the
  *        CORONA_REQUESTS environment variable).

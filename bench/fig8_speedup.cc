@@ -24,6 +24,8 @@ main()
               << " worker thread(s)\n      (CORONA_REQUESTS, CORONA_JOBS,"
                  " CORONA_SWEEP_CSV/JSONL override)\n";
     const auto sweep = bench::runSweep(requests);
+    if (!sweep.complete())
+        return 0; // Shard-only run: file sinks flushed, no tables.
 
     stats::TableWriter table("Figure 8: Normalized Speedup (vs LMesh/ECM)");
     std::vector<std::string> header = {"Benchmark"};

@@ -14,15 +14,27 @@
  * the full CSV on stdout, and JSON-lines to a file, byte-identical to
  * an uninterrupted run.
  *
+ * Session 3 then runs the same campaign the distributed way — the
+ * corona-launch workflow, driven through the launcher library: two
+ * worker *processes* (this binary re-exec'd with --worker) each
+ * execute one shard against its own checkpoint file, the launcher
+ * supervises and would retry a crashed worker, and the merged files
+ * replay into records identical to sessions 1+2.
+ *
  * Usage: campaign_demo [requests] [threads]
+ *        campaign_demo --worker <requests>   (internal; spawned by
+ *        session 3 with CORONA_SHARD / CORONA_CHECKPOINT exported)
  */
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "campaign/aggregate.hh"
 #include "campaign/checkpoint.hh"
+#include "campaign/launch.hh"
 #include "campaign/progress.hh"
 #include "campaign/runner.hh"
 #include "campaign/sink.hh"
@@ -30,27 +42,15 @@
 #include "workload/splash.hh"
 #include "workload/synthetic.hh"
 
-int
-main(int argc, char **argv)
+namespace {
+
+using namespace corona;
+
+/** The demo grid; workers must build the identical spec, so it is a
+ * pure function of the request budget. */
+campaign::CampaignSpec
+makeDemoSpec(std::uint64_t requests)
 {
-    using namespace corona;
-
-    const auto parseArg = [](const char *text, const char *what) {
-        const auto value = core::parsePositiveCount(text);
-        if (!value) {
-            std::cerr << "campaign_demo: " << what
-                      << " must be a positive integer, got \"" << text
-                      << "\"\nusage: campaign_demo [requests] [threads]\n";
-            std::exit(1);
-        }
-        return *value;
-    };
-    const std::uint64_t requests =
-        argc > 1 ? parseArg(argv[1], "requests") : 5'000;
-    const std::size_t threads =
-        argc > 2 ? static_cast<std::size_t>(parseArg(argv[2], "threads"))
-                 : 0; // omitted = hardware concurrency
-
     campaign::CampaignSpec spec;
     spec.name = "demo";
     spec.campaign_seed = 2026;
@@ -75,6 +75,66 @@ main(int argc, char **argv)
          }},
     };
     spec.base.requests = requests;
+    return spec;
+}
+
+/** Session 3's worker: one shard against the launcher-provided
+ * CORONA_SHARD / CORONA_CHECKPOINT. */
+int
+workerMain(std::uint64_t requests)
+{
+    const char *shard_env = std::getenv("CORONA_SHARD");
+    const char *checkpoint_env = std::getenv("CORONA_CHECKPOINT");
+    if (!shard_env || !checkpoint_env) {
+        std::cerr << "campaign_demo --worker expects CORONA_SHARD and "
+                     "CORONA_CHECKPOINT (the launcher exports both)\n";
+        return 64;
+    }
+    const auto shard = campaign::parseShardSpec(shard_env);
+    if (!shard) {
+        std::cerr << "campaign_demo --worker: bad CORONA_SHARD\n";
+        return 64;
+    }
+    const auto spec = makeDemoSpec(requests);
+    campaign::CheckpointFile checkpoint(checkpoint_env, spec);
+    campaign::RunnerOptions options;
+    options.shard = *shard;
+    campaign::CampaignRunner runner(options);
+    runner.addSink(checkpoint.sink());
+    runner.run(spec, checkpoint.takeCompleted());
+    checkpoint.checkWritten();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto parseArg = [](const char *text, const char *what) {
+        const auto value = core::parsePositiveCount(text);
+        if (!value) {
+            std::cerr << "campaign_demo: " << what
+                      << " must be a positive integer, got \"" << text
+                      << "\"\nusage: campaign_demo [requests] [threads]\n";
+            std::exit(1);
+        }
+        return *value;
+    };
+
+    if (argc > 1 && std::string(argv[1]) == "--worker") {
+        const std::uint64_t requests =
+            argc > 2 ? parseArg(argv[2], "requests") : 5'000;
+        return workerMain(requests);
+    }
+
+    const std::uint64_t requests =
+        argc > 1 ? parseArg(argv[1], "requests") : 5'000;
+    const std::size_t threads =
+        argc > 2 ? static_cast<std::size_t>(parseArg(argv[2], "threads"))
+                 : 0; // omitted = hardware concurrency
+
+    const campaign::CampaignSpec spec = makeDemoSpec(requests);
 
     const char *checkpoint_path = "campaign_demo.ckpt";
 
@@ -172,5 +232,43 @@ main(int argc, char **argv)
         std::cerr << "campaign_demo: could not write "
                      "campaign_demo.jsonl\n";
     }
-    return 0;
+
+    // ---- Session 3: the distributed way — the corona-launch
+    // workflow through the launcher library. Two worker processes
+    // (this binary, re-exec'd with --worker) each run one shard into
+    // its own checkpoint; crashed workers would be retried with
+    // backoff; the merged files replay to the same records.
+    std::cerr << "\nsession 3: distributing the same campaign over 2 "
+                 "worker processes\n";
+    campaign::LaunchOptions launch;
+    launch.shard_count = 2;
+    launch.checkpoint_dir = "campaign_demo_launch";
+    launch.backoff_initial_seconds = 0.1;
+    launch.log = &std::cerr;
+    launch.command = campaign::shellQuote(argv[0]) + " --worker " +
+                     std::to_string(requests);
+    // Shard files from a previous demo invocation (possibly with a
+    // different request budget, i.e. a different fingerprint) must
+    // not be resumed into this campaign.
+    std::filesystem::remove_all(launch.checkpoint_dir);
+    const campaign::LaunchReport report =
+        campaign::launchShards(launch);
+    if (!report.allOk()) {
+        std::cerr << "campaign_demo: launcher reported failed "
+                     "shards\n";
+        return 1;
+    }
+    const auto merged = campaign::mergeCheckpointFiles(
+        report.checkpointPaths(), spec);
+    bool identical = merged.size() == records.size();
+    for (std::size_t i = 0; identical && i < merged.size(); ++i)
+        identical = campaign::csvRow(merged[i]) ==
+                    campaign::csvRow(records[i]);
+    std::cout << "\nlauncher session: merged " << merged.size()
+              << " runs from " << report.shards.size()
+              << " worker processes — "
+              << (identical ? "identical to the resumed run"
+                            : "MISMATCH vs the resumed run")
+              << "\n";
+    return identical ? 0 : 1;
 }

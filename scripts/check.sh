@@ -11,3 +11,4 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 cmake -B build -S . "$@"
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
+scripts/launch_smoke.sh build

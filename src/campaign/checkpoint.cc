@@ -1,12 +1,16 @@
 #include "campaign/checkpoint.hh"
 
 #include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <istream>
 #include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -303,10 +307,13 @@ readCheckpoint(std::istream &is)
     return data;
 }
 
-std::vector<RunRecord>
-loadCheckpoint(std::istream &is, const CampaignSpec &spec)
+namespace {
+
+/** Fatal unless @p data names @p spec's fingerprint and grid size. */
+void
+validateAgainstSpec(const CheckpointData &data,
+                    const CampaignSpec &spec)
 {
-    CheckpointData data = readCheckpoint(is);
     const std::uint64_t expected = specFingerprint(spec);
     if (data.fingerprint != expected)
         sim::fatal("checkpoint: fingerprint " + toHex(data.fingerprint) +
@@ -317,15 +324,20 @@ loadCheckpoint(std::istream &is, const CampaignSpec &spec)
                    std::to_string(data.total_runs) +
                    " does not match campaign \"" + spec.name + "\" (" +
                    std::to_string(spec.totalRuns()) + ")");
+}
 
-    // Rebuild the axis indices the CSV schema omits from the run
-    // index's mixed-radix decomposition (workload-major, then config,
-    // seed, override — the expand() order).
+/** Rebuild the axis indices the CSV schema omits from the run
+ * index's mixed-radix decomposition (workload-major, then config,
+ * seed, override — the expand() order). */
+void
+reindexRecords(std::vector<RunRecord> &records,
+               const CampaignSpec &spec)
+{
     const std::size_t seed_count =
         spec.seeds.empty() ? 1 : spec.seeds.size();
     const std::size_t override_count =
         spec.overrides.empty() ? 1 : spec.overrides.size();
-    for (RunRecord &record : data.records) {
+    for (RunRecord &record : records) {
         std::size_t rest = record.index;
         record.override_index = rest % override_count;
         rest /= override_count;
@@ -334,7 +346,46 @@ loadCheckpoint(std::istream &is, const CampaignSpec &spec)
         record.config_index = rest % spec.configs.size();
         record.workload_index = rest / spec.configs.size();
     }
+}
+
+} // namespace
+
+std::vector<RunRecord>
+loadCheckpoint(std::istream &is, const CampaignSpec &spec)
+{
+    CheckpointData data = readCheckpoint(is);
+    validateAgainstSpec(data, spec);
+    reindexRecords(data.records, spec);
     return data.records;
+}
+
+std::vector<RunRecord>
+mergeCheckpointFiles(const std::vector<std::string> &paths,
+                     const CampaignSpec &spec)
+{
+    // Parse each shard file on its own (so a crashed shard's torn
+    // tail is dropped by its own reader instead of fusing with the
+    // next file's header), then merge last-wins by run index — the
+    // same result as concatenating intact files and loading once.
+    std::map<std::size_t, RunRecord> by_index;
+    for (const std::string &path : paths) {
+        std::ifstream stream(path);
+        if (!stream)
+            sim::fatal("checkpoint merge: cannot read \"" + path +
+                       "\"");
+        CheckpointData data = readCheckpoint(stream);
+        validateAgainstSpec(data, spec);
+        for (RunRecord &record : data.records) {
+            const std::size_t index = record.index;
+            by_index.insert_or_assign(index, std::move(record));
+        }
+    }
+    std::vector<RunRecord> merged;
+    merged.reserve(by_index.size());
+    for (auto &[index, record] : by_index)
+        merged.push_back(std::move(record));
+    reindexRecords(merged, spec);
+    return merged;
 }
 
 void
@@ -381,6 +432,73 @@ CheckpointWriter::consume(const RunRecord &record)
     if (!_os)
         sim::fatal("checkpoint: write error — checkpoint file is "
                    "incomplete");
+}
+
+CheckpointFile::CheckpointFile(const std::string &path,
+                               const CampaignSpec &spec)
+    : _path(path)
+{
+    bool fresh = true;
+    {
+        std::ifstream existing(path);
+        if (existing) {
+            if (existing.peek() !=
+                std::ifstream::traits_type::eof()) {
+                _completed = loadCheckpoint(existing, spec);
+                fresh = false;
+            }
+        } else if (std::filesystem::exists(path)) {
+            // Unreadable but present: truncating it as "fresh" would
+            // destroy completed results the file exists to protect.
+            sim::fatal("checkpoint: \"" + path +
+                       "\" exists but cannot be read — refusing to "
+                       "overwrite it");
+        }
+    }
+
+    if (!fresh) {
+        // Compact before appending: a crash may have left torn
+        // trailing bytes that would fuse with the next appended row.
+        // Rewrite to a temp file and rename so a crash mid-compaction
+        // cannot lose the original either.
+        const std::string temp = path + ".tmp";
+        {
+            std::ofstream rewritten(temp, std::ios::trunc);
+            if (!rewritten)
+                sim::fatal("checkpoint: cannot open \"" + temp +
+                           "\" for writing");
+            rewriteCheckpoint(rewritten, spec, _completed);
+        }
+        if (std::rename(temp.c_str(), path.c_str()) != 0)
+            sim::fatal("checkpoint: cannot replace \"" + path +
+                       "\" with compacted copy");
+    }
+
+    // Only successful rows are replayed (and must not double-write);
+    // a failed run re-executes, and its fresh row must append so
+    // last-wins dedupe supersedes the failure on the next load.
+    std::unordered_set<std::size_t> persisted;
+    persisted.reserve(_completed.size());
+    for (const RunRecord &record : _completed) {
+        if (record.ok)
+            persisted.insert(record.index);
+    }
+
+    _stream.open(path, fresh ? std::ios::trunc : std::ios::app);
+    if (!_stream)
+        sim::fatal("checkpoint: cannot open \"" + path +
+                   "\" for writing");
+    _sink = std::make_unique<CheckpointWriter>(_stream, fresh,
+                                               std::move(persisted));
+}
+
+void
+CheckpointFile::checkWritten()
+{
+    _stream.flush();
+    if (!_stream)
+        sim::fatal("checkpoint: write error, \"" + _path +
+                   "\" is incomplete");
 }
 
 } // namespace corona::campaign

@@ -19,7 +19,10 @@
 #define CORONA_CAMPAIGN_CHECKPOINT_HH
 
 #include <cstdint>
+#include <fstream>
 #include <iosfwd>
+#include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -62,6 +65,21 @@ std::vector<RunRecord> loadCheckpoint(std::istream &is,
                                       const CampaignSpec &spec);
 
 /**
+ * Load and merge several shards' checkpoint files for one campaign —
+ * the launcher's merge entry point. Semantically identical to
+ * concatenating the files (any order) and calling loadCheckpoint:
+ * every file must name @p spec's fingerprint and grid cardinality
+ * (fatal otherwise), later rows win per run index, and each file's
+ * own torn final line is dropped. Parsing per file rather than from
+ * literal concatenation means a crashed shard's torn tail cannot fuse
+ * with the next file's header. Missing files are fatal; pass only the
+ * paths that exist (a shard that never started has nothing to merge).
+ */
+std::vector<RunRecord>
+mergeCheckpointFiles(const std::vector<std::string> &paths,
+                     const CampaignSpec &spec);
+
+/**
  * Write a complete checkpoint (header + one row per record) for
  * @p spec to @p os. Used to compact a checkpoint before appending to
  * it: re-serialising what loadCheckpoint returned sheds torn trailing
@@ -97,6 +115,50 @@ class CheckpointWriter : public ResultSink
     std::ostream &_os;
     bool _write_header;
     std::unordered_set<std::size_t> _persisted;
+};
+
+/**
+ * One on-disk checkpoint session: open @p path, load and validate any
+ * records a previous session left there (compacting torn trailing
+ * bytes via rewrite-and-rename so appending stays safe), then expose a
+ * CheckpointWriter positioned to append this session's fresh rows.
+ * Shared by bench::runSweep ($CORONA_CHECKPOINT) and the shard
+ * launcher's workers.
+ */
+class CheckpointFile
+{
+  public:
+    /** Fatal when the file exists but cannot be read, names a
+     * different campaign, or cannot be (re)opened for appending. */
+    CheckpointFile(const std::string &path, const CampaignSpec &spec);
+
+    /** The append sink; rows replayed from this file are skipped. */
+    ResultSink &sink() { return *_sink; }
+
+    /** Records loaded from the file, ascending run index. */
+    const std::vector<RunRecord> &completed() const
+    {
+        return _completed;
+    }
+
+    /** Move the loaded records out (for CampaignRunner::run). */
+    std::vector<RunRecord> takeCompleted()
+    {
+        return std::move(_completed);
+    }
+
+    /** The underlying stream (e.g. for extra test instrumentation). */
+    std::ofstream &stream() { return _stream; }
+
+    /** Fatal if any append failed — a truncated checkpoint must not
+     * pass for a finished one. */
+    void checkWritten();
+
+  private:
+    std::string _path;
+    std::ofstream _stream;
+    std::unique_ptr<CheckpointWriter> _sink;
+    std::vector<RunRecord> _completed;
 };
 
 } // namespace corona::campaign

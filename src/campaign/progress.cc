@@ -1,28 +1,38 @@
 #include "campaign/progress.hh"
 
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
 namespace corona::campaign {
 
-namespace {
-
 std::string
 formatSeconds(double seconds)
 {
     std::ostringstream os;
-    if (seconds < 10.0)
+    if (seconds < 10.0) {
         os << std::fixed << std::setprecision(2) << seconds << " s";
-    else if (seconds < 120.0)
+    } else if (seconds < 120.0) {
         os << std::fixed << std::setprecision(1) << seconds << " s";
-    else
+    } else if (seconds < 7200.0) {
         os << std::fixed << std::setprecision(0) << seconds / 60.0
            << " min";
+    } else {
+        // Long campaign ETAs used to print "600 min"; roll minutes
+        // into hours past the two-hour mark.
+        auto hours = static_cast<long>(seconds / 3600.0);
+        auto minutes = static_cast<long>(
+            std::lround((seconds - 3600.0 * static_cast<double>(hours)) /
+                        60.0));
+        if (minutes == 60) {
+            ++hours;
+            minutes = 0;
+        }
+        os << hours << " h " << minutes << " min";
+    }
     return os.str();
 }
-
-} // namespace
 
 ProgressReporter::ProgressReporter(std::ostream &os) : _os(os)
 {
@@ -30,9 +40,11 @@ ProgressReporter::ProgressReporter(std::ostream &os) : _os(os)
 
 void
 ProgressReporter::begin(const CampaignSpec &spec,
-                        std::size_t total_runs, std::size_t threads)
+                        std::size_t total_runs, std::size_t replayed,
+                        std::size_t threads)
 {
     _total = total_runs;
+    _replayed = replayed;
     _done = 0;
     _failed = 0;
     _width = 1;
@@ -40,7 +52,11 @@ ProgressReporter::begin(const CampaignSpec &spec,
         ++_width;
     _start = std::chrono::steady_clock::now();
     _os << "campaign \"" << spec.name << "\": " << total_runs
-        << " runs on " << threads
+        << " runs";
+    if (replayed > 0)
+        _os << " (" << replayed << " replayed from checkpoint, "
+            << total_runs - replayed << " pending)";
+    _os << " on " << threads
         << (threads == 1 ? " worker thread\n" : " worker threads\n");
 }
 
@@ -54,16 +70,19 @@ ProgressReporter::completed(const RunRecord &record)
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       _start)
             .count();
-    _os << "  [" << std::setw(_width) << _done << "/" << _total << "] "
-        << record.workload << " on " << record.config;
+    _os << "  [" << std::setw(_width) << _replayed + _done << "/"
+        << _total << "] " << record.workload << " on " << record.config;
     if (!record.override_label.empty())
         _os << " (" << record.override_label << ")";
     if (!record.ok)
         _os << " FAILED: " << record.error;
     _os << " in " << formatSeconds(record.wall_seconds);
-    if (_done < _total) {
+    // ETA extrapolates this session's throughput over the runs still
+    // pending; replayed runs cost nothing and must not dilute it.
+    const std::size_t pending = _total - _replayed;
+    if (_done < pending) {
         const double eta = elapsed / static_cast<double>(_done) *
-                           static_cast<double>(_total - _done);
+                           static_cast<double>(pending - _done);
         _os << ", ETA " << formatSeconds(eta);
     }
     _os << "\n";
@@ -76,8 +95,10 @@ ProgressReporter::end()
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       _start)
             .count();
-    _os << "campaign finished: " << _done << " runs in "
-        << formatSeconds(elapsed);
+    _os << "campaign finished: " << _done << " runs";
+    if (_replayed > 0)
+        _os << " (+" << _replayed << " replayed)";
+    _os << " in " << formatSeconds(elapsed);
     if (_failed > 0)
         _os << ", " << _failed << " FAILED";
     _os << "\n";

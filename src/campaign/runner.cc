@@ -129,7 +129,8 @@ CampaignRunner::run(const CampaignSpec &spec,
     for (ResultSink *sink : _sinks)
         sink->begin(spec, total);
     if (_options.progress)
-        _options.progress->begin(spec, pending.size(), threads);
+        _options.progress->begin(spec, total, total - pending.size(),
+                                 threads);
 
     // Workers pull the next un-run plan; completed records land in
     // their index slot, and every consecutive ready record is flushed

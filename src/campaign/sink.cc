@@ -2,6 +2,7 @@
 
 #include <array>
 #include <charconv>
+#include <cmath>
 #include <ostream>
 #include <string>
 
@@ -59,6 +60,18 @@ jsonEscape(const std::string &text)
         }
     }
     return escaped;
+}
+
+/** A double as a JSON value: nan/inf are not JSON numbers (a bare
+ * "nan" makes the whole line unparseable), so non-finite metrics
+ * serialise as null. The CSV/checkpoint dialect keeps the nan/inf
+ * spellings — std::from_chars round-trips them exactly. */
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    return formatShortestDouble(value);
 }
 
 } // namespace
@@ -170,14 +183,14 @@ JsonLinesSink::consume(const RunRecord &record)
         << jsonEscape(record.error) << "\",\"requests_issued\":"
         << m.requests_issued << ",\"requests_coalesced\":"
         << m.requests_coalesced << ",\"elapsed_ticks\":" << m.elapsed
-        << ",\"avg_latency_ns\":" << formatShortestDouble(m.avg_latency_ns)
-        << ",\"p95_latency_ns\":" << formatShortestDouble(m.p95_latency_ns)
+        << ",\"avg_latency_ns\":" << jsonNumber(m.avg_latency_ns)
+        << ",\"p95_latency_ns\":" << jsonNumber(m.p95_latency_ns)
         << ",\"achieved_bytes_per_second\":"
-        << formatShortestDouble(m.achieved_bytes_per_second)
+        << jsonNumber(m.achieved_bytes_per_second)
         << ",\"offered_bytes_per_second\":"
-        << formatShortestDouble(m.offered_bytes_per_second)
-        << ",\"network_power_w\":" << formatShortestDouble(m.network_power_w)
-        << ",\"token_wait_ns\":" << formatShortestDouble(m.token_wait_ns)
+        << jsonNumber(m.offered_bytes_per_second)
+        << ",\"network_power_w\":" << jsonNumber(m.network_power_w)
+        << ",\"token_wait_ns\":" << jsonNumber(m.token_wait_ns)
         << ",\"hop_traversals\":" << m.hop_traversals
         << ",\"mshr_full_stalls\":" << m.mshr_full_stalls
         << ",\"peak_mc_queue\":" << m.peak_mc_queue << "}\n";

@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <limits>
 #include <sstream>
+#include <vector>
 
 #include "campaign/progress.hh"
 #include "campaign/runner.hh"
@@ -311,6 +313,39 @@ TEST(CampaignSinks, JsonLinesEmitsOneObjectPerRun)
     EXPECT_EQ(rows, 4u);
 }
 
+TEST(CampaignSinks, JsonLinesSerialisesNonFiniteMetricsAsNull)
+{
+    // A run that ends with no completed requests can carry NaN/inf
+    // metrics; bare "nan" is not a JSON number and makes the whole
+    // line unparseable. Non-finite doubles must serialise as null.
+    campaign::RunRecord record;
+    record.index = 3;
+    record.workload = "Uniform";
+    record.config = "XBar/OCM";
+    record.metrics.avg_latency_ns =
+        std::numeric_limits<double>::quiet_NaN();
+    record.metrics.p95_latency_ns =
+        std::numeric_limits<double>::infinity();
+    record.metrics.token_wait_ns =
+        -std::numeric_limits<double>::infinity();
+    record.metrics.network_power_w = 42.5;
+
+    std::ostringstream out;
+    campaign::JsonLinesSink sink(out);
+    sink.consume(record);
+    const std::string line = out.str();
+
+    EXPECT_NE(line.find("\"avg_latency_ns\":null"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"p95_latency_ns\":null"), std::string::npos);
+    EXPECT_NE(line.find("\"token_wait_ns\":null"), std::string::npos);
+    EXPECT_NE(line.find("\"network_power_w\":42.5"),
+              std::string::npos);
+    // No bare non-finite token anywhere in the line.
+    EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+    EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+}
+
 TEST(CampaignSinks, MemoryGridRejectsReplicateAxes)
 {
     auto spec = smallSpec(200);
@@ -341,6 +376,56 @@ TEST(CampaignProgress, ReportsEveryRunAndAnEta)
     EXPECT_NE(text.find("ETA"), std::string::npos);
     EXPECT_NE(text.find("campaign finished: 4 runs"),
               std::string::npos);
+}
+
+TEST(CampaignProgress, FormatSecondsRollsMinutesIntoHours)
+{
+    using campaign::formatSeconds;
+    EXPECT_EQ(formatSeconds(5.0), "5.00 s");
+    EXPECT_EQ(formatSeconds(45.0), "45.0 s");
+    EXPECT_EQ(formatSeconds(600.0), "10 min");
+    EXPECT_EQ(formatSeconds(7199.0), "120 min");
+    // A 10-hour ETA used to print "600 min".
+    EXPECT_EQ(formatSeconds(36000.0), "10 h 0 min");
+    EXPECT_EQ(formatSeconds(9000.0), "2 h 30 min");
+    EXPECT_EQ(formatSeconds(7200.0), "2 h 0 min");
+    // Minute rounding must not print "1 h 60 min".
+    EXPECT_EQ(formatSeconds(7199.9 + 3600.0), "3 h 0 min");
+}
+
+TEST(CampaignProgress, ResumedCampaignsReportReplayedCounts)
+{
+    // Execute the full grid once, then resume with half the records:
+    // the progress log must surface replayed/total instead of
+    // pretending the campaign is two runs long ("[1/2]").
+    auto spec = smallSpec(200);
+    campaign::MemorySink memory;
+    campaign::CampaignRunner plain({.threads = 1});
+    plain.addSink(memory);
+    plain.run(spec);
+
+    std::vector<campaign::RunRecord> completed = {
+        memory.records()[0], memory.records()[1]};
+    std::ostringstream out;
+    campaign::ProgressReporter progress(out);
+    campaign::RunnerOptions options;
+    options.threads = 1;
+    options.progress = &progress;
+    campaign::CampaignRunner resumed(options);
+    resumed.run(spec, std::move(completed));
+
+    const std::string text = out.str();
+    EXPECT_NE(text.find("4 runs (2 replayed from checkpoint, "
+                        "2 pending)"),
+              std::string::npos)
+        << text;
+    // The counter continues from the replayed work...
+    EXPECT_NE(text.find("[3/4]"), std::string::npos) << text;
+    EXPECT_NE(text.find("[4/4]"), std::string::npos) << text;
+    // ...and the final summary separates executed from replayed.
+    EXPECT_NE(text.find("campaign finished: 2 runs (+2 replayed)"),
+              std::string::npos)
+        << text;
 }
 
 TEST(RequestBudget, StrictParserAcceptsOnlyPositiveDecimals)

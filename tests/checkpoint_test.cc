@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <unordered_set>
@@ -199,6 +201,43 @@ TEST(Checkpoint, NewlinesInFieldsNeverSpanRows)
     const auto data = campaign::readCheckpoint(in);
     ASSERT_EQ(data.records.size(), 1u);
     EXPECT_EQ(data.records[0].error, "died:    nested detail");
+}
+
+TEST(Checkpoint, NonFiniteMetricsRoundTripThroughTheReader)
+{
+    // A failed or degenerate run can persist NaN/inf metrics; the
+    // row must parse back (std::from_chars accepts the nan/inf
+    // spellings std::to_chars emits) instead of poisoning the file.
+    campaign::RunRecord record;
+    record.index = 1;
+    record.workload = "Uniform";
+    record.config = "XBar/OCM";
+    record.metrics.avg_latency_ns =
+        std::numeric_limits<double>::quiet_NaN();
+    record.metrics.p95_latency_ns =
+        std::numeric_limits<double>::infinity();
+    record.metrics.token_wait_ns =
+        -std::numeric_limits<double>::infinity();
+
+    const auto spec = smallSpec();
+    std::ostringstream stream;
+    campaign::CheckpointWriter checkpoint(stream,
+                                          /*write_header=*/true);
+    checkpoint.begin(spec, spec.totalRuns());
+    checkpoint.consume(record);
+
+    std::istringstream in(stream.str());
+    const auto data = campaign::readCheckpoint(in);
+    ASSERT_EQ(data.records.size(), 1u);
+    const auto &m = data.records[0].metrics;
+    EXPECT_TRUE(std::isnan(m.avg_latency_ns));
+    EXPECT_TRUE(std::isinf(m.p95_latency_ns));
+    EXPECT_GT(m.p95_latency_ns, 0.0);
+    EXPECT_TRUE(std::isinf(m.token_wait_ns));
+    EXPECT_LT(m.token_wait_ns, 0.0);
+    // And re-serialising reproduces the exact bytes.
+    EXPECT_EQ(campaign::csvRow(data.records[0]),
+              campaign::csvRow(record));
 }
 
 TEST(Checkpoint, RejectsWrongCampaignAndMalformedInput)

@@ -1,0 +1,471 @@
+/**
+ * @file
+ * corona-launch: one-command distributed paper sweeps.
+ *
+ * Schedules the N shards of the fig8–fig11 paper sweep over a bounded
+ * pool of worker processes (default: re-exec this binary in --worker
+ * mode locally; any template via --cmd, e.g. ssh onto other hosts),
+ * retries crashed or failed shards with exponential backoff, merges
+ * the per-shard checkpoint files, and replays the merged record set
+ * through the ordinary sinks — the final CSV / JSONL / summary bytes
+ * are identical to an uninterrupted un-sharded run (assert it live
+ * with --verify). A poisoned shard (retry cap exhausted) does not
+ * lose the others' work: everything completed is merged, and
+ * re-running the same command resumes the per-shard files.
+ *
+ * The hidden CORONA_LAUNCH_TEST_CRASH=<shard> environment variable
+ * makes worker <shard> (1-based) crash once mid-checkpoint-write —
+ * the CI smoke test uses it to prove the retry + merge path end to
+ * end against the real binary.
+ */
+
+#include <charconv>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/aggregate.hh"
+#include "campaign/checkpoint.hh"
+#include "campaign/launch.hh"
+#include "campaign/progress.hh"
+#include "campaign/runner.hh"
+#include "campaign/sink.hh"
+#include "common.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace corona;
+
+struct CliOptions
+{
+    bool worker = false;
+    std::size_t shards = 4;
+    std::size_t jobs = 0; // 0 = hardware concurrency.
+    std::uint64_t requests = 0;
+    std::size_t grid_workloads = 0; // 0 = all.
+    std::size_t grid_configs = 0;
+    std::string dir = "corona-launch";
+    std::size_t retries = 2;
+    double backoff = 0.5;
+    std::string command; // Empty = re-exec self as worker.
+    std::string csv, jsonl, summary, merged;
+    bool verify = false;
+    bool quiet = false;
+    std::string self; ///< argv[0], for the self-exec worker template.
+};
+
+void
+usage(std::ostream &os)
+{
+    os << "corona-launch — distribute the paper sweep over worker "
+          "processes,\nretry failures, merge checkpoints, and render "
+          "merged results.\n\n"
+          "  --shards N      shard count (default 4)\n"
+          "  --jobs M        concurrent worker processes (default: "
+          "hardware)\n"
+          "  --requests R    primary misses per run (default: "
+          "CORONA_REQUESTS or 50000)\n"
+          "  --grid WxC      restrict to the first W workloads x C "
+          "configs (default: full 15x5)\n"
+          "  --dir PATH      per-shard checkpoint directory (default "
+          "corona-launch/)\n"
+          "  --retries K     re-launches per shard after a failure "
+          "(default 2)\n"
+          "  --backoff S     initial retry backoff seconds, doubling "
+          "per failure (default 0.5)\n"
+          "  --cmd TEMPLATE  worker command run as `sh -c` with "
+          "CORONA_SHARD/CORONA_CHECKPOINT\n"
+          "                  exported; {shard} {shards} {label} "
+          "{checkpoint} expand per shard\n"
+          "                  (default: re-exec this binary as a local "
+          "worker)\n"
+          "  --csv PATH      write the merged per-run CSV\n"
+          "  --jsonl PATH    write the merged per-run JSON lines\n"
+          "  --summary PATH  write the merged per-cell summary CSV\n"
+          "  --merged PATH   merged checkpoint (default "
+          "<dir>/merged.ckpt)\n"
+          "  --verify        also run the sweep un-sharded in-process "
+          "and assert the\n"
+          "                  merged sink bytes match exactly\n"
+          "  --quiet         suppress launcher/worker progress on "
+          "stderr\n"
+          "  --worker        internal: run one shard (reads "
+          "CORONA_SHARD/CORONA_CHECKPOINT)\n";
+}
+
+[[noreturn]] void
+badUsage(const std::string &message)
+{
+    std::cerr << "corona-launch: " << message << "\n\n";
+    usage(std::cerr);
+    std::exit(2);
+}
+
+std::uint64_t
+parseCount(const std::string &value, const char *what)
+{
+    const auto parsed = core::parsePositiveCount(value);
+    if (!parsed)
+        badUsage(std::string(what) + " must be a positive integer, "
+                                     "got \"" +
+                 value + "\"");
+    return *parsed;
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions options;
+    const auto next = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc)
+            badUsage(std::string(flag) + " needs a value");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--worker") {
+            options.worker = true;
+        } else if (arg == "--shards") {
+            options.shards = parseCount(next(i, "--shards"), "--shards");
+        } else if (arg == "--jobs") {
+            options.jobs = parseCount(next(i, "--jobs"), "--jobs");
+        } else if (arg == "--requests") {
+            options.requests =
+                parseCount(next(i, "--requests"), "--requests");
+        } else if (arg == "--grid") {
+            const std::string value = next(i, "--grid");
+            const auto x = value.find('x');
+            if (x == std::string::npos)
+                badUsage("--grid must be WxC, e.g. 2x2");
+            options.grid_workloads =
+                parseCount(value.substr(0, x), "--grid workloads");
+            options.grid_configs =
+                parseCount(value.substr(x + 1), "--grid configs");
+        } else if (arg == "--dir") {
+            options.dir = next(i, "--dir");
+        } else if (arg == "--retries") {
+            // 0 is legitimate here: fail a shard on its first crash.
+            const std::string value = next(i, "--retries");
+            options.retries =
+                value == "0" ? 0 : parseCount(value, "--retries");
+        } else if (arg == "--backoff") {
+            // Strict like every other flag: trailing garbage ("0.5s")
+            // must not be silently accepted.
+            const std::string value = next(i, "--backoff");
+            const auto res = std::from_chars(
+                value.data(), value.data() + value.size(),
+                options.backoff);
+            if (res.ec != std::errc{} ||
+                res.ptr != value.data() + value.size() ||
+                !(options.backoff >= 0))
+                badUsage("--backoff must be a non-negative number of "
+                         "seconds, got \"" +
+                         value + "\"");
+        } else if (arg == "--cmd") {
+            options.command = next(i, "--cmd");
+        } else if (arg == "--csv") {
+            options.csv = next(i, "--csv");
+        } else if (arg == "--jsonl") {
+            options.jsonl = next(i, "--jsonl");
+        } else if (arg == "--summary") {
+            options.summary = next(i, "--summary");
+        } else if (arg == "--merged") {
+            options.merged = next(i, "--merged");
+        } else if (arg == "--verify") {
+            options.verify = true;
+        } else if (arg == "--quiet") {
+            options.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            std::exit(0);
+        } else {
+            badUsage("unknown argument \"" + arg + "\"");
+        }
+    }
+    if (options.requests == 0)
+        options.requests = core::defaultRequestBudget();
+    return options;
+}
+
+/** The sweep spec the workers and the merge both use: the paper grid,
+ * optionally restricted to its leading WxC corner for smoke tests. */
+campaign::CampaignSpec
+launchSpec(const CliOptions &options)
+{
+    campaign::CampaignSpec spec =
+        bench::paperSweepSpec(options.requests);
+    if (options.grid_workloads > 0 &&
+        options.grid_workloads < spec.workloads.size())
+        spec.workloads.resize(options.grid_workloads);
+    if (options.grid_configs > 0 &&
+        options.grid_configs < spec.configs.size())
+        spec.configs.resize(options.grid_configs);
+    return spec;
+}
+
+/** Crashes the worker after the first freshly checkpointed run:
+ * leaves torn trailing bytes in the checkpoint and exits non-zero,
+ * exactly like a process dying mid-write. Armed only when
+ * CORONA_LAUNCH_TEST_CRASH names this worker's shard and the marker
+ * file is absent (so the retry succeeds). tests/launch_test.cc
+ * carries its own copy on purpose: the smoke test proves this CLI
+ * worker, the unit e2e proves an independent library consumer. */
+class CrashOnceSink : public campaign::ResultSink
+{
+  public:
+    CrashOnceSink(std::ofstream &checkpoint, std::string marker)
+        : _checkpoint(checkpoint), _marker(std::move(marker))
+    {
+    }
+
+    void consume(const campaign::RunRecord &) override
+    {
+        std::ofstream marker(_marker);
+        marker << "crashed once\n";
+        _checkpoint << "999,torn-mid-wri"; // No newline: torn row.
+        _checkpoint.flush();
+        std::_Exit(9);
+    }
+
+  private:
+    std::ofstream &_checkpoint;
+    std::string _marker;
+};
+
+int
+workerMain(const CliOptions &options)
+{
+    const char *shard_env = std::getenv("CORONA_SHARD");
+    const char *checkpoint_env = std::getenv("CORONA_CHECKPOINT");
+    if (!shard_env || !checkpoint_env)
+        sim::fatal("corona-launch --worker expects CORONA_SHARD and "
+                   "CORONA_CHECKPOINT in the environment (the "
+                   "launcher exports both)");
+    const auto shard = campaign::parseShardSpec(shard_env);
+    if (!shard)
+        sim::fatal("corona-launch --worker: malformed CORONA_SHARD \"" +
+                   std::string(shard_env) + "\"");
+
+    const campaign::CampaignSpec spec = launchSpec(options);
+    campaign::CheckpointFile checkpoint(checkpoint_env, spec);
+
+    campaign::ProgressReporter progress(std::cerr);
+    campaign::RunnerOptions runner_options;
+    runner_options.shard = *shard;
+    if (!options.quiet)
+        runner_options.progress = &progress;
+    campaign::CampaignRunner runner(runner_options);
+    runner.addSink(checkpoint.sink());
+
+    std::optional<CrashOnceSink> crash;
+    if (const char *inject = std::getenv("CORONA_LAUNCH_TEST_CRASH")) {
+        const std::string marker =
+            std::string(checkpoint_env) + ".crashed";
+        if (std::to_string(shard->index + 1) == inject &&
+            !std::filesystem::exists(marker)) {
+            crash.emplace(checkpoint.stream(), marker);
+            runner.addSink(*crash);
+        }
+    }
+
+    runner.run(spec, checkpoint.takeCompleted());
+    checkpoint.checkWritten();
+    return 0;
+}
+
+/** Replay @p records through fresh CSV/JSONL/summary sinks. With a
+ * complete merged record set nothing re-executes; any hole (e.g. a
+ * poisoned shard's missing cells) would execute in-process here, so
+ * callers gate on the launch report instead. */
+struct RenderedSinks
+{
+    std::string csv, jsonl, summary;
+};
+
+RenderedSinks
+renderRecords(const campaign::CampaignSpec &spec,
+              std::vector<campaign::RunRecord> records)
+{
+    std::ostringstream csv_os, jsonl_os, summary_os;
+    campaign::CsvSink csv(csv_os);
+    campaign::JsonLinesSink jsonl(jsonl_os);
+    campaign::SummarySink summary(&summary_os);
+    campaign::CampaignRunner runner;
+    runner.addSink(csv);
+    runner.addSink(jsonl);
+    runner.addSink(summary);
+    runner.run(spec, std::move(records));
+    return {csv_os.str(), jsonl_os.str(), summary_os.str()};
+}
+
+void
+writeOutput(const std::string &path, const std::string &bytes,
+            const char *what)
+{
+    if (path.empty())
+        return;
+    std::ofstream stream(path, std::ios::trunc);
+    stream << bytes;
+    stream.flush();
+    if (!stream)
+        sim::fatal(std::string("corona-launch: cannot write ") + what +
+                   " \"" + path + "\"");
+    std::cerr << "corona-launch: wrote " << what << " " << path << "\n";
+}
+
+int
+launchMain(const CliOptions &options)
+{
+    const campaign::CampaignSpec spec = launchSpec(options);
+
+    campaign::LaunchOptions launch;
+    launch.shard_count = options.shards;
+    launch.max_parallel = options.jobs;
+    launch.checkpoint_dir = options.dir;
+    launch.max_retries = options.retries;
+    launch.backoff_initial_seconds = options.backoff;
+    if (!options.quiet)
+        launch.log = &std::cerr;
+
+    std::string command = options.command;
+    if (command.empty()) {
+        // Re-exec this binary as a local worker on the same grid.
+        std::ostringstream self;
+        self << campaign::shellQuote(options.self)
+             << " --worker --requests " << options.requests;
+        if (options.grid_workloads > 0 || options.grid_configs > 0)
+            self << " --grid " << spec.workloads.size() << "x"
+                 << spec.configs.size();
+        if (options.quiet)
+            self << " --quiet";
+        command = self.str();
+        // Local workers share this machine: split the cores across
+        // the process pool unless the user pinned CORONA_JOBS. The
+        // variable is prefixed onto the worker command (scoped to the
+        // children) — setenv here would also throttle the un-sharded
+        // in-process --verify run.
+        if (!std::getenv("CORONA_JOBS")) {
+            const unsigned hw = std::thread::hardware_concurrency();
+            const std::size_t cores = hw > 0 ? hw : 1;
+            const std::size_t pool = std::min(
+                launch.max_parallel > 0 ? launch.max_parallel : cores,
+                options.shards);
+            const std::size_t per_worker =
+                std::max<std::size_t>(1, cores / pool);
+            command = "CORONA_JOBS=" + std::to_string(per_worker) +
+                      " " + command;
+        }
+    }
+    launch.command = command;
+
+    std::cerr << "corona-launch: campaign \"" << spec.name << "\" ("
+              << spec.totalRuns() << " runs at " << options.requests
+              << " requests) over " << options.shards
+              << " shard processes\n";
+
+    const campaign::LaunchReport report =
+        campaign::launchShards(launch);
+
+    // Merge whatever exists — a poisoned shard's completed rows are
+    // still worth keeping — and persist the merged checkpoint.
+    const std::vector<std::string> paths = report.checkpointPaths();
+    std::vector<campaign::RunRecord> merged;
+    if (!paths.empty())
+        merged = campaign::mergeCheckpointFiles(paths, spec);
+    const std::string merged_path =
+        options.merged.empty()
+            ? (std::filesystem::path(options.dir) / "merged.ckpt")
+                  .string()
+            : options.merged;
+    {
+        std::ofstream stream(merged_path, std::ios::trunc);
+        if (!stream)
+            sim::fatal("corona-launch: cannot write merged "
+                       "checkpoint \"" +
+                       merged_path + "\"");
+        campaign::rewriteCheckpoint(stream, spec, merged);
+    }
+    std::cerr << "corona-launch: merged " << merged.size() << " of "
+              << spec.totalRuns() << " runs from " << paths.size()
+              << " shard checkpoint(s) into " << merged_path << "\n";
+
+    if (!report.allOk()) {
+        std::cerr << "corona-launch: FAILED shards:";
+        for (const std::size_t shard : report.poisonedShards())
+            std::cerr << " " << shard << "/" << options.shards;
+        std::cerr << " — completed work is merged in " << merged_path
+                  << "; re-run the same command to resume\n";
+        return 1;
+    }
+    if (merged.size() != spec.totalRuns()) {
+        // Every worker exited 0 yet runs are missing — typically a
+        // --cmd template that ran remotely but never copied the shard
+        // checkpoint back to {checkpoint}. Replaying now would
+        // quietly re-simulate the holes in-process and pass the
+        // result off as distributed output; refuse instead.
+        std::cerr << "corona-launch: workers succeeded but only "
+                  << merged.size() << " of " << spec.totalRuns()
+                  << " runs reached the shard checkpoints — does your "
+                     "--cmd template write (or copy back to) "
+                     "{checkpoint}?\n";
+        return 1;
+    }
+
+    // Replay the full merged record set through the ordinary sinks:
+    // byte-identical to an uninterrupted un-sharded run.
+    RenderedSinks rendered = renderRecords(spec, merged);
+    writeOutput(options.csv, rendered.csv, "CSV");
+    writeOutput(options.jsonl, rendered.jsonl, "JSONL");
+    writeOutput(options.summary, rendered.summary, "summary CSV");
+
+    if (options.verify) {
+        std::cerr << "corona-launch: verifying against an un-sharded "
+                     "in-process run...\n";
+        campaign::CampaignRunner reference;
+        campaign::MemorySink memory;
+        reference.addSink(memory);
+        reference.run(spec);
+        const RenderedSinks expected =
+            renderRecords(spec, memory.records());
+        if (expected.csv != rendered.csv ||
+            expected.jsonl != rendered.jsonl ||
+            expected.summary != rendered.summary) {
+            std::cerr << "corona-launch: VERIFY FAILED — merged sink "
+                         "bytes differ from the un-sharded run\n";
+            return 3;
+        }
+        std::cerr << "corona-launch: verify OK — merged CSV/JSONL/"
+                     "summary bytes match the un-sharded run\n";
+    }
+
+    std::cerr << "corona-launch: done;";
+    for (const campaign::ShardOutcome &shard : report.shards)
+        std::cerr << " shard " << shard.shard.label() << ": "
+                  << shard.rows << " rows in " << shard.attempts
+                  << (shard.attempts == 1 ? " attempt;" : " attempts;");
+    std::cerr << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions options = parseArgs(argc, argv);
+    options.self = argv[0];
+    try {
+        return options.worker ? workerMain(options)
+                              : launchMain(options);
+    } catch (const std::exception &e) {
+        std::cerr << "corona-launch: " << e.what() << "\n";
+        return 1;
+    }
+}
