@@ -12,3 +12,4 @@ cmake -B build -S . "$@"
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 scripts/launch_smoke.sh build
+scripts/explore_smoke.sh build

@@ -69,43 +69,6 @@ toHex(std::uint64_t value)
     return hex;
 }
 
-/** Split one RFC-4180 CSV row into fields; nullopt on bad quoting. */
-std::optional<std::vector<std::string>>
-splitCsvRow(const std::string &line)
-{
-    std::vector<std::string> fields;
-    std::string field;
-    bool quoted = false;
-    for (std::size_t i = 0; i < line.size(); ++i) {
-        const char ch = line[i];
-        if (quoted) {
-            if (ch == '"') {
-                if (i + 1 < line.size() && line[i + 1] == '"') {
-                    field += '"';
-                    ++i;
-                } else {
-                    quoted = false;
-                }
-            } else {
-                field += ch;
-            }
-        } else if (ch == '"') {
-            if (!field.empty())
-                return std::nullopt; // Quote mid-field.
-            quoted = true;
-        } else if (ch == ',') {
-            fields.push_back(std::move(field));
-            field.clear();
-        } else {
-            field += ch;
-        }
-    }
-    if (quoted)
-        return std::nullopt; // Unterminated quote.
-    fields.push_back(std::move(field));
-    return fields;
-}
-
 template <typename T>
 std::optional<T>
 parseNumber(const std::string &text)

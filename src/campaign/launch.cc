@@ -1,5 +1,6 @@
 #include "campaign/launch.hh"
 
+#include <csignal>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -12,6 +13,7 @@
 #include <filesystem>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -56,6 +58,81 @@ shellQuote(const std::string &text)
     }
     quoted += '\'';
     return quoted;
+}
+
+std::vector<HostSpec>
+parseHostsFile(std::istream &is)
+{
+    std::vector<HostSpec> hosts;
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(is, line)) {
+        ++line_number;
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        HostSpec host;
+        if (!(fields >> host.host))
+            continue; // Blank or comment-only line.
+        std::string slots;
+        if (fields >> slots) {
+            const auto parsed = std::strtoull(slots.c_str(), nullptr, 10);
+            if (parsed == 0 || std::to_string(parsed) != slots)
+                sim::fatal("hosts file line " +
+                           std::to_string(line_number) +
+                           ": slots must be a positive integer, got \"" +
+                           slots + "\"");
+            host.slots = static_cast<std::size_t>(parsed);
+            std::string extra;
+            if (fields >> extra)
+                sim::fatal("hosts file line " +
+                           std::to_string(line_number) +
+                           ": unexpected trailing \"" + extra + "\"");
+        }
+        hosts.push_back(std::move(host));
+    }
+    if (hosts.empty())
+        sim::fatal("hosts file names no hosts");
+    return hosts;
+}
+
+std::vector<std::string>
+hostCommandTemplates(const std::vector<HostSpec> &hosts,
+                     std::size_t shard_count,
+                     const HostTemplateOptions &options)
+{
+    if (hosts.empty())
+        sim::fatal("hostCommandTemplates: empty host list");
+    if (options.remote_command.empty())
+        sim::fatal("hostCommandTemplates: no remote command");
+
+    // One entry per slot so a 4-slot machine takes 4 shards per
+    // round of the modulo assignment.
+    std::vector<const HostSpec *> slots;
+    for (const HostSpec &host : hosts) {
+        for (std::size_t s = 0; s < host.slots; ++s)
+            slots.push_back(&host);
+    }
+
+    std::vector<std::string> templates;
+    templates.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+        const HostSpec &host = *slots[i % slots.size()];
+        const std::string remote_checkpoint =
+            options.remote_dir + "/shard{shard}.ckpt";
+        const std::string remote =
+            "mkdir -p " + shellQuote(options.remote_dir) +
+            " && CORONA_SHARD={label} CORONA_CHECKPOINT=" +
+            shellQuote(remote_checkpoint) + " " +
+            options.remote_command;
+        templates.push_back(options.rsh + " " + host.host + " " +
+                            shellQuote(remote) + " && " +
+                            options.fetch + " " +
+                            shellQuote(host.host + ":" +
+                                       remote_checkpoint) +
+                            " {checkpoint}");
+    }
+    return templates;
 }
 
 RetrySchedule::RetrySchedule(std::size_t max_retries,
@@ -158,12 +235,20 @@ spawnWorker(const std::string &command, const std::string &shard_label,
         sim::fatal("launch: fork failed: " +
                    std::string(std::strerror(errno)));
     if (pid == 0) {
+        // Own process group: a stall kill must take down the whole
+        // worker tree (sh + whatever it forked for compound
+        // commands), or an orphaned grandchild would keep appending
+        // to the checkpoint while the relaunched attempt runs.
+        ::setpgid(0, 0);
         ::setenv("CORONA_SHARD", shard_label.c_str(), 1);
         ::setenv("CORONA_CHECKPOINT", checkpoint_path.c_str(), 1);
         ::execl("/bin/sh", "sh", "-c", command.c_str(),
                 static_cast<char *>(nullptr));
         ::_exit(127); // exec failed; report like sh does.
     }
+    // Mirror the child's setpgid (whichever runs first wins; both
+    // agree), so a kill can target the group immediately.
+    ::setpgid(pid, pid);
     return pid;
 }
 
@@ -178,6 +263,7 @@ struct ShardState
     std::uintmax_t bytes_seen = 0; ///< Checkpoint-size watermark.
     double last_growth = 0.0;    ///< When the checkpoint last grew.
     bool stall_warned = false;
+    bool stall_killed = false;   ///< This attempt was reaped hung.
 
     bool running() const { return pid >= 0; }
     bool finished() const
@@ -191,7 +277,7 @@ struct ShardState
 LaunchReport
 launchShards(const LaunchOptions &options)
 {
-    if (options.command.empty())
+    if (options.command.empty() && options.commands.empty())
         sim::fatal("launch: no worker command configured");
     if (options.shard_count == 0)
         sim::fatal("launch: shard count must be at least 1");
@@ -233,8 +319,12 @@ launchShards(const LaunchOptions &options)
         };
         state.outcome.shard = ShardSpec{i, options.shard_count};
         state.outcome.checkpoint_path = shardCheckpointPath(options, i);
+        const std::string &shard_template =
+            options.commands.empty()
+                ? options.command
+                : options.commands[i % options.commands.size()];
         state.command = expandCommandTemplate(
-            options.command, state.outcome.shard,
+            shard_template, state.outcome.shard,
             state.outcome.checkpoint_path);
         states.push_back(std::move(state));
     }
@@ -259,6 +349,7 @@ launchShards(const LaunchOptions &options)
             ++state.outcome.attempts;
             state.last_growth = now();
             state.stall_warned = false;
+            state.stall_killed = false;
             ++running;
             log("shard " + state.outcome.shard.label() + " attempt " +
                 std::to_string(state.outcome.attempts) + " started (pid " +
@@ -289,6 +380,24 @@ launchShards(const LaunchOptions &options)
                     std::to_string(countCheckpointRows(
                         state.outcome.checkpoint_path)) +
                     " runs checkpointed");
+            } else if (options.stall_kill_seconds > 0.0 &&
+                       !state.stall_killed &&
+                       now() - state.last_growth >
+                           options.stall_kill_seconds) {
+                // Liveness: the worker made no checkpoint progress
+                // past the deadline — reap it and let the ordinary
+                // retry/backoff path relaunch (or poison) the shard.
+                state.stall_killed = true;
+                ++state.outcome.stall_kills;
+                log("shard " + state.outcome.shard.label() +
+                    " has checkpointed nothing for " +
+                    formatSeconds(now() - state.last_growth) +
+                    " — killing hung worker (pid " +
+                    std::to_string(state.pid) + ") for relaunch");
+                // The negative pid addresses the worker's process
+                // group: compound commands (`a && b`, ssh wrappers)
+                // die as a tree, not just the sh parent.
+                ::kill(-state.pid, SIGKILL);
             } else if (options.stall_warn_seconds > 0.0 &&
                        !state.stall_warned &&
                        now() - state.last_growth >
@@ -343,8 +452,10 @@ launchShards(const LaunchOptions &options)
             state.eligible_at = now() + *delay;
             log("shard " + state.outcome.shard.label() + " attempt " +
                 std::to_string(state.outcome.attempts) +
-                " failed (exit " + std::to_string(exit_code) +
-                "); retrying in " + formatSeconds(*delay));
+                (state.stall_killed ? " killed hung (exit "
+                                    : " failed (exit ") +
+                std::to_string(exit_code) + "); retrying in " +
+                formatSeconds(*delay));
         }
 
         if (all_finished)

@@ -51,6 +51,54 @@ std::string expandCommandTemplate(const std::string &command_template,
  * single quotes become '\''). */
 std::string shellQuote(const std::string &text);
 
+/** One machine from a --hosts file. */
+struct HostSpec
+{
+    std::string host;      ///< ssh destination ("user@box", "box").
+    std::size_t slots = 1; ///< Shards this host runs per round.
+};
+
+/**
+ * Parse a hosts file: one "host [slots]" per line, '#' comments and
+ * blank lines ignored. Fatal on a malformed slots field or an empty
+ * file.
+ */
+std::vector<HostSpec> parseHostsFile(std::istream &is);
+
+/** Inputs for the host-list template expansion. */
+struct HostTemplateOptions
+{
+    /** Command to run on the remote host (a template itself: {shard}
+     * / {shards} / {label} placeholders expand per shard). The
+     * remote working directory is the login default. */
+    std::string remote_command;
+    /** Directory on the remote host for its shard checkpoint. */
+    std::string remote_dir = "corona-launch-remote";
+    /** Remote-shell command (tests substitute a local stub). */
+    std::string rsh = "ssh";
+    /** Remote-copy command invoked as `<fetch> host:path local`. */
+    std::string fetch = "scp";
+};
+
+/**
+ * Expand a host list into per-shard command templates for
+ * LaunchOptions::commands. Shards round-robin over the hosts'
+ * slots; each template runs the remote command under ssh with
+ * CORONA_SHARD / CORONA_CHECKPOINT set inline (environment does not
+ * cross ssh), then copies the remote checkpoint file back to this
+ * machine's {checkpoint} so the ordinary merge sees it:
+ *
+ *   ssh HOST 'mkdir -p DIR && CORONA_SHARD={label}
+ *       CORONA_CHECKPOINT=DIR/shard{shard}.ckpt REMOTE_CMD'
+ *       && scp HOST:DIR/shard{shard}.ckpt {checkpoint}
+ *
+ * Fatal on an empty host list or remote command.
+ */
+std::vector<std::string>
+hostCommandTemplates(const std::vector<HostSpec> &hosts,
+                     std::size_t shard_count,
+                     const HostTemplateOptions &options);
+
 /**
  * Retry/backoff bookkeeping for one shard (pure; unit-testable).
  * A shard gets 1 + max_retries attempts; the delay before re-launch
@@ -98,6 +146,10 @@ struct LaunchOptions
     /** Worker command template (see expandCommandTemplate); run via
      * "sh -c" with CORONA_SHARD / CORONA_CHECKPOINT exported. */
     std::string command;
+    /** Per-shard command templates (shard i uses entry i mod size).
+     * When non-empty this overrides `command` — the host-list front
+     * end uses it to pin each shard to one machine's ssh template. */
+    std::vector<std::string> commands;
     /** Directory for per-shard checkpoint files. */
     std::string checkpoint_dir = ".";
     /** Checkpoint file name stem: "<dir>/<prefix><i>.ckpt". */
@@ -112,6 +164,13 @@ struct LaunchOptions
     /** Warn when a running shard's checkpoint stops growing for this
      * long; 0 disables the stall watch. */
     double stall_warn_seconds = 300.0;
+    /** Kill (SIGKILL) a running worker whose checkpoint has not
+     * grown for this long and relaunch it, counting the kill against
+     * the shard's retry/backoff budget exactly like a crash; 0
+     * disables the liveness watch. A worker that checkpoints rows
+     * regularly is never at risk — only a provably hung one (no
+     * progress past the deadline) is reaped. */
+    double stall_kill_seconds = 0.0;
     /** Progress/diagnostic log (nullptr silences the launcher). */
     std::ostream *log = nullptr;
 };
@@ -131,6 +190,8 @@ struct ShardOutcome
     int exit_code = 0;
     /** Checkpoint rows observed when the shard finished. */
     std::size_t rows = 0;
+    /** Workers killed by the liveness watch (stall_kill_seconds). */
+    std::size_t stall_kills = 0;
 };
 
 /** Everything launchShards observed. */

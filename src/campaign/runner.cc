@@ -164,7 +164,9 @@ CampaignRunner::run(const CampaignSpec &spec,
             if (at >= pending.size())
                 return;
             const std::size_t idx = pending[at];
-            RunRecord record = executePlan(plans[idx]);
+            RunRecord record = _options.execute
+                                   ? _options.execute(plans[idx])
+                                   : executePlan(plans[idx]);
 
             std::scoped_lock lock(emit_mutex);
             slots[idx] = std::move(record);

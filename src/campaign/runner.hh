@@ -15,6 +15,7 @@
 #define CORONA_CAMPAIGN_RUNNER_HH
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "campaign/progress.hh"
@@ -35,6 +36,12 @@ struct RunnerOptions
     /** Slice of the grid this process executes (default: all of it).
      * Sinks observe only this shard's records. */
     ShardSpec shard{};
+    /** Executes one plan. Defaults to the event simulator
+     * (executePlan); the analytical model plugs in here
+     * (model::planExecutor), so the same CampaignSpec grid runs
+     * either way — sinks, sharding, checkpointing and resume are
+     * executor-agnostic. Must be thread-safe. */
+    std::function<RunRecord(const RunPlan &)> execute{};
 };
 
 /**

@@ -15,6 +15,8 @@
 #define CORONA_CAMPAIGN_SINK_HH
 
 #include <iosfwd>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "campaign/spec.hh"
@@ -45,6 +47,12 @@ std::string formatShortestDouble(double value);
 
 /** RFC-4180 quoting, shared by every campaign CSV writer. */
 std::string csvEscape(const std::string &cell);
+
+/** Split one RFC-4180 CSV row into fields (the inverse of csvEscape
+ * per field); nullopt on bad quoting. Shared by the checkpoint
+ * reader, the calibration store, and the explorer's frontier CSV. */
+std::optional<std::vector<std::string>>
+splitCsvRow(const std::string &line);
 
 /** One RFC-4180-style CSV row for @p record in CsvSink::header()
  * column order, without a trailing newline. Doubles use the shortest

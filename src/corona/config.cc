@@ -27,6 +27,8 @@ to_string(MemoryKind kind)
 std::string
 SystemConfig::name() const
 {
+    if (!label.empty())
+        return label;
     return to_string(network) + "/" + to_string(memory);
 }
 

@@ -56,7 +56,17 @@ struct SystemConfig
     xbar::ChannelParams xbar_channel;
     mesh::MeshParams mesh; ///< Populated for mesh networks.
 
-    /** "XBar/OCM" etc. */
+    /** Multiplier on every controller's off-stack bandwidth (the
+     * design-space explorer's "memory channels per controller" axis;
+     * 1.0 reproduces the paper's Table 4 rates). */
+    double memory_bandwidth_scale = 1.0;
+
+    /** Optional display label. Off-nominal design points set this so
+     * campaign axes (and checkpoint fingerprints) stay unambiguous
+     * when several points share a network/memory kind. */
+    std::string label;
+
+    /** The label when set, else "XBar/OCM" etc. */
     std::string name() const;
 
     std::size_t threads() const { return clusters * threads_per_cluster; }

@@ -31,10 +31,14 @@ CoronaSystem::CoronaSystem(sim::EventQueue &eq, const SystemConfig &config)
         break;
     }
 
-    const memory::MemoryParams mem_params =
+    memory::MemoryParams mem_params =
         config.memory == MemoryKind::OCM
             ? memory::OcmSystem().controllerParams()
             : memory::EcmSystem().controllerParams();
+    if (config.memory_bandwidth_scale <= 0.0)
+        sim::fatal("CoronaSystem: memory_bandwidth_scale must be "
+                   "positive");
+    mem_params.bytes_per_second *= config.memory_bandwidth_scale;
 
     _mcs.reserve(config.clusters);
     _hubs.reserve(config.clusters);

@@ -1,0 +1,294 @@
+#include "model/design_space.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace corona::model {
+
+namespace {
+
+bool
+isPerfectSquare(std::size_t n)
+{
+    const auto root = static_cast<std::size_t>(
+        std::sqrt(static_cast<double>(n)) + 0.5);
+    return root * root == n;
+}
+
+/** Photonic axes apply only to crossbar points. */
+bool
+usesPhotonicAxes(core::NetworkKind network)
+{
+    return network == core::NetworkKind::XBar;
+}
+
+} // namespace
+
+std::size_t
+DesignSpace::size() const
+{
+    const std::size_t photonic = channel_waveguides.size() *
+                                 wavelengths_per_guide.size() *
+                                 token_schemes.size();
+    std::size_t per_network = 0;
+    for (const core::NetworkKind network : networks)
+        per_network += usesPhotonicAxes(network) ? photonic : 1;
+    return clusters.size() * memories.size() *
+           memory_channels.size() * workloads.size() * per_network;
+}
+
+std::optional<Objective>
+parseObjective(const std::string &name)
+{
+    if (name == "bandwidth")
+        return Objective::Bandwidth;
+    if (name == "latency")
+        return Objective::Latency;
+    if (name == "power")
+        return Objective::Power;
+    if (name == "bandwidth-per-watt")
+        return Objective::BandwidthPerWatt;
+    return std::nullopt;
+}
+
+std::string
+to_string(Objective objective)
+{
+    switch (objective) {
+      case Objective::Bandwidth: return "bandwidth";
+      case Objective::Latency: return "latency";
+      case Objective::Power: return "power";
+      case Objective::BandwidthPerWatt: return "bandwidth-per-watt";
+    }
+    return "unknown";
+}
+
+double
+objectiveValue(Objective objective, const EvaluatedPoint &point)
+{
+    const Prediction &p = point.prediction;
+    switch (objective) {
+      case Objective::Bandwidth:
+        return p.achieved_bytes_per_second;
+      case Objective::Latency:
+        return -p.avg_latency_ns;
+      case Objective::Power:
+        return -p.network_power_w;
+      case Objective::BandwidthPerWatt:
+        return p.network_power_w > 0.0
+                   ? p.achieved_bytes_per_second / p.network_power_w
+                   : p.achieved_bytes_per_second;
+    }
+    return 0.0;
+}
+
+ExploreResult
+explore(const ExploreOptions &options)
+{
+    const DesignSpace &space = options.space;
+    if (space.clusters.empty() || space.channel_waveguides.empty() ||
+        space.wavelengths_per_guide.empty() ||
+        space.token_schemes.empty() || space.networks.empty() ||
+        space.memories.empty() || space.memory_channels.empty() ||
+        space.workloads.empty())
+        sim::fatal("explore: every design axis needs at least one "
+                   "value");
+    for (const std::size_t clusters : space.clusters) {
+        if (!isPerfectSquare(clusters) || clusters == 0)
+            sim::fatal("explore: cluster count " +
+                       std::to_string(clusters) +
+                       " is not a positive perfect square");
+    }
+    for (const std::string &workload : space.workloads) {
+        if (!knowsWorkload(workload))
+            sim::fatal("explore: unknown workload \"" + workload +
+                       "\"");
+    }
+
+    const std::size_t total = space.size();
+    const bool sampling =
+        options.sample > 0 && options.sample < total;
+
+    const AnalyticModel model(options.model);
+    ExploreResult result;
+    result.points.reserve(sampling ? options.sample + options.sample / 4
+                                   : total);
+
+    // Feasibility depends only on the photonic geometry; memoize so a
+    // grid with many workloads prices each geometry once.
+    using PhotonicKey =
+        std::tuple<core::NetworkKind, std::size_t, std::size_t,
+                   std::size_t>;
+    std::map<PhotonicKey, Feasibility> feasibility_cache;
+
+    std::size_t grid_index = 0;
+    const auto visit = [&](const DesignPoint &point) {
+        const std::size_t index = grid_index++;
+        if (sampling) {
+            // Deterministic thinning: keep when the hash of (seed,
+            // grid index) falls under sample/total.
+            const std::uint64_t hash = sim::splitmix64(
+                options.seed +
+                static_cast<std::uint64_t>(index) *
+                    0x9E3779B97F4A7C15ull);
+            const double keep =
+                static_cast<double>(options.sample) /
+                static_cast<double>(total);
+            if (static_cast<double>(hash) /
+                    18446744073709551616.0 /* 2^64 */ >=
+                keep)
+                return;
+        }
+        ++result.enumerated;
+
+        EvaluatedPoint evaluated;
+        evaluated.point = point;
+        const PhotonicKey key{point.network, point.clusters,
+                              point.channel_waveguides,
+                              point.wavelengths_per_guide};
+        auto it = feasibility_cache.find(key);
+        if (it == feasibility_cache.end())
+            it = feasibility_cache
+                     .emplace(key, assessFeasibility(
+                                       point, options.feasibility))
+                     .first;
+        evaluated.feasibility = it->second;
+        if (evaluated.feasibility.feasible) {
+            ++result.feasible;
+            const double photonic =
+                point.network == core::NetworkKind::XBar
+                    ? evaluated.feasibility.photonic_power_w
+                    : -1.0;
+            evaluated.prediction = options.calibration.apply(
+                model.evaluate(point, photonic),
+                core::to_string(point.network) + "/" +
+                    core::to_string(point.memory),
+                point.workload);
+        }
+        result.points.push_back(std::move(evaluated));
+    };
+
+    for (const std::string &workload : space.workloads) {
+        for (const std::size_t clusters : space.clusters) {
+            for (const core::MemoryKind memory : space.memories) {
+                for (const std::size_t channels :
+                     space.memory_channels) {
+                    for (const core::NetworkKind network :
+                         space.networks) {
+                        DesignPoint point;
+                        point.workload = workload;
+                        point.clusters = clusters;
+                        point.memory = memory;
+                        point.memory_channels = channels;
+                        point.network = network;
+                        if (!usesPhotonicAxes(network)) {
+                            visit(point);
+                            continue;
+                        }
+                        for (const std::size_t guides :
+                             space.channel_waveguides) {
+                            for (const std::size_t lambdas :
+                                 space.wavelengths_per_guide) {
+                                for (const TokenScheme token :
+                                     space.token_schemes) {
+                                    point.channel_waveguides = guides;
+                                    point.wavelengths_per_guide =
+                                        lambdas;
+                                    point.token_scheme = token;
+                                    visit(point);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return result;
+}
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<EvaluatedPoint> &points)
+{
+    // Sort feasible indices best-first (bandwidth desc, latency asc,
+    // power asc); a point dominated by anything is dominated by an
+    // already-kept point (domination is transitive), so each
+    // candidate only checks the frontier built so far.
+    std::vector<std::size_t> order;
+    order.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (points[i].feasibility.feasible)
+            order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(),
+              [&points](std::size_t a, std::size_t b) {
+                  const Prediction &pa = points[a].prediction;
+                  const Prediction &pb = points[b].prediction;
+                  if (pa.achieved_bytes_per_second !=
+                      pb.achieved_bytes_per_second)
+                      return pa.achieved_bytes_per_second >
+                             pb.achieved_bytes_per_second;
+                  if (pa.avg_latency_ns != pb.avg_latency_ns)
+                      return pa.avg_latency_ns < pb.avg_latency_ns;
+                  if (pa.network_power_w != pb.network_power_w)
+                      return pa.network_power_w < pb.network_power_w;
+                  return a < b;
+              });
+
+    const auto dominates = [&points](std::size_t a, std::size_t b) {
+        const Prediction &pa = points[a].prediction;
+        const Prediction &pb = points[b].prediction;
+        const bool no_worse =
+            pa.achieved_bytes_per_second >=
+                pb.achieved_bytes_per_second &&
+            pa.avg_latency_ns <= pb.avg_latency_ns &&
+            pa.network_power_w <= pb.network_power_w;
+        const bool better =
+            pa.achieved_bytes_per_second >
+                pb.achieved_bytes_per_second ||
+            pa.avg_latency_ns < pb.avg_latency_ns ||
+            pa.network_power_w < pb.network_power_w;
+        return no_worse && better;
+    };
+
+    std::vector<std::size_t> frontier;
+    for (const std::size_t candidate : order) {
+        bool dominated = false;
+        for (const std::size_t kept : frontier) {
+            if (dominates(kept, candidate)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            frontier.push_back(candidate);
+    }
+    std::sort(frontier.begin(), frontier.end());
+    return frontier;
+}
+
+std::vector<std::size_t>
+rankByObjective(const std::vector<EvaluatedPoint> &points,
+                Objective objective)
+{
+    std::vector<std::size_t> ranked;
+    ranked.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (points[i].feasibility.feasible)
+            ranked.push_back(i);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [&points, objective](std::size_t a,
+                                          std::size_t b) {
+                         return objectiveValue(objective, points[a]) >
+                                objectiveValue(objective, points[b]);
+                     });
+    return ranked;
+}
+
+} // namespace corona::model

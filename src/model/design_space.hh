@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Design-space enumeration, objectives, and Pareto frontier.
+ *
+ * The paper compares a handful of hand-picked design points; the
+ * closed-form model makes the whole neighbourhood cheap. A
+ * DesignSpace names the axes (clusters x crossbar width x DWDM comb
+ * x token scheme x network x memory x memory channels x workload);
+ * explore() enumerates the grid, prunes analytically infeasible
+ * points (loss budget, trim-range yield, photonic power budget),
+ * evaluates the survivors with the calibrated model, and exposes
+ * objective ranking plus the 3-D Pareto frontier over
+ * (maximize bandwidth, minimize latency, minimize network power).
+ *
+ * Photonic axes are only meaningful for crossbar points; for mesh
+ * and ideal networks the enumeration collapses them to a single
+ * representative so a grid never double-counts electrically
+ * identical designs.
+ */
+
+#ifndef CORONA_MODEL_DESIGN_SPACE_HH
+#define CORONA_MODEL_DESIGN_SPACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/analytic.hh"
+#include "model/calibration.hh"
+#include "model/feasibility.hh"
+
+namespace corona::model {
+
+/** The axes of one exploration grid. Empty axes are invalid. */
+struct DesignSpace
+{
+    std::vector<std::size_t> clusters = {64};
+    std::vector<std::size_t> channel_waveguides = {4};
+    std::vector<std::size_t> wavelengths_per_guide = {64};
+    std::vector<TokenScheme> token_schemes = {TokenScheme::Channel};
+    std::vector<core::NetworkKind> networks = {core::NetworkKind::XBar};
+    std::vector<core::MemoryKind> memories = {core::MemoryKind::OCM};
+    std::vector<std::size_t> memory_channels = {1};
+    std::vector<std::string> workloads = {"Uniform"};
+
+    /** Exact number of points enumerate() will visit (photonic axes
+     * collapsed for non-crossbar networks). */
+    std::size_t size() const;
+};
+
+/** One evaluated point of the grid. */
+struct EvaluatedPoint
+{
+    DesignPoint point;
+    Feasibility feasibility;
+    /** Calibrated prediction; meaningful only when feasible. */
+    Prediction prediction;
+};
+
+/** Ranking objective (always "higher is better" after objectiveValue
+ * normalisation). */
+enum class Objective
+{
+    Bandwidth,        ///< Achieved bytes per second.
+    Latency,          ///< Negated average latency.
+    Power,            ///< Negated network power.
+    BandwidthPerWatt, ///< Achieved bytes per second per network watt.
+};
+
+/** Parse "bandwidth" | "latency" | "power" | "bandwidth-per-watt". */
+std::optional<Objective> parseObjective(const std::string &name);
+std::string to_string(Objective objective);
+
+/** The scalar explore() ranks by (higher is better). */
+double objectiveValue(Objective objective, const EvaluatedPoint &point);
+
+/** Explorer inputs. */
+struct ExploreOptions
+{
+    DesignSpace space;
+    FeasibilityParams feasibility;
+    ModelParams model;
+    Calibration calibration;
+
+    /** Approximate deterministic subsample size (0 = full grid):
+     * each point is kept with probability sample/size() via a
+     * splitmix64 hash of its grid index and @p seed. */
+    std::size_t sample = 0;
+    std::uint64_t seed = 1;
+};
+
+/** Explorer output. */
+struct ExploreResult
+{
+    /** Every visited point (feasible or not), grid order. */
+    std::vector<EvaluatedPoint> points;
+    std::size_t enumerated = 0; ///< Points visited (after sampling).
+    std::size_t feasible = 0;
+};
+
+/** Enumerate, prune, and evaluate the grid. Fatal on an empty axis,
+ * a non-square cluster count, or an unknown workload name. */
+ExploreResult explore(const ExploreOptions &options);
+
+/** Indices of @p points on the Pareto frontier over (max bandwidth,
+ * min latency, min network power), restricted to feasible points;
+ * ascending index order. */
+std::vector<std::size_t>
+paretoFrontier(const std::vector<EvaluatedPoint> &points);
+
+/** Feasible-point indices sorted best-first by @p objective
+ * (deterministic: ties break on grid order). */
+std::vector<std::size_t>
+rankByObjective(const std::vector<EvaluatedPoint> &points,
+                Objective objective);
+
+} // namespace corona::model
+
+#endif // CORONA_MODEL_DESIGN_SPACE_HH

@@ -1,0 +1,112 @@
+#include "model/feasibility.hh"
+
+#include <cmath>
+
+#include "photonics/inventory.hh"
+
+namespace corona::model {
+
+double
+ringYield(const photonics::VariationParams &variation)
+{
+    if (variation.sigma_nm <= 0.0)
+        return 1.0;
+    return std::erf(variation.trim_range_nm /
+                    (variation.sigma_nm * std::sqrt(2.0)));
+}
+
+double
+expectedTrimmingPowerW(const photonics::VariationParams &variation,
+                       std::uint64_t rings)
+{
+    const double yield = ringYield(variation);
+    const double sigma = variation.sigma_nm;
+    // E[|err|] for a Gaussian truncated to |err| <= trim range:
+    // sigma * sqrt(2/pi) * (1 - exp(-T^2 / 2 sigma^2)) / yield.
+    double mean_trim_nm = 0.0;
+    if (sigma > 0.0 && yield > 0.0) {
+        const double t = variation.trim_range_nm;
+        mean_trim_nm = sigma * std::sqrt(2.0 / M_PI) *
+                       (1.0 - std::exp(-t * t / (2.0 * sigma * sigma))) /
+                       yield;
+    }
+    // Per correctable ring: hold power + per-nm component
+    // (RingResonator::trimmingPowerW).
+    const double per_ring =
+        variation.ring.trimming_power_w * (1.0 + mean_trim_nm);
+    return static_cast<double>(rings) * yield * per_ring;
+}
+
+Feasibility
+assessFeasibility(const DesignPoint &point,
+                  const FeasibilityParams &params)
+{
+    Feasibility f;
+    if (point.network != core::NetworkKind::XBar)
+        return f; // Electrical networks: nothing photonic to gate.
+
+    photonics::InventoryParams inv_params;
+    inv_params.clusters = point.clusters;
+    inv_params.wavelengths_per_guide = point.wavelengths_per_guide;
+    inv_params.channel_waveguides = point.channel_waveguides;
+    inv_params.memory_controllers = point.clusters;
+    const photonics::Inventory inventory(inv_params);
+    f.crossbar_rings = inventory.row("Crossbar").ring_resonators;
+
+    // Worst-case data path: the full serpentine past every cluster's
+    // rings on this waveguide (one comb's worth per cluster).
+    const double serpentine_cm =
+        params.serpentine_cm_per_cluster *
+        static_cast<double>(point.clusters);
+    const std::size_t rings_passed =
+        point.clusters * point.wavelengths_per_guide;
+    const photonics::OpticalPath path = photonics::crossbarWorstCasePath(
+        point.clusters, serpentine_cm, rings_passed,
+        /*ring_through_db=*/0.001, params.waveguide);
+
+    const std::size_t instances = point.clusters *
+                                  point.channel_waveguides *
+                                  point.wavelengths_per_guide;
+    const photonics::BudgetResult budget =
+        photonics::solveBudget(path, instances, params.budget);
+    f.path_loss_db = budget.path_loss_db;
+    f.launch_mw_per_lambda = budget.required_at_source_mw;
+    f.laser_power_w = budget.total_electrical_power_w;
+
+    f.ring_yield = ringYield(params.variation);
+    f.trimming_power_w =
+        expectedTrimmingPowerW(params.variation, f.crossbar_rings);
+
+    // Dynamic power at the full crossbar's peak modulated rate.
+    const double peak_bits =
+        static_cast<double>(point.clusters) *
+        point.channelBandwidthBytesPerSecond() * 8.0;
+    f.dynamic_power_w = peak_bits * (params.modulator_energy_per_bit_j +
+                                     params.receiver_energy_per_bit_j);
+
+    f.photonic_power_w =
+        f.laser_power_w + f.trimming_power_w + f.dynamic_power_w;
+
+    if (f.launch_mw_per_lambda > params.max_launch_mw_per_lambda) {
+        f.feasible = false;
+        f.reason = "loss budget: " +
+                   std::to_string(f.launch_mw_per_lambda) +
+                   " mW/lambda launch exceeds the " +
+                   std::to_string(params.max_launch_mw_per_lambda) +
+                   " mW nonlinearity ceiling";
+    } else if (f.ring_yield < params.min_ring_yield) {
+        f.feasible = false;
+        f.reason = "trim range: ring yield " +
+                   std::to_string(f.ring_yield) + " below " +
+                   std::to_string(params.min_ring_yield);
+    } else if (f.photonic_power_w > params.max_photonic_power_w) {
+        f.feasible = false;
+        f.reason = "power budget: " +
+                   std::to_string(f.photonic_power_w) +
+                   " W photonic exceeds " +
+                   std::to_string(params.max_photonic_power_w) + " W";
+    }
+    return f;
+}
+
+} // namespace corona::model

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Static photonic feasibility / power layer of the design-space
+ * explorer.
+ *
+ * A design point is more than a performance trade: widening the DWDM
+ * comb or the waveguide bundle multiplies ring counts (Table 2),
+ * lengthens the worst-case optical path, and raises laser power; the
+ * paper's Section 2 calls out fabrication variation as the open
+ * integration problem. This layer prunes analytically, reusing the
+ * photonics library end to end:
+ *
+ *  - photonics::Inventory derives waveguide and ring counts for the
+ *    point's clusters / wavelengths / bundle width (Table 2);
+ *  - photonics::crossbarWorstCasePath + solveBudget close the link
+ *    budget (Section 2's loss discussion): a point is infeasible
+ *    when the required per-wavelength launch power exceeds the
+ *    nonlinearity ceiling, or the total laser wall power the budget;
+ *  - photonics::VariationParams drive a closed-form yield estimate
+ *    (a Gaussian resonance error is correctable iff |err| <= trim
+ *    range, so ring yield = erf(range / (sigma sqrt 2))); points
+ *    whose crossbar yield collapses are pruned, mirroring
+ *    VariationModel::subsystemYield;
+ *  - expected trimming power mirrors RingResonator::trimmingPowerW
+ *    (hold power plus a per-nm component) in expectation over the
+ *    truncated Gaussian of applied corrections.
+ *
+ * The resulting bottom-up photonic power feeds AnalyticModel as the
+ * crossbar's continuous network power (Figure 11's fixed component).
+ */
+
+#ifndef CORONA_MODEL_FEASIBILITY_HH
+#define CORONA_MODEL_FEASIBILITY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "model/analytic.hh"
+#include "photonics/loss_budget.hh"
+#include "photonics/variation.hh"
+#include "photonics/waveguide.hh"
+
+namespace corona::model {
+
+/** Feasibility thresholds and device inputs. */
+struct FeasibilityParams
+{
+    photonics::BudgetParams budget;
+    photonics::WaveguideParams waveguide;
+    photonics::VariationParams variation;
+
+    /** Serpentine length grows with the die: cm of waveguide per
+     * cluster visited (16 cm / 64 clusters in the paper). */
+    double serpentine_cm_per_cluster = 0.25;
+    /** Per-wavelength launch ceiling before silicon nonlinearity
+     * (two-photon absorption) erodes the budget, mW. */
+    double max_launch_mw_per_lambda = 10.0;
+    /** Ceiling on total photonic interconnect power (laser wall power
+     * + trimming + modulation), watts. The paper lands at ~39 W. */
+    double max_photonic_power_w = 80.0;
+    /** Minimum acceptable crossbar ring yield (fraction of rings
+     * within trim range). Far below 1.0 the crossbar has dead
+     * wavelengths and the design needs redundancy it doesn't have. */
+    double min_ring_yield = 0.99;
+
+    /** Dynamic energy per modulated + received bit, joules. */
+    double modulator_energy_per_bit_j = 50e-15;
+    double receiver_energy_per_bit_j = 25e-15;
+};
+
+/** Verdict and bottom-up numbers for one design point. */
+struct Feasibility
+{
+    bool feasible = true;
+    /** Empty when feasible; else the first violated constraint. */
+    std::string reason;
+
+    double path_loss_db = 0.0;
+    double launch_mw_per_lambda = 0.0;
+    double laser_power_w = 0.0;   ///< Electrical (wall) laser power.
+    double trimming_power_w = 0.0;
+    double dynamic_power_w = 0.0; ///< Modulators + receivers at peak.
+    /** laser + trimming + dynamic: AnalyticModel's crossbar power. */
+    double photonic_power_w = 0.0;
+
+    double ring_yield = 1.0;      ///< P(|error| <= trim range).
+    std::uint64_t crossbar_rings = 0;
+};
+
+/** Closed-form per-ring yield for @p variation: the probability a
+ * Gaussian resonance error lands within the thermal trim range. */
+double ringYield(const photonics::VariationParams &variation);
+
+/** Expected trimming power for @p rings correctable rings (mirrors
+ * RingResonator::trimmingPowerW in expectation). */
+double expectedTrimmingPowerW(const photonics::VariationParams &variation,
+                              std::uint64_t rings);
+
+/**
+ * Assess @p point. Mesh points carry no crossbar photonics and are
+ * always feasible with zero photonic power (their power is dynamic,
+ * computed by AnalyticModel); OCM memory fibers are counted into the
+ * inventory but do not gate feasibility — the crossbar dominates.
+ */
+Feasibility assessFeasibility(const DesignPoint &point,
+                              const FeasibilityParams &params = {});
+
+} // namespace corona::model
+
+#endif // CORONA_MODEL_FEASIBILITY_HH

@@ -1,0 +1,322 @@
+#include "model/traffic.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "mesh/routing.hh"
+#include "noc/message.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+#include "topology/geometry.hh"
+#include "workload/splash.hh"
+#include "workload/synthetic.hh"
+
+namespace corona::model {
+
+namespace {
+
+/** Row-stochastic traffic matrix: weight[s][d] is the probability a
+ * miss is issued by cluster s AND homed at cluster d (sums to 1). */
+using TrafficMatrix = std::vector<std::vector<double>>;
+
+TrafficMatrix
+uniformMatrix(std::size_t n)
+{
+    return TrafficMatrix(
+        n, std::vector<double>(n, 1.0 / static_cast<double>(n * n)));
+}
+
+/** Mix @p fraction of every source's traffic onto @p hot, the rest
+ * uniform — the instantaneous shape of a hot-block burst epoch
+ * (Section 5: LU's threads chase one remotely stored matrix block). */
+TrafficMatrix
+hotBlockMatrix(std::size_t n, std::size_t hot, double fraction)
+{
+    TrafficMatrix m = uniformMatrix(n);
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t d = 0; d < n; ++d)
+            m[s][d] *= 1.0 - fraction;
+        m[s][hot] += fraction / static_cast<double>(n);
+    }
+    return m;
+}
+
+TrafficMatrix
+syntheticMatrix(workload::Pattern pattern, const topology::Geometry &geom)
+{
+    const std::size_t n = geom.clusters();
+    if (pattern == workload::Pattern::Uniform)
+        return uniformMatrix(n);
+    TrafficMatrix m(n, std::vector<double>(n, 0.0));
+    const std::size_t k = geom.radix();
+    for (std::size_t s = 0; s < n; ++s) {
+        const auto c = geom.coordOf(s);
+        topology::ClusterId d = 0;
+        switch (pattern) {
+          case workload::Pattern::HotSpot:
+            d = 0;
+            break;
+          case workload::Pattern::Tornado: {
+            const std::size_t shift = k / 2 - 1;
+            d = geom.idAt({(c.x + shift) % k, (c.y + shift) % k});
+            break;
+          }
+          case workload::Pattern::Transpose:
+            d = geom.idAt({c.y, c.x});
+            break;
+          case workload::Pattern::Uniform:
+            break; // Handled above.
+        }
+        m[s][d] = 1.0 / static_cast<double>(n);
+    }
+    return m;
+}
+
+/** Directed mesh link (router @p from toward router @p to). */
+struct LinkLoadGrid
+{
+    /** load[from][direction]: 0=+x, 1=-x, 2=+y, 3=-y. */
+    std::vector<std::array<double, 4>> load;
+
+    explicit LinkLoadGrid(std::size_t n)
+        : load(n, std::array<double, 4>{0.0, 0.0, 0.0, 0.0})
+    {
+    }
+
+    double max() const
+    {
+        double m = 0.0;
+        for (const auto &l : load)
+            m = std::max(m, *std::max_element(l.begin(), l.end()));
+        return m;
+    }
+};
+
+/** Accumulate @p weight bytes along the XY route from @p src to
+ * @p dst (x first, then y — mesh::routing's dimension order). */
+void
+routeXy(const topology::Geometry &geom, topology::ClusterId src,
+        topology::ClusterId dst, double weight, LinkLoadGrid &grid)
+{
+    auto at = geom.coordOf(src);
+    const auto goal = geom.coordOf(dst);
+    while (at.x != goal.x) {
+        const bool fwd = goal.x > at.x;
+        grid.load[geom.idAt(at)][fwd ? 0 : 1] += weight;
+        at.x += fwd ? 1 : -1;
+    }
+    while (at.y != goal.y) {
+        const bool fwd = goal.y > at.y;
+        grid.load[geom.idAt(at)][fwd ? 2 : 3] += weight;
+        at.y += fwd ? 1 : -1;
+    }
+}
+
+/** Spatial statistics of one traffic matrix on one geometry. */
+struct SpatialStats
+{
+    double max_home_share = 0.0;
+    double local_fraction = 0.0;
+    double mean_mesh_hops = 0.0;
+    double max_mesh_link_share = 0.0;
+    double max_channel_share = 0.0;
+    double mean_ring_hops = 0.0;
+};
+
+SpatialStats
+spatialStats(const TrafficMatrix &matrix, const topology::Geometry &geom,
+             double write_fraction)
+{
+    const std::size_t n = geom.clusters();
+    SpatialStats stats;
+
+    // Wire bytes each miss puts on the network, by direction. Writes
+    // carry the line with the request; reads bring it back with the
+    // response (noc::wireBytes).
+    const double req_bytes =
+        write_fraction *
+            (noc::headerBytes + noc::cacheLineBytes) +
+        (1.0 - write_fraction) * noc::headerBytes;
+    const double resp_bytes =
+        write_fraction * noc::headerBytes +
+        (1.0 - write_fraction) *
+            (noc::headerBytes + noc::cacheLineBytes);
+
+    std::vector<double> home_share(n, 0.0);
+    std::vector<double> channel_bytes(n, 0.0);
+    LinkLoadGrid grid(n);
+    double remote_weight = 0.0;
+    double hop_weight = 0.0;
+    double ring_weight = 0.0;
+    double total_net_bytes = 0.0;
+
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t d = 0; d < n; ++d) {
+            const double w = matrix[s][d];
+            if (w == 0.0)
+                continue;
+            home_share[d] += w;
+            if (s == d) {
+                stats.local_fraction += w;
+                continue; // Local misses bypass the network.
+            }
+            remote_weight += w;
+            // Mesh: request route and response route both load links.
+            routeXy(geom, s, d, w * req_bytes, grid);
+            routeXy(geom, d, s, w * resp_bytes, grid);
+            hop_weight +=
+                w * static_cast<double>(geom.manhattanDistance(s, d));
+            // Crossbar: the request lands on home d's MWSR channel,
+            // the response on requester s's channel.
+            channel_bytes[d] += w * req_bytes;
+            channel_bytes[s] += w * resp_bytes;
+            total_net_bytes += w * (req_bytes + resp_bytes);
+            ring_weight +=
+                w * static_cast<double>(geom.ringDistance(s, d));
+        }
+    }
+
+    stats.max_home_share =
+        *std::max_element(home_share.begin(), home_share.end());
+    if (remote_weight > 0.0) {
+        stats.mean_mesh_hops = hop_weight / remote_weight;
+        stats.mean_ring_hops = ring_weight / remote_weight;
+    }
+    if (total_net_bytes > 0.0) {
+        stats.max_mesh_link_share = grid.max() / total_net_bytes;
+        stats.max_channel_share =
+            *std::max_element(channel_bytes.begin(),
+                              channel_bytes.end()) /
+            total_net_bytes;
+    }
+    return stats;
+}
+
+TrafficDescriptor
+buildDescriptor(const std::string &workload, std::size_t clusters,
+                std::size_t threads_per_cluster)
+{
+    const topology::Geometry geom(clusters);
+    TrafficDescriptor d;
+    d.workload = workload;
+    d.clusters = clusters;
+    d.threads_per_cluster = threads_per_cluster;
+
+    TrafficMatrix matrix;
+    sim::Tick mean_think = 0;
+
+    const auto synthetic = [&](workload::Pattern pattern) {
+        const workload::SyntheticParams params;
+        mean_think = params.mean_think;
+        d.write_fraction = params.write_fraction;
+        matrix = syntheticMatrix(pattern, geom);
+    };
+
+    if (workload == "Uniform") {
+        synthetic(workload::Pattern::Uniform);
+    } else if (workload == "Hot Spot") {
+        synthetic(workload::Pattern::HotSpot);
+    } else if (workload == "Tornado") {
+        synthetic(workload::Pattern::Tornado);
+    } else if (workload == "Transpose") {
+        synthetic(workload::Pattern::Transpose);
+    } else {
+        const workload::SplashParams params =
+            workload::splashParams(workload); // Throws when unknown.
+        mean_think = params.mean_think;
+        d.write_fraction = params.write_fraction;
+        if (params.burst.enabled) {
+            const auto &burst = params.burst;
+            // Instantaneous shape of a burst epoch. The hot home
+            // rotates every epoch; a mid-grid representative keeps
+            // mesh link loads typical of the rotation.
+            const std::size_t hot = geom.idAt(
+                {geom.radix() / 2, geom.radix() / 2});
+            matrix = burst.hot_block
+                         ? hotBlockMatrix(geom.clusters(), hot,
+                                          burst.hot_fraction)
+                         : uniformMatrix(geom.clusters());
+            // A thread issues burst_size misses per epoch, spaced by
+            // roughly 2x the intra-burst gap (gap + its exponential
+            // jitter), then computes until the next barrier.
+            const double burst_span =
+                static_cast<double>(burst.burst_size) * 2.0 *
+                static_cast<double>(burst.intra_burst_gap);
+            const double epoch =
+                static_cast<double>(burst.epoch_length);
+            d.duty_cycle = std::clamp(burst_span / epoch, 0.05, 1.0);
+            d.burst_misses_per_thread =
+                static_cast<double>(burst.burst_size);
+            // Sustained rate: burst_size misses per epoch per thread.
+            mean_think = static_cast<sim::Tick>(
+                epoch / static_cast<double>(burst.burst_size));
+        } else {
+            matrix = uniformMatrix(geom.clusters());
+        }
+    }
+
+    d.think_seconds = sim::ticksToSeconds(mean_think);
+    const double threads =
+        static_cast<double>(clusters * threads_per_cluster);
+    d.offered_bytes_per_second =
+        threads * static_cast<double>(noc::cacheLineBytes) /
+        d.think_seconds;
+
+    const SpatialStats stats =
+        spatialStats(matrix, geom, d.write_fraction);
+    d.max_home_share = stats.max_home_share;
+    d.local_fraction = stats.local_fraction;
+    d.mean_mesh_hops = stats.mean_mesh_hops;
+    d.max_mesh_link_share = stats.max_mesh_link_share;
+    d.max_channel_share = stats.max_channel_share;
+    d.mean_ring_hops = stats.mean_ring_hops;
+    return d;
+}
+
+} // namespace
+
+const TrafficDescriptor &
+descriptorFor(const std::string &workload, std::size_t clusters,
+              std::size_t threads_per_cluster)
+{
+    using Key = std::tuple<std::string, std::size_t, std::size_t>;
+    static std::mutex mutex;
+    static std::map<Key, TrafficDescriptor> cache;
+
+    std::lock_guard<std::mutex> lock(mutex);
+    const Key key{workload, clusters, threads_per_cluster};
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        if (!knowsWorkload(workload))
+            sim::fatal("model: unknown workload \"" + workload + "\"");
+        it = cache
+                 .emplace(key, buildDescriptor(workload, clusters,
+                                               threads_per_cluster))
+                 .first;
+    }
+    return it->second;
+}
+
+bool
+knowsWorkload(const std::string &workload)
+{
+    const auto names = knownWorkloads();
+    return std::find(names.begin(), names.end(), workload) !=
+           names.end();
+}
+
+std::vector<std::string>
+knownWorkloads()
+{
+    std::vector<std::string> names = {"Uniform", "Hot Spot", "Tornado",
+                                      "Transpose"};
+    for (const auto &params : workload::splashSuite())
+        names.push_back(params.name);
+    return names;
+}
+
+} // namespace corona::model

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-workload traffic shape for the analytical model.
+ *
+ * The simulator learns a workload's spatial pattern by replaying it;
+ * the closed-form model needs the same information up front. A
+ * TrafficDescriptor captures, for one (workload, cluster-count) pair:
+ *
+ *  - the offered load at full concurrency (Table 3 / Figure 9's
+ *    "offered" column, scaled to the design point's thread count);
+ *  - the destination distribution's hot shares: the fraction of
+ *    misses homed at the most-loaded memory controller and the
+ *    fraction of network messages bound for the most-loaded crossbar
+ *    channel (Section 3.2.1: one MWSR channel per reader);
+ *  - exact dimension-order-routed link loads on the mesh baselines
+ *    (Section 4): the max per-link share bounds accepted throughput,
+ *    the mean hop count sets base latency and mesh dynamic power
+ *    (Figure 11's 196 pJ per transaction-hop);
+ *  - burstiness (Section 5: LU and Raytrace issue barrier-aligned
+ *    bursts) as a latency inflation factor and a duty cycle.
+ *
+ * Descriptors are computed from the generative workload definitions
+ * (workload::splashSuite, the synthetic patterns) — not measured from
+ * runs — so the model can be evaluated for cluster counts and widths
+ * the simulator has never executed. Building one costs O(clusters^2)
+ * for the routed patterns; descriptorFor() memoizes per
+ * (workload, clusters), so sweeping a million design points touches
+ * each matrix once.
+ */
+
+#ifndef CORONA_MODEL_TRAFFIC_HH
+#define CORONA_MODEL_TRAFFIC_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace corona::model {
+
+/** Spatial + temporal traffic shape of one workload at one scale. */
+struct TrafficDescriptor
+{
+    std::string workload;
+    std::size_t clusters = 64;
+    std::size_t threads_per_cluster = 16;
+
+    /** Per-thread mean inter-miss think time, seconds. */
+    double think_seconds = 0.0;
+    /** Offered load at full concurrency, bytes per second. */
+    double offered_bytes_per_second = 0.0;
+    /** Write-miss fraction (writes put the line on the request path). */
+    double write_fraction = 0.0;
+
+    /** Fraction of misses homed at the most-loaded controller
+     * (1/clusters for uniform homes, 1.0 for Hot Spot). */
+    double max_home_share = 0.0;
+    /** Fraction of misses that are cluster-local (bypass the network
+     * entirely: hub + local controller only). */
+    double local_fraction = 0.0;
+
+    /** Mean mesh hops per network message under XY routing. */
+    double mean_mesh_hops = 0.0;
+    /** Max over directed mesh links of the fraction of all network
+     * *bytes* that cross that link (requests at their wire size one
+     * way, responses the other). Bounds mesh throughput. */
+    double max_mesh_link_share = 0.0;
+
+    /** Fraction of network messages that land on the most-loaded
+     * crossbar channel (each cluster reads exactly one channel). */
+    double max_channel_share = 0.0;
+    /** Mean serpentine ring hops from sender to home. */
+    double mean_ring_hops = 0.0;
+
+    /** Misses each thread issues back to back after a barrier
+     * (0 = smooth arrivals). The post-barrier backlog drains at the
+     * bottleneck's rate, adding a burst-drain wait to latency. */
+    double burst_misses_per_thread = 0.0;
+    /** Fraction of the epoch a bursty workload actually offers load
+     * (1 = continuous). */
+    double duty_cycle = 1.0;
+};
+
+/**
+ * Descriptor for @p workload (a Table 3 name: "FFT", "Uniform", ...)
+ * at @p clusters (a perfect square) with @p threads_per_cluster.
+ * Memoized; fatal on an unknown workload name. Thread-safe.
+ */
+const TrafficDescriptor &descriptorFor(const std::string &workload,
+                                       std::size_t clusters = 64,
+                                       std::size_t threads_per_cluster = 16);
+
+/** True if @p workload names a Table 3 workload the model knows. */
+bool knowsWorkload(const std::string &workload);
+
+/** Every workload name the model knows, in Figure 8's x-axis order. */
+std::vector<std::string> knownWorkloads();
+
+} // namespace corona::model
+
+#endif // CORONA_MODEL_TRAFFIC_HH

@@ -18,6 +18,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -183,6 +184,170 @@ TEST(LaunchMerge, MergesShardFilesDroppingTornTails)
     EXPECT_THROW(
         campaign::mergeCheckpointFiles({dir + "/nope.ckpt"}, spec),
         sim::FatalError);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(LaunchHosts, ParsesHostsFilesStrictly)
+{
+    std::istringstream hosts("# cluster machines\n"
+                             "fast-box 4\n"
+                             "\n"
+                             "user@slow-box   # default one slot\n"
+                             "other 2\n");
+    const auto parsed = campaign::parseHostsFile(hosts);
+    ASSERT_EQ(parsed.size(), 3u);
+    EXPECT_EQ(parsed[0].host, "fast-box");
+    EXPECT_EQ(parsed[0].slots, 4u);
+    EXPECT_EQ(parsed[1].host, "user@slow-box");
+    EXPECT_EQ(parsed[1].slots, 1u);
+    EXPECT_EQ(parsed[2].host, "other");
+    EXPECT_EQ(parsed[2].slots, 2u);
+
+    std::istringstream empty("# nothing\n\n");
+    EXPECT_THROW(campaign::parseHostsFile(empty), sim::FatalError);
+    std::istringstream bad("box zero-slots\n");
+    EXPECT_THROW(campaign::parseHostsFile(bad), sim::FatalError);
+}
+
+TEST(LaunchHosts, ExpandsPerShardSshTemplates)
+{
+    const std::vector<campaign::HostSpec> hosts = {{"a", 2}, {"b", 1}};
+    campaign::HostTemplateOptions options;
+    options.remote_command = "corona-launch --worker";
+    options.remote_dir = "rdir";
+    const auto templates =
+        campaign::hostCommandTemplates(hosts, 4, options);
+    ASSERT_EQ(templates.size(), 4u);
+    // Slots expand to (a, a, b) per round; shard 4 wraps back to a.
+    EXPECT_EQ(templates[0],
+              "ssh a 'mkdir -p '\\''rdir'\\'' && CORONA_SHARD={label} "
+              "CORONA_CHECKPOINT='\\''rdir/shard{shard}.ckpt'\\'' "
+              "corona-launch --worker' && scp "
+              "'a:rdir/shard{shard}.ckpt' {checkpoint}");
+    EXPECT_NE(templates[1].find("ssh a "), std::string::npos);
+    EXPECT_NE(templates[2].find("ssh b "), std::string::npos);
+    EXPECT_NE(templates[3].find("ssh a "), std::string::npos);
+
+    // The per-shard expansion the launcher applies fills the
+    // placeholders inside the quoted remote command too.
+    const std::string expanded = campaign::expandCommandTemplate(
+        templates[2], campaign::ShardSpec{2, 4}, "local/s3.ckpt");
+    EXPECT_NE(expanded.find("CORONA_SHARD=3/4"), std::string::npos);
+    EXPECT_NE(expanded.find("rdir/shard3.ckpt"), std::string::npos);
+    EXPECT_NE(expanded.find("'b:rdir/shard3.ckpt' local/s3.ckpt"),
+              std::string::npos);
+}
+
+TEST(LaunchHosts, EndToEndThroughAFakeRemoteShell)
+{
+    // Two "hosts" that are really this machine: the rsh stub drops
+    // its host argument and runs the command locally; the fetch stub
+    // copies "host:path" with cp. Proves the full --hosts pipeline
+    // (remote env inline, checkpoint fetch-back, merge) with zero
+    // network dependencies.
+    const auto spec = launchTestSpec();
+    const std::string dir = makeTempDir();
+    const std::string rsh = dir + "/fake-ssh";
+    const std::string fetch = dir + "/fake-scp";
+    {
+        std::ofstream script(rsh);
+        script << "#!/bin/sh\nshift\nexec sh -c \"$1\"\n";
+    }
+    {
+        std::ofstream script(fetch);
+        script << "#!/bin/sh\ncp \"${1#*:}\" \"$2\"\n";
+    }
+    std::filesystem::permissions(
+        rsh, std::filesystem::perms::owner_all);
+    std::filesystem::permissions(
+        fetch, std::filesystem::perms::owner_all);
+
+    campaign::HostTemplateOptions host_options;
+    host_options.remote_command = "CORONA_LAUNCH_TEST_WORKER=1 " +
+                                  campaign::shellQuote(g_self);
+    host_options.remote_dir = dir + "/remote{shard}";
+    host_options.rsh = rsh;
+    host_options.fetch = fetch;
+
+    campaign::LaunchOptions options;
+    options.shard_count = 2;
+    options.max_parallel = 2;
+    options.checkpoint_dir = dir;
+    options.commands = campaign::hostCommandTemplates(
+        {{"hostA", 1}, {"hostB", 1}}, options.shard_count,
+        host_options);
+    options.backoff_initial_seconds = 0.01;
+    options.poll_seconds = 0.01;
+
+    const auto report = campaign::launchShards(options);
+    ASSERT_TRUE(report.allOk());
+    // The fetched checkpoints merge into the full grid: remote runs
+    // really came home.
+    const auto merged =
+        campaign::mergeCheckpointFiles(report.checkpointPaths(), spec);
+    EXPECT_EQ(merged.size(), spec.totalRuns());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Launcher, KillsAndRelaunchesAHungWorker)
+{
+    // The worker checkpoints a partial file and then hangs forever;
+    // the liveness watch must SIGKILL it and relaunch, and once the
+    // retry budget is exhausted, poison the shard — a hang can no
+    // longer stall a campaign indefinitely.
+    const std::string dir = makeTempDir();
+    campaign::LaunchOptions options;
+    options.shard_count = 1;
+    options.command = "printf 'partial' > {checkpoint}; exec sleep 600";
+    options.checkpoint_dir = dir;
+    options.max_retries = 1;
+    options.backoff_initial_seconds = 0.01;
+    options.poll_seconds = 0.01;
+    options.stall_kill_seconds = 0.25;
+    std::ostringstream log;
+    options.log = &log;
+
+    const auto started = std::chrono::steady_clock::now();
+    const auto report = campaign::launchShards(options);
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+
+    ASSERT_EQ(report.shards.size(), 1u);
+    const auto &shard = report.shards[0];
+    EXPECT_TRUE(shard.poisoned);
+    EXPECT_EQ(shard.attempts, 2u); // Killed, relaunched, killed.
+    EXPECT_EQ(shard.stall_kills, 2u);
+    EXPECT_EQ(shard.exit_code, 128 + 9); // SIGKILL.
+    EXPECT_NE(log.str().find("killing hung worker"),
+              std::string::npos);
+    // Both attempts were reaped by the deadline, not by sleep(600).
+    EXPECT_LT(elapsed, 30.0);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Launcher, StallKillSparesWorkersThatMakeProgress)
+{
+    // A worker that keeps appending rows slower than the kill
+    // deadline per row — but always making progress — must never be
+    // reaped.
+    const std::string dir = makeTempDir();
+    campaign::LaunchOptions options;
+    options.shard_count = 1;
+    options.command =
+        "for i in 1 2 3 4 5 6; do printf 'row%d\\n' $i >> "
+        "{checkpoint}; sleep 0.1; done";
+    options.checkpoint_dir = dir;
+    options.max_retries = 0;
+    options.poll_seconds = 0.01;
+    options.stall_kill_seconds = 0.4;
+
+    const auto report = campaign::launchShards(options);
+    ASSERT_EQ(report.shards.size(), 1u);
+    EXPECT_TRUE(report.shards[0].ok);
+    EXPECT_EQ(report.shards[0].attempts, 1u);
+    EXPECT_EQ(report.shards[0].stall_kills, 0u);
     std::filesystem::remove_all(dir);
 }
 

@@ -4,7 +4,9 @@
  * controller under Poisson arrivals must track M/D/1 waiting times,
  * and a bandwidth link must track its utilization law. These tests tie
  * the simulator's contention behaviour to closed-form theory rather
- * than to itself.
+ * than to itself — and the closed forms are the shared
+ * model/queueing implementation, so the analytical performance model
+ * and its validation use one set of formulas.
  */
 
 #include <gtest/gtest.h>
@@ -12,6 +14,7 @@
 #include <cmath>
 
 #include "memory/memory_controller.hh"
+#include "model/queueing.hh"
 #include "noc/link.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
@@ -79,8 +82,8 @@ TEST_P(Md1Sweep, MemoryControllerMatchesMd1Waiting)
 {
     const double rho = GetParam();
     const double service = 400.0; // ticks
-    // M/D/1 mean wait: rho * s / (2 (1 - rho)).
-    const double expected = rho * service / (2.0 * (1.0 - rho));
+    // The shared closed form: rho * s / (2 (1 - rho)).
+    const double expected = model::md1Wait(rho, service);
     const double measured = mcQueueingDelay(rho, 40000, 13);
     // 10% + 20-tick tolerance: finite run, integer ticks.
     EXPECT_NEAR(measured, expected, expected * 0.10 + 20.0)
@@ -111,9 +114,11 @@ TEST(QueueingLaws, LinkUtilizationMatchesOfferedLoad)
     eq.run();
     const double utilization = static_cast<double>(link.busyTime()) /
                                static_cast<double>(eq.now());
-    EXPECT_NEAR(utilization, 0.4, 0.02);
-    // M/D/1 wait at rho=0.4: 0.4*500/(2*0.6) = 166.7 ticks.
-    EXPECT_NEAR(link.queueWait().mean(), 166.7, 35.0);
+    // The utilization law: busy fraction = offered / capacity.
+    EXPECT_NEAR(utilization, model::utilization(64e9, 160e9), 0.02);
+    // M/D/1 wait at rho=0.4 on a 500-tick server: 166.7 ticks.
+    EXPECT_NEAR(link.queueWait().mean(), model::md1Wait(0.4, 500.0),
+                35.0);
 }
 
 TEST(QueueingLaws, LittlesLawHoldsForMcQueue)
@@ -144,7 +149,8 @@ TEST(QueueingLaws, LittlesLawHoldsForMcQueue)
     const double lambda =
         static_cast<double>(n) / static_cast<double>(eq.now());
     const double w = total_time / n;
-    const double l = lambda * w; // Mean requests in system.
+    // Mean requests in system via the shared Little's-law helper.
+    const double l = model::littlesLawOccupancy(lambda, w);
     // ECM service 64 B / 15 GB/s = ~4267 ticks at ~0.71 utilization:
     // the system holds a handful of requests on average.
     EXPECT_GT(l, 1.0);

@@ -54,7 +54,13 @@ struct CliOptions
     std::string dir = "corona-launch";
     std::size_t retries = 2;
     double backoff = 0.5;
+    double stall_kill = 0.0; // 0 = liveness watch off.
     std::string command; // Empty = re-exec self as worker.
+    std::string hosts_file;
+    std::string remote_cmd;
+    std::string remote_dir = "corona-launch-remote";
+    std::string rsh = "ssh";
+    std::string fetch = "scp";
     std::string csv, jsonl, summary, merged;
     bool verify = false;
     bool quiet = false;
@@ -86,6 +92,24 @@ usage(std::ostream &os)
           "{checkpoint} expand per shard\n"
           "                  (default: re-exec this binary as a local "
           "worker)\n"
+          "  --stall-kill S  kill and relaunch a worker whose "
+          "checkpoint stops growing\n"
+          "                  for S seconds (counts against --retries; "
+          "default: off)\n"
+          "  --hosts FILE    spread shards over ssh hosts (one "
+          "\"host [slots]\" per line);\n"
+          "                  requires --remote-cmd; shard checkpoints "
+          "are fetched back\n"
+          "                  automatically before the merge\n"
+          "  --remote-cmd T  command run on each host (e.g. "
+          "'corona-launch --worker\n"
+          "                  --requests 50000'); {shard}/{label} "
+          "expand per shard\n"
+          "  --remote-dir P  remote checkpoint directory (default "
+          "corona-launch-remote)\n"
+          "  --rsh CMD       remote shell (default ssh)\n"
+          "  --fetch CMD     remote copy, `CMD host:path local` "
+          "(default scp)\n"
           "  --csv PATH      write the merged per-run CSV\n"
           "  --jsonl PATH    write the merged per-run JSON lines\n"
           "  --summary PATH  write the merged per-cell summary CSV\n"
@@ -170,6 +194,27 @@ parseArgs(int argc, char **argv)
                          value + "\"");
         } else if (arg == "--cmd") {
             options.command = next(i, "--cmd");
+        } else if (arg == "--stall-kill") {
+            const std::string value = next(i, "--stall-kill");
+            const auto res = std::from_chars(
+                value.data(), value.data() + value.size(),
+                options.stall_kill);
+            if (res.ec != std::errc{} ||
+                res.ptr != value.data() + value.size() ||
+                !(options.stall_kill >= 0))
+                badUsage("--stall-kill must be a non-negative number "
+                         "of seconds, got \"" +
+                         value + "\"");
+        } else if (arg == "--hosts") {
+            options.hosts_file = next(i, "--hosts");
+        } else if (arg == "--remote-cmd") {
+            options.remote_cmd = next(i, "--remote-cmd");
+        } else if (arg == "--remote-dir") {
+            options.remote_dir = next(i, "--remote-dir");
+        } else if (arg == "--rsh") {
+            options.rsh = next(i, "--rsh");
+        } else if (arg == "--fetch") {
+            options.fetch = next(i, "--fetch");
         } else if (arg == "--csv") {
             options.csv = next(i, "--csv");
         } else if (arg == "--jsonl") {
@@ -331,11 +376,44 @@ launchMain(const CliOptions &options)
     launch.checkpoint_dir = options.dir;
     launch.max_retries = options.retries;
     launch.backoff_initial_seconds = options.backoff;
+    launch.stall_kill_seconds = options.stall_kill;
     if (!options.quiet)
         launch.log = &std::cerr;
 
+    if (!options.hosts_file.empty()) {
+        // Multi-machine: expand the host list into per-shard ssh
+        // templates that run the remote command and fetch the shard
+        // checkpoint home before the merge.
+        if (options.remote_cmd.empty())
+            badUsage("--hosts requires --remote-cmd (the command to "
+                     "run on each host)");
+        if (!options.command.empty())
+            badUsage("--hosts and --cmd are mutually exclusive");
+        if (options.stall_kill > 0.0)
+            badUsage("--stall-kill watches the LOCAL checkpoint, "
+                     "which a --hosts shard only writes when it "
+                     "fetches results back at the end — the watch "
+                     "would kill every healthy remote run; drop one "
+                     "of the two flags");
+        std::ifstream hosts_stream(options.hosts_file);
+        if (!hosts_stream)
+            sim::fatal("corona-launch: cannot read hosts file \"" +
+                       options.hosts_file + "\"");
+        const auto hosts = campaign::parseHostsFile(hosts_stream);
+        campaign::HostTemplateOptions host_options;
+        host_options.remote_command = options.remote_cmd;
+        host_options.remote_dir = options.remote_dir;
+        host_options.rsh = options.rsh;
+        host_options.fetch = options.fetch;
+        launch.commands = campaign::hostCommandTemplates(
+            hosts, options.shards, host_options);
+        std::cerr << "corona-launch: " << options.shards
+                  << " shards over " << hosts.size()
+                  << " host(s) from " << options.hosts_file << "\n";
+    }
+
     std::string command = options.command;
-    if (command.empty()) {
+    if (command.empty() && launch.commands.empty()) {
         // Re-exec this binary as a local worker on the same grid.
         std::ostringstream self;
         self << campaign::shellQuote(options.self)
