@@ -11,14 +11,13 @@
 
 #include <iostream>
 
-#include "campaign/runner.hh"
-#include "campaign/sink.hh"
+#include "campaign/scenario.hh"
+#include "campaign/scenario_run.hh"
 #include "common.hh"
 #include "sim/clock.hh"
 #include "sim/logging.hh"
 #include "sim/event_queue.hh"
 #include "stats/report.hh"
-#include "workload/synthetic.hh"
 #include "xbar/token_arbiter.hh"
 
 namespace {
@@ -57,32 +56,30 @@ main()
         {"stop at every node (1 clock)", 200},
     };
 
-    campaign::CampaignSpec spec;
-    spec.name = "token-scheme";
-    spec.workloads = {{"Uniform", true, workload::makeUniform}};
-    for (const Scheme &scheme : schemes) {
-        auto config = core::makeConfig(core::NetworkKind::XBar,
-                                       core::MemoryKind::OCM);
-        config.xbar_channel.token_node_pause = scheme.pause;
-        spec.configs.push_back(config);
-    }
-    spec.base.requests =
+    // The ablation grid as a serializable scenario: the token dwell
+    // is a config knob, so the same experiment ships as
+    // scenarios/ablation_token_scheme.scenario for corona-run.
+    campaign::ScenarioSpec scenario;
+    scenario.name = "token-scheme";
+    scenario.workloads = {"Uniform"};
+    scenario.configs = {
+        "XBar/OCM label=flying-token",
+        "XBar/OCM token_node_pause=200 label=stop-every-node",
+    };
+    scenario.requests =
         std::min<std::uint64_t>(core::defaultRequestBudget(), 15'000);
-    spec.seed_policy = campaign::SeedPolicy::Fixed;
+    scenario.seed_policy = campaign::SeedPolicy::Fixed;
+    scenario.execution.progress = false;
 
-    campaign::MemorySink sink;
-    campaign::RunnerOptions options;
-    options.threads = bench::sweepThreads();
-    campaign::CampaignRunner runner(options);
-    runner.addSink(sink);
-    runner.run(spec);
+    const campaign::ScenarioRunResult result = campaign::runScenario(
+        scenario, {.quiet = true, .env = campaign::EnvOverrides::None});
 
     stats::TableWriter table("Flying token vs stop-at-every-node token");
     table.setHeader({"scheme", "token loop (clocks)",
                      "worst uncontested wait (clocks)",
                      "Uniform XBar/OCM bandwidth", "avg latency (ns)"});
 
-    for (const auto &record : sink.records()) {
+    for (const auto &record : result.records) {
         if (!record.ok)
             sim::fatal("token-scheme ablation: run " +
                        std::to_string(record.index) +

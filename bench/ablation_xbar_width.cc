@@ -11,12 +11,11 @@
 
 #include <iostream>
 
-#include "campaign/runner.hh"
-#include "campaign/sink.hh"
+#include "campaign/scenario.hh"
+#include "campaign/scenario_run.hh"
 #include "common.hh"
 #include "sim/logging.hh"
 #include "stats/report.hh"
-#include "workload/synthetic.hh"
 
 int
 main()
@@ -25,25 +24,23 @@ main()
 
     constexpr std::uint32_t kGuides[] = {1, 2, 4, 8};
 
-    campaign::CampaignSpec spec;
-    spec.name = "xbar-width";
-    spec.workloads = {{"Uniform", true, workload::makeUniform}};
+    // The sweep as a serializable scenario: the bundle width is the
+    // bytes_per_clock config knob (16 B per waveguide, 64 l DDR).
+    campaign::ScenarioSpec scenario;
+    scenario.name = "xbar-width";
+    scenario.workloads = {"Uniform"};
     for (const std::uint32_t guides : kGuides) {
-        auto config = core::makeConfig(core::NetworkKind::XBar,
-                                       core::MemoryKind::OCM);
-        config.xbar_channel.bytes_per_clock = guides * 16; // 64 l DDR
-        spec.configs.push_back(config);
+        scenario.configs.push_back(
+            "XBar/OCM bytes_per_clock=" + std::to_string(guides * 16) +
+            " label=g" + std::to_string(guides));
     }
-    spec.base.requests =
+    scenario.requests =
         std::min<std::uint64_t>(core::defaultRequestBudget(), 20'000);
-    spec.seed_policy = campaign::SeedPolicy::Fixed;
+    scenario.seed_policy = campaign::SeedPolicy::Fixed;
+    scenario.execution.progress = false;
 
-    campaign::MemorySink sink;
-    campaign::RunnerOptions options;
-    options.threads = bench::sweepThreads();
-    campaign::CampaignRunner runner(options);
-    runner.addSink(sink);
-    runner.run(spec);
+    const campaign::ScenarioRunResult result = campaign::runScenario(
+        scenario, {.quiet = true, .env = campaign::EnvOverrides::None});
 
     stats::TableWriter table(
         "Crossbar bundle-width ablation (Uniform, XBar/OCM)");
@@ -51,7 +48,7 @@ main()
                      "channel BW", "achieved memory BW",
                      "avg latency (ns)"});
 
-    for (const auto &record : sink.records()) {
+    for (const auto &record : result.records) {
         if (!record.ok)
             sim::fatal("xbar-width ablation: run " +
                        std::to_string(record.index) +

@@ -1,124 +1,48 @@
 #include "common.hh"
 
-#include <cstdlib>
-#include <fstream>
-#include <iostream>
-#include <memory>
-
-#include "campaign/aggregate.hh"
-#include "campaign/checkpoint.hh"
-#include "campaign/progress.hh"
 #include "campaign/runner.hh"
-#include "campaign/sink.hh"
+#include "campaign/scenario_run.hh"
 #include "sim/logging.hh"
-#include "workload/splash.hh"
-#include "workload/synthetic.hh"
+#include "workload/registry.hh"
 
 namespace corona::bench {
-
-namespace {
-
-/** An open-for-write sink bound to a path named by an env variable. */
-struct FileSink
-{
-    std::ofstream stream;
-    std::unique_ptr<campaign::ResultSink> sink;
-};
-
-enum class EnvSinkKind
-{
-    Csv,
-    JsonLines,
-    Summary,
-};
-
-std::unique_ptr<FileSink>
-makeEnvFileSink(const char *env_name, EnvSinkKind kind)
-{
-    const char *path = std::getenv(env_name);
-    if (!path)
-        return nullptr;
-    auto file = std::make_unique<FileSink>();
-    file->stream.open(path, std::ios::trunc);
-    if (!file->stream)
-        sim::fatal(std::string(env_name) + ": cannot open \"" + path +
-                   "\" for writing");
-    switch (kind) {
-      case EnvSinkKind::Csv:
-        file->sink =
-            std::make_unique<campaign::CsvSink>(file->stream);
-        break;
-      case EnvSinkKind::JsonLines:
-        file->sink =
-            std::make_unique<campaign::JsonLinesSink>(file->stream);
-        break;
-      case EnvSinkKind::Summary:
-        file->sink =
-            std::make_unique<campaign::SummarySink>(&file->stream);
-        break;
-    }
-    return file;
-}
-
-/** $CORONA_SHARD, parsed strictly; the whole campaign when unset. */
-campaign::ShardSpec
-envShard()
-{
-    const char *text = std::getenv("CORONA_SHARD");
-    if (!text)
-        return {};
-    const auto shard = campaign::parseShardSpec(text);
-    if (!shard)
-        sim::fatal("CORONA_SHARD must be \"i/N\" with 1 <= i <= N, "
-                   "got \"" +
-                   std::string(text) + "\"");
-    return *shard;
-}
-
-/** The $CORONA_CHECKPOINT session, when the variable is set. */
-std::unique_ptr<campaign::CheckpointFile>
-openEnvCheckpoint(const campaign::CampaignSpec &spec)
-{
-    const char *path = std::getenv("CORONA_CHECKPOINT");
-    if (!path)
-        return nullptr;
-    return std::make_unique<campaign::CheckpointFile>(path, spec);
-}
-
-} // namespace
 
 std::vector<WorkloadEntry>
 allWorkloads()
 {
-    std::vector<WorkloadEntry> entries = {
-        {"Uniform", true, workload::makeUniform},
-        {"Hot Spot", true, workload::makeHotSpot},
-        {"Tornado", true, workload::makeTornado},
-        {"Transpose", true, workload::makeTranspose},
-    };
-    for (const auto &params : workload::splashSuite()) {
+    // The registry's 15 Table-3 generators with default knobs are
+    // behaviourally identical to the historical hand-built factory
+    // list, so sweeps regenerated here stay bit-compatible.
+    std::vector<WorkloadEntry> entries;
+    for (const auto &entry : workload::registry()) {
         entries.push_back(WorkloadEntry{
-            params.name, false,
-            [name = params.name] { return workload::makeSplash(name); }});
+            entry.name, entry.synthetic,
+            workload::registryFactory(entry.name)});
     }
     return entries;
+}
+
+campaign::ScenarioSpec
+paperScenario(std::uint64_t requests)
+{
+    campaign::ScenarioSpec scenario;
+    scenario.name = "paper-sweep";
+    scenario.workloads = {"all"};
+    scenario.configs = {"paper"};
+    scenario.requests = requests;
+    // Measure steady state: a fifth of the budget warms the queues,
+    // MSHRs, and thread windows before the clocks start.
+    scenario.warmup_requests = requests / 5;
+    // Every cell uses the SimParams default seed, exactly like the
+    // historical serial loop, so regenerated figures stay comparable.
+    scenario.seed_policy = campaign::SeedPolicy::Fixed;
+    return scenario;
 }
 
 campaign::CampaignSpec
 paperSweepSpec(std::uint64_t requests)
 {
-    campaign::CampaignSpec spec;
-    spec.name = "paper-sweep";
-    spec.workloads = allWorkloads();
-    spec.configs = core::paperConfigs();
-    spec.base.requests = requests;
-    // Measure steady state: a fifth of the budget warms the queues,
-    // MSHRs, and thread windows before the clocks start.
-    spec.base.warmup_requests = requests / 5;
-    // Every cell uses the SimParams default seed, exactly like the
-    // historical serial loop, so regenerated figures stay comparable.
-    spec.seed_policy = campaign::SeedPolicy::Fixed;
-    return spec;
+    return paperScenario(requests).resolve();
 }
 
 std::size_t
@@ -132,86 +56,38 @@ sweepThreads()
 Sweep
 runSweep(std::uint64_t requests, bool quiet)
 {
-    const campaign::CampaignSpec spec = paperSweepSpec(requests);
-
-    campaign::MemorySink memory;
-    campaign::ProgressReporter progress(std::cerr);
-    campaign::RunnerOptions options;
-    options.threads = sweepThreads();
-    options.shard = envShard();
-    if (!quiet)
-        options.progress = &progress;
-
-    campaign::CampaignRunner runner(options);
-    runner.addSink(memory);
-    const auto csv =
-        makeEnvFileSink("CORONA_SWEEP_CSV", EnvSinkKind::Csv);
-    if (csv)
-        runner.addSink(*csv->sink);
-    const auto jsonl =
-        makeEnvFileSink("CORONA_SWEEP_JSONL", EnvSinkKind::JsonLines);
-    if (jsonl)
-        runner.addSink(*jsonl->sink);
-    const auto summary =
-        makeEnvFileSink("CORONA_SUMMARY_CSV", EnvSinkKind::Summary);
-    if (summary)
-        runner.addSink(*summary->sink);
-    const auto checkpoint = openEnvCheckpoint(spec);
-    if (checkpoint)
-        runner.addSink(checkpoint->sink());
-
-    runner.run(spec, checkpoint
-                         ? checkpoint->takeCompleted()
-                         : std::vector<campaign::RunRecord>{});
-
-    // A truncated results file must not look like a finished sweep.
-    const auto checkWritten = [](std::ofstream &stream,
-                                 const char *env_name) {
-        stream.flush();
-        if (!stream)
-            sim::fatal(std::string(env_name) +
-                       ": write error, results file is incomplete");
-    };
-    if (csv)
-        checkWritten(csv->stream, "CORONA_SWEEP_CSV");
-    if (jsonl)
-        checkWritten(jsonl->stream, "CORONA_SWEEP_JSONL");
-    if (summary)
-        checkWritten(summary->stream, "CORONA_SUMMARY_CSV");
-    if (checkpoint)
-        checkpoint->checkWritten();
+    // The scenario front end owns all sink/checkpoint/shard wiring;
+    // the historical CORONA_* variables arrive as its environment
+    // overrides.
+    campaign::ScenarioRunOptions options;
+    options.quiet = quiet;
+    const campaign::ScenarioRunResult result =
+        campaign::runScenario(paperScenario(requests), options);
 
     Sweep sweep;
-    sweep.workloads = spec.workloads;
-    sweep.configs = spec.configs;
-    sweep.shard = options.shard;
+    sweep.workloads.clear();
+    for (const auto &workload : result.spec.workloads)
+        sweep.workloads.push_back(workload);
+    sweep.configs = result.spec.configs;
+    sweep.shard = result.shard;
+    if (!sweep.complete())
+        return sweep; // Shard-only run: sinks flushed, no tables.
 
-    if (!sweep.complete()) {
-        // No single shard holds the full grid, so there are no tables
-        // to print: flush what this slice produced and return a
-        // shard-only outcome the callers skip. Returning (rather than
-        // std::exit) lets destructors flush/close every sink and lets
-        // the launcher host shard runs in-process. Merge the shards'
-        // checkpoint files (corona-launch, or cat + an un-sharded
-        // CORONA_CHECKPOINT re-run) to render results without
-        // re-simulating.
-        if (!checkpoint && !csv && !jsonl && !summary)
-            sim::warn("CORONA_SHARD is set but no file sink "
-                      "(CORONA_CHECKPOINT / CORONA_SWEEP_CSV / "
-                      "CORONA_SWEEP_JSONL / CORONA_SUMMARY_CSV) is — "
-                      "this shard's results are discarded");
-        if (summary)
-            sim::warn("CORONA_SUMMARY_CSV under CORONA_SHARD "
-                      "aggregates only this shard's replicates — "
-                      "for full-sample statistics, merge the shards' "
-                      "checkpoints and re-run un-sharded");
-        std::cerr << "shard " << options.shard.label()
-                  << " complete; run the merged checkpoint un-sharded "
-                     "to print tables\n";
-        return sweep;
+    // Reshape [index] records into the [workload][config] grid the
+    // figure benches consume (the paper sweep has no seed/override
+    // axes, so the mapping is index = w * configs + c).
+    sweep.results.assign(
+        sweep.workloads.size(),
+        std::vector<core::RunMetrics>(sweep.configs.size()));
+    for (const auto &record : result.records) {
+        if (!record.ok)
+            sim::fatal("paper sweep run " +
+                       std::to_string(record.index) + " (" +
+                       record.workload + " on " + record.config +
+                       ") failed: " + record.error);
+        sweep.results[record.workload_index][record.config_index] =
+            record.metrics;
     }
-
-    sweep.results = memory.grid();
     return sweep;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/scenario.hh"
 #include "campaign/shard.hh"
 #include "campaign/spec.hh"
 #include "corona/metrics.hh"
@@ -44,8 +45,16 @@ struct Sweep
 };
 
 /**
- * The paper sweep as a declarative campaign: 15 workloads x 5 configs,
- * fixed seed (bit-compatible with the historical serial loop).
+ * The paper sweep as a serializable scenario: 15 workloads x 5
+ * configs, fixed seed (bit-compatible with the historical serial
+ * loop). This is the spec `corona-run scenarios/fig9.scenario`
+ * executes; paperSweepSpec() is its resolved CampaignSpec.
+ */
+campaign::ScenarioSpec paperScenario(std::uint64_t requests);
+
+/**
+ * paperScenario(requests).resolve(): the paper sweep as an
+ * executable campaign grid.
  */
 campaign::CampaignSpec paperSweepSpec(std::uint64_t requests);
 

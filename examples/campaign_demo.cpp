@@ -1,29 +1,34 @@
 /**
  * @file
- * Drive a custom campaign grid end to end on the campaign engine:
+ * Drive a custom campaign end to end through the declarative scenario
+ * API: the experiment is *data* — a ScenarioSpec whose axes are
+ * registry names and knob=value expressions — and every session below
+ * executes it through ScenarioSpec::resolve() + runScenario().
  * 2 workloads x 2 configurations x 2 seed replicates x 2 SimParams
  * overrides = 16 runs, executed concurrently with derived per-run
  * seeds, live progress/ETA on stderr, and every structured sink.
  *
  * The demo deliberately runs the campaign in two sessions to exercise
- * fault tolerance: session 1 executes only shard 1/2 of the grid,
- * appending each finished run to a checkpoint file, as if the process
- * died halfway; session 2 loads the checkpoint, replays the persisted
- * half into the sinks, and executes only the missing runs — ending
- * with the summary table (replicate mean ± 95 % CI via SummarySink),
- * the full CSV on stdout, and JSON-lines to a file, byte-identical to
- * an uninterrupted run.
+ * fault tolerance: session 1 executes only shard 1/2 of the grid
+ * (scenario [execution] shard + checkpoint), as if the process died
+ * halfway; session 2 re-runs the same scenario un-sharded, replaying
+ * the persisted half from the checkpoint and executing only the
+ * missing runs — ending with the summary table (replicate mean ±
+ * 95 % CI via SummarySink), the full CSV on stdout, and JSON-lines to
+ * a file, byte-identical to an uninterrupted run.
  *
  * Session 3 then runs the same campaign the distributed way — the
- * corona-launch workflow, driven through the launcher library: two
- * worker *processes* (this binary re-exec'd with --worker) each
- * execute one shard against its own checkpoint file, the launcher
- * supervises and would retry a crashed worker, and the merged files
- * replay into records identical to sessions 1+2.
+ * corona-launch workflow, driven through the launcher library: the
+ * scenario is serialised to campaign_demo.scenario, and two worker
+ * *processes* (this binary re-exec'd with --worker) each load that
+ * file and execute one shard against its own checkpoint (shard and
+ * checkpoint arrive as CORONA_SHARD / CORONA_CHECKPOINT environment
+ * overrides, exported by the launcher); the merged files replay into
+ * records identical to sessions 1+2.
  *
  * Usage: campaign_demo [requests] [threads]
- *        campaign_demo --worker <requests>   (internal; spawned by
- *        session 3 with CORONA_SHARD / CORONA_CHECKPOINT exported)
+ *        campaign_demo --worker <scenario-file>   (internal; spawned
+ *        by session 3 with CORONA_SHARD / CORONA_CHECKPOINT exported)
  */
 
 #include <cstdlib>
@@ -35,74 +40,54 @@
 #include "campaign/aggregate.hh"
 #include "campaign/checkpoint.hh"
 #include "campaign/launch.hh"
-#include "campaign/progress.hh"
-#include "campaign/runner.hh"
+#include "campaign/scenario.hh"
+#include "campaign/scenario_run.hh"
 #include "campaign/sink.hh"
 #include "stats/report.hh"
-#include "workload/splash.hh"
-#include "workload/synthetic.hh"
 
 namespace {
 
 using namespace corona;
 
-/** The demo grid; workers must build the identical spec, so it is a
- * pure function of the request budget. */
-campaign::CampaignSpec
-makeDemoSpec(std::uint64_t requests)
+/** The demo experiment as declarative data: every axis is a registry
+ * name or a knob=value expression, so the same grid can be serialised
+ * to a file and rebuilt by a worker process. A pure function of the
+ * request budget, so workers resolve the identical spec. */
+campaign::ScenarioSpec
+makeDemoScenario(std::uint64_t requests)
 {
-    campaign::CampaignSpec spec;
-    spec.name = "demo";
-    spec.campaign_seed = 2026;
-    spec.workloads = {
-        {"Uniform", true, workload::makeUniform},
-        {"FFT", false, [] { return workload::makeSplash("FFT"); }},
-    };
-    spec.configs = {
-        core::makeConfig(core::NetworkKind::XBar, core::MemoryKind::OCM),
-        core::makeConfig(core::NetworkKind::HMesh,
-                         core::MemoryKind::OCM),
-    };
+    campaign::ScenarioSpec scenario;
+    scenario.name = "demo";
+    scenario.campaign_seed = 2026;
+    scenario.requests = requests;
+    scenario.workloads = {"Uniform", "FFT"};
+    scenario.configs = {"XBar/OCM", "HMesh/OCM"};
     // Two statistical replicates per cell, each with an independent
     // splitmix64-derived seed.
-    spec.seeds = {0, 1};
+    scenario.seeds = {0, 1};
     // An override axis: measure cold start vs warmed steady state.
-    spec.overrides = {
-        {"cold", nullptr},
-        {"warm",
-         [requests](core::SimParams &p) {
-             p.warmup_requests = requests / 5;
-         }},
+    scenario.overrides = {
+        "cold",
+        "warm warmup_requests=" + std::to_string(requests / 5),
     };
-    spec.base.requests = requests;
-    return spec;
+    return scenario;
 }
 
-/** Session 3's worker: one shard against the launcher-provided
- * CORONA_SHARD / CORONA_CHECKPOINT. */
+/** Session 3's worker: load the scenario file the launcher hands us
+ * and run it — CORONA_SHARD / CORONA_CHECKPOINT (exported by the
+ * launcher) arrive as environment overrides of its execution
+ * settings. */
 int
-workerMain(std::uint64_t requests)
+workerMain(const std::string &scenario_path)
 {
-    const char *shard_env = std::getenv("CORONA_SHARD");
-    const char *checkpoint_env = std::getenv("CORONA_CHECKPOINT");
-    if (!shard_env || !checkpoint_env) {
-        std::cerr << "campaign_demo --worker expects CORONA_SHARD and "
-                     "CORONA_CHECKPOINT (the launcher exports both)\n";
-        return 64;
-    }
-    const auto shard = campaign::parseShardSpec(shard_env);
-    if (!shard) {
-        std::cerr << "campaign_demo --worker: bad CORONA_SHARD\n";
-        return 64;
-    }
-    const auto spec = makeDemoSpec(requests);
-    campaign::CheckpointFile checkpoint(checkpoint_env, spec);
-    campaign::RunnerOptions options;
-    options.shard = *shard;
-    campaign::CampaignRunner runner(options);
-    runner.addSink(checkpoint.sink());
-    runner.run(spec, checkpoint.takeCompleted());
-    checkpoint.checkWritten();
+    const campaign::ScenarioSpec scenario =
+        campaign::loadScenarioFile(scenario_path);
+    campaign::ScenarioRunOptions options;
+    options.quiet = true;
+    // Only the launcher's CORONA_SHARD/CORONA_CHECKPOINT may steer a
+    // worker; nothing else from the operator's shell leaks in.
+    options.env = campaign::EnvOverrides::ShardOnly;
+    campaign::runScenario(scenario, options);
     return 0;
 }
 
@@ -123,9 +108,12 @@ main(int argc, char **argv)
     };
 
     if (argc > 1 && std::string(argv[1]) == "--worker") {
-        const std::uint64_t requests =
-            argc > 2 ? parseArg(argv[2], "requests") : 5'000;
-        return workerMain(requests);
+        if (argc < 3) {
+            std::cerr << "campaign_demo --worker expects a scenario "
+                         "file (session 3 passes the one it wrote)\n";
+            return 64;
+        }
+        return workerMain(argv[2]);
     }
 
     const std::uint64_t requests =
@@ -134,61 +122,47 @@ main(int argc, char **argv)
         argc > 2 ? static_cast<std::size_t>(parseArg(argv[2], "threads"))
                  : 0; // omitted = hardware concurrency
 
-    const campaign::CampaignSpec spec = makeDemoSpec(requests);
+    const campaign::ScenarioSpec scenario = makeDemoScenario(requests);
+    const campaign::CampaignSpec spec = scenario.resolve();
+
+    std::cout << "The experiment as data (campaign_demo.scenario):\n\n"
+              << campaign::serializeScenario(scenario);
 
     const char *checkpoint_path = "campaign_demo.ckpt";
+    // Checkpoints from a previous demo invocation (possibly with a
+    // different request budget, i.e. a different fingerprint) must
+    // not be resumed into this campaign.
+    std::filesystem::remove(checkpoint_path);
 
     // ---- Session 1: execute only shard 1/2, checkpointing each run,
-    // then "die" before the rest of the grid runs.
+    // then "die" before the rest of the grid runs. Shard and
+    // checkpoint are ordinary [execution] settings.
     {
-        std::ofstream stream(checkpoint_path, std::ios::trunc);
-        if (!stream) {
-            std::cerr << "campaign_demo: cannot write "
-                      << checkpoint_path << "\n";
-            return 1;
-        }
-        campaign::CheckpointWriter checkpoint(stream,
-                                              /*write_header=*/true);
-        campaign::ProgressReporter progress(std::cerr);
-        campaign::RunnerOptions options;
-        options.threads = threads;
-        options.progress = &progress;
-        options.shard = *campaign::parseShardSpec("1/2");
-        campaign::CampaignRunner runner(options);
-        runner.addSink(checkpoint);
+        campaign::ScenarioSpec half = scenario;
+        half.execution.threads = threads;
+        half.execution.shard = *campaign::parseShardSpec("1/2");
+        half.execution.checkpoint = checkpoint_path;
         std::cerr << "session 1: shard 1/2 only, checkpointing to "
                   << checkpoint_path << "\n";
-        runner.run(spec);
+        campaign::ScenarioRunOptions options;
+        options.env = campaign::EnvOverrides::None;
+        campaign::runScenario(half, options);
     }
 
-    // ---- Session 2: resume from the checkpoint. The persisted half
-    // replays into every sink without re-simulating; only the other
-    // half executes.
-    std::vector<campaign::RunRecord> completed;
-    {
-        std::ifstream stream(checkpoint_path);
-        completed = campaign::loadCheckpoint(stream, spec);
-    }
-    std::cerr << "session 2: resumed " << completed.size() << " of "
-              << spec.totalRuns() << " runs from " << checkpoint_path
-              << "\n";
-
-    std::ofstream jsonl("campaign_demo.jsonl", std::ios::trunc);
-    campaign::JsonLinesSink jsonl_sink(jsonl);
-    campaign::MemorySink memory;
-    campaign::SummarySink summary;
-    campaign::ProgressReporter progress(std::cerr);
-
-    campaign::RunnerOptions options;
-    options.threads = threads;
-    options.progress = &progress;
-    campaign::CampaignRunner runner(options);
-    runner.addSink(memory);
-    runner.addSink(summary);
-    if (jsonl)
-        runner.addSink(jsonl_sink);
-
-    const auto records = runner.run(spec, std::move(completed));
+    // ---- Session 2: re-run the scenario un-sharded against the same
+    // checkpoint. The persisted half replays into every sink without
+    // re-simulating; only the other half executes.
+    campaign::ScenarioSpec full = scenario;
+    full.execution.threads = threads;
+    full.execution.checkpoint = checkpoint_path;
+    full.execution.jsonl = "campaign_demo.jsonl";
+    std::cerr << "session 2: resuming " << checkpoint_path
+              << " un-sharded\n";
+    campaign::ScenarioRunOptions options;
+    options.env = campaign::EnvOverrides::None;
+    const campaign::ScenarioRunResult result =
+        campaign::runScenario(full, options);
+    const std::vector<campaign::RunRecord> &records = result.records;
 
     for (const auto &record : records) {
         if (!record.ok)
@@ -197,6 +171,11 @@ main(int argc, char **argv)
     }
 
     // Each grid cell folded over its seed replicates by SummarySink.
+    campaign::SummarySink summary;
+    summary.begin(spec, records.size());
+    for (const auto &record : records)
+        summary.consume(record);
+    summary.end();
     stats::TableWriter table("Campaign demo: mean over " +
                              std::to_string(spec.seeds.size()) +
                              " seeds");
@@ -218,38 +197,44 @@ main(int argc, char **argv)
     }
     table.print(std::cout);
 
-    std::cout << "\nPer-run rows (same schema as CORONA_SWEEP_CSV):\n";
+    std::cout << "\nPer-run rows (same schema as the scenario csv "
+                 "sink):\n";
     campaign::CsvSink csv(std::cout);
     csv.begin(spec, records.size());
     for (const auto &record : records)
         csv.consume(record);
 
-    jsonl.flush();
-    if (jsonl) {
-        std::cout << "\nwrote campaign_demo.jsonl (" << records.size()
-                  << " runs) and " << checkpoint_path << "\n";
-    } else {
-        std::cerr << "campaign_demo: could not write "
-                     "campaign_demo.jsonl\n";
-    }
+    std::cout << "\nwrote campaign_demo.jsonl (" << records.size()
+              << " runs) and " << checkpoint_path << "\n";
 
     // ---- Session 3: the distributed way — the corona-launch
-    // workflow through the launcher library. Two worker processes
-    // (this binary, re-exec'd with --worker) each run one shard into
-    // its own checkpoint; crashed workers would be retried with
-    // backoff; the merged files replay to the same records.
-    std::cerr << "\nsession 3: distributing the same campaign over 2 "
-                 "worker processes\n";
+    // workflow through the launcher library. The scenario itself is
+    // persisted; two worker processes (this binary, re-exec'd with
+    // --worker) each load the file and run one shard into its own
+    // checkpoint; crashed workers would be retried with backoff; the
+    // merged files replay to the same records.
+    const char *scenario_path = "campaign_demo.scenario";
+    {
+        std::ofstream out(scenario_path, std::ios::trunc);
+        out << campaign::serializeScenario(scenario);
+        out.flush();
+        if (!out) {
+            std::cerr << "campaign_demo: cannot write "
+                      << scenario_path << "\n";
+            return 1;
+        }
+    }
+    std::cerr << "\nsession 3: distributing " << scenario_path
+              << " over 2 worker processes\n";
     campaign::LaunchOptions launch;
     launch.shard_count = 2;
     launch.checkpoint_dir = "campaign_demo_launch";
     launch.backoff_initial_seconds = 0.1;
     launch.log = &std::cerr;
     launch.command = campaign::shellQuote(argv[0]) + " --worker " +
-                     std::to_string(requests);
-    // Shard files from a previous demo invocation (possibly with a
-    // different request budget, i.e. a different fingerprint) must
-    // not be resumed into this campaign.
+                     campaign::shellQuote(scenario_path);
+    // Shard files from a previous demo invocation must not be resumed
+    // into this campaign.
     std::filesystem::remove_all(launch.checkpoint_dir);
     const campaign::LaunchReport report =
         campaign::launchShards(launch);

@@ -13,3 +13,4 @@ cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 scripts/launch_smoke.sh build
 scripts/explore_smoke.sh build
+scripts/scenario_smoke.sh build

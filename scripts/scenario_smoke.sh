@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Scenario smoke test against the real corona-run / corona-launch
+# binaries and the shipped scenario files:
+#
+#   1. Every shipped scenarios/*.scenario parses, and its canonical
+#      serialisation (corona-run --print) is a fixed point — printing
+#      the printed form reproduces it byte for byte.
+#   2. corona-run scenarios/smoke.scenario is deterministic: two runs
+#      write byte-identical CSV/JSONL sinks (via environment override
+#      on one run to prove the override path too).
+#   3. A sharded corona-run of the same scenario (CORONA_SHARD=1/2 +
+#      2/2 with per-shard checkpoints) merges + replays to the exact
+#      bytes of the un-sharded run.
+#   4. corona-launch --scenario distributes the scenario over real
+#      worker processes (corona-launch --worker, each loading the
+#      spec file) and --verify asserts merged sink bytes equal an
+#      un-sharded in-process run.
+#
+# Usage: scripts/scenario_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+DIR="${BUILD}/scenario-smoke"
+rm -rf "${DIR}"
+mkdir -p "${DIR}"
+
+# ---- 1. Shipped scenarios parse; --print is a fixed point.
+for f in scenarios/*.scenario; do
+  "${BUILD}/corona-run" --print "${f}" > "${DIR}/print1.txt"
+  "${BUILD}/corona-run" --print "${DIR}/print1.txt" > "${DIR}/print2.txt"
+  cmp -s "${DIR}/print1.txt" "${DIR}/print2.txt" || {
+    echo "scenario smoke: --print of ${f} is not byte-stable" >&2
+    exit 1
+  }
+done
+
+SCENARIO=scenarios/smoke.scenario
+
+# ---- 2. Deterministic bytes across independent runs; one run steers
+# the sinks through the scenario's env-var overrides.
+CORONA_SWEEP_CSV="${DIR}/a.csv" CORONA_SWEEP_JSONL="${DIR}/a.jsonl" \
+  "${BUILD}/corona-run" --quiet --no-table "${SCENARIO}"
+CORONA_SWEEP_CSV="${DIR}/b.csv" CORONA_SWEEP_JSONL="${DIR}/b.jsonl" \
+  "${BUILD}/corona-run" --quiet --no-table "${SCENARIO}"
+cmp -s "${DIR}/a.csv" "${DIR}/b.csv" || {
+  echo "scenario smoke: CSV bytes differ across identical runs" >&2
+  exit 1
+}
+cmp -s "${DIR}/a.jsonl" "${DIR}/b.jsonl" || {
+  echo "scenario smoke: JSONL bytes differ across identical runs" >&2
+  exit 1
+}
+
+# ---- 3. Sharded + resumed runs reproduce the un-sharded bytes: two
+# shard processes checkpoint their halves, then an un-sharded run over
+# the concatenated checkpoint replays everything without re-simulating.
+CORONA_SHARD=1/2 CORONA_CHECKPOINT="${DIR}/s1.ckpt" \
+  "${BUILD}/corona-run" --quiet --no-table "${SCENARIO}"
+CORONA_SHARD=2/2 CORONA_CHECKPOINT="${DIR}/s2.ckpt" \
+  "${BUILD}/corona-run" --quiet --no-table "${SCENARIO}"
+cat "${DIR}/s1.ckpt" "${DIR}/s2.ckpt" > "${DIR}/merged.ckpt"
+CORONA_CHECKPOINT="${DIR}/merged.ckpt" CORONA_SWEEP_CSV="${DIR}/c.csv" \
+  "${BUILD}/corona-run" --quiet --no-table "${SCENARIO}"
+cmp -s "${DIR}/a.csv" "${DIR}/c.csv" || {
+  echo "scenario smoke: sharded+merged CSV differs from un-sharded" >&2
+  exit 1
+}
+
+# ---- 4. The launcher distributes a scenario file to worker
+# processes; --verify re-runs un-sharded in-process and compares
+# merged sink bytes.
+"${BUILD}/corona-launch" --scenario "${SCENARIO}" \
+  --shards 2 --jobs 2 --dir "${DIR}/launch" \
+  --csv "${DIR}/launch.csv" --verify --quiet
+cmp -s "${DIR}/a.csv" "${DIR}/launch.csv" || {
+  echo "scenario smoke: launcher CSV differs from corona-run" >&2
+  exit 1
+}
+
+echo "scenario smoke: OK (print fixed point, deterministic bytes," \
+     "shard/merge parity, scenario-worker launch verified)"

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "corona/env.hh"
 #include "corona/simulation.hh"
 #include "sim/logging.hh"
 
@@ -68,14 +69,8 @@ resolveWorkerThreads(std::size_t requested)
 {
     if (requested > 0)
         return requested;
-    if (const char *env = std::getenv("CORONA_JOBS")) {
-        const auto value = core::parsePositiveCount(env);
-        if (!value)
-            sim::fatal("CORONA_JOBS must be a positive decimal "
-                       "integer, got \"" +
-                       std::string(env) + "\"");
-        return static_cast<std::size_t>(*value);
-    }
+    if (const auto jobs = core::env::positiveCount("CORONA_JOBS"))
+        return static_cast<std::size_t>(*jobs);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
 }

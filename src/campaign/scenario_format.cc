@@ -1,0 +1,138 @@
+#include "campaign/scenario_format.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace corona::campaign {
+
+namespace {
+
+std::string_view
+trim(std::string_view text)
+{
+    const auto first = text.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos)
+        return {};
+    const auto last = text.find_last_not_of(" \t\r");
+    return text.substr(first, last - first + 1);
+}
+
+[[noreturn]] void
+badLine(std::size_t line, const std::string &message)
+{
+    sim::fatal("scenario: line " + std::to_string(line) + ": " +
+               message);
+}
+
+} // namespace
+
+bool
+validScenarioName(std::string_view name)
+{
+    if (name.empty())
+        return false;
+    for (const char c : name) {
+        if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+              c == '_'))
+            return false;
+    }
+    return true;
+}
+
+const ScenarioEntry *
+ScenarioSection::find(std::string_view key) const
+{
+    for (const ScenarioEntry &entry : entries) {
+        if (entry.key == key)
+            return &entry;
+    }
+    return nullptr;
+}
+
+const ScenarioSection *
+ScenarioDoc::find(std::string_view name) const
+{
+    for (const ScenarioSection &section : sections) {
+        if (section.name == name)
+            return &section;
+    }
+    return nullptr;
+}
+
+ScenarioDoc
+parseScenarioText(std::string_view text)
+{
+    ScenarioDoc doc;
+    std::size_t line_number = 0;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const auto newline = text.find('\n', start);
+        const std::string_view raw =
+            newline == std::string_view::npos
+                ? text.substr(start)
+                : text.substr(start, newline - start);
+        start = newline == std::string_view::npos ? text.size() + 1
+                                                  : newline + 1;
+        ++line_number;
+
+        const std::string_view line = trim(raw);
+        if (line.empty() || line.front() == '#')
+            continue;
+
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                badLine(line_number,
+                        "malformed section header \"" +
+                            std::string(line) + "\"");
+            const std::string name(
+                trim(line.substr(1, line.size() - 2)));
+            if (!validScenarioName(name))
+                badLine(line_number,
+                        "bad section name \"" + name +
+                            "\" (lowercase [a-z0-9_] only)");
+            if (doc.find(name))
+                badLine(line_number,
+                        "duplicate section [" + name + "]");
+            doc.sections.push_back({name, {}, line_number});
+            continue;
+        }
+
+        const auto equals = line.find('=');
+        if (equals == std::string_view::npos)
+            badLine(line_number,
+                    "expected \"key = value\" or \"[section]\", got \"" +
+                        std::string(line) + "\"");
+        const std::string key(trim(line.substr(0, equals)));
+        const std::string value(trim(line.substr(equals + 1)));
+        if (!validScenarioName(key))
+            badLine(line_number,
+                    "bad key \"" + key +
+                        "\" (lowercase [a-z0-9_] only)");
+        if (doc.sections.empty())
+            badLine(line_number,
+                    "\"" + key +
+                        " = ...\" appears before any [section]");
+        doc.sections.back().entries.push_back(
+            {key, value, line_number});
+    }
+    return doc;
+}
+
+std::string
+serializeScenarioDoc(const ScenarioDoc &doc)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const ScenarioSection &section : doc.sections) {
+        if (!first)
+            os << "\n";
+        first = false;
+        os << "[" << section.name << "]\n";
+        for (const ScenarioEntry &entry : section.entries)
+            os << entry.key << " = " << entry.value << "\n";
+    }
+    return os.str();
+}
+
+} // namespace corona::campaign

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The scenario text format: strict sections of key/value entries.
+ *
+ * A scenario file is line-oriented UTF-8:
+ *
+ *     # full-line comments and blank lines are ignored
+ *     [section]
+ *     key = value
+ *
+ * Section and key names are lowercase [a-z0-9_]; values are the rest
+ * of the line, trimmed, taken literally (no quoting or escapes at
+ * this layer — expression-level quoting lives in the scenario
+ * parser). Parsing is strict: content before the first section
+ * header, malformed headers, missing "=", empty keys, and bad name
+ * characters are all fatal with the offending line number, so a typo
+ * can never be silently ignored. Keys may repeat within a section
+ * (list-valued keys like "workload ="); entry order is preserved.
+ *
+ * serializeScenarioDoc() emits the canonical form — one "key = value"
+ * per line, a blank line between sections — and parse(serialize(doc))
+ * reproduces the document exactly, which is what makes scenario
+ * fingerprinting and byte-stable round trips possible.
+ */
+
+#ifndef CORONA_CAMPAIGN_SCENARIO_FORMAT_HH
+#define CORONA_CAMPAIGN_SCENARIO_FORMAT_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace corona::campaign {
+
+/** One "key = value" line. */
+struct ScenarioEntry
+{
+    std::string key;
+    std::string value;
+    std::size_t line = 0; ///< 1-based source line (0 when generated).
+};
+
+/** One "[name]" section and its entries, in file order. */
+struct ScenarioSection
+{
+    std::string name;
+    std::vector<ScenarioEntry> entries;
+    std::size_t line = 0;
+
+    /** First value of @p key, or nullptr when absent. */
+    const ScenarioEntry *find(std::string_view key) const;
+};
+
+/** A parsed scenario document. */
+struct ScenarioDoc
+{
+    std::vector<ScenarioSection> sections;
+
+    /** The named section, or nullptr when absent. */
+    const ScenarioSection *find(std::string_view name) const;
+};
+
+/** The character set shared by section names, keys, and expression
+ * knob keys: non-empty lowercase [a-z0-9_]. */
+bool validScenarioName(std::string_view name);
+
+/**
+ * Parse scenario text. Fatal (with the line number) on any malformed
+ * line, a duplicate section name, or content outside a section.
+ */
+ScenarioDoc parseScenarioText(std::string_view text);
+
+/** Canonical serialisation: parse(serialize(doc)) == doc. */
+std::string serializeScenarioDoc(const ScenarioDoc &doc);
+
+} // namespace corona::campaign
+
+#endif // CORONA_CAMPAIGN_SCENARIO_FORMAT_HH

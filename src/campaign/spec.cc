@@ -1,5 +1,7 @@
 #include "campaign/spec.hh"
 
+#include <unordered_set>
+
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 
@@ -9,7 +11,43 @@ namespace {
 
 constexpr std::uint64_t goldenGamma = 0x9E3779B97F4A7C15ull;
 
+/** Axis labels must be unique: two entries sharing a name would
+ * silently alias each other's checkpoint fingerprint rows and
+ * last-wins-merge each other's results. */
+void
+checkUniqueLabels(const std::string &campaign, const char *axis,
+                  const std::vector<std::string> &labels)
+{
+    std::unordered_set<std::string> seen;
+    for (const std::string &label : labels) {
+        if (!seen.insert(label).second)
+            sim::fatal("campaign \"" + campaign + "\": duplicate " +
+                       axis + " \"" + label +
+                       "\" — label axis entries uniquely (e.g. set "
+                       "SystemConfig::label or an override label), "
+                       "or checkpoint rows and merged results would "
+                       "alias");
+    }
+}
+
 } // namespace
+
+void
+validateAxisLabels(const CampaignSpec &spec)
+{
+    std::vector<std::string> labels;
+    for (const auto &workload : spec.workloads)
+        labels.push_back(workload.name);
+    checkUniqueLabels(spec.name, "workload", labels);
+    labels.clear();
+    for (const auto &config : spec.configs)
+        labels.push_back(config.name());
+    checkUniqueLabels(spec.name, "config", labels);
+    labels.clear();
+    for (const auto &override_spec : spec.overrides)
+        labels.push_back(override_spec.label);
+    checkUniqueLabels(spec.name, "override label", labels);
+}
 
 std::size_t
 CampaignSpec::totalRuns() const
@@ -46,6 +84,8 @@ expand(const CampaignSpec &spec)
             sim::fatal("campaign \"" + spec.name + "\": workload \"" +
                        workload.name + "\" has no factory");
     }
+
+    validateAxisLabels(spec);
 
     const std::vector<std::uint64_t> seeds =
         spec.seeds.empty() ? std::vector<std::uint64_t>{0} : spec.seeds;

@@ -132,6 +132,15 @@ std::uint64_t deriveRunSeed(std::uint64_t campaign_seed,
                             std::uint64_t seed_salt, std::size_t index);
 
 /**
+ * Fatal when two entries of any axis share a label: duplicates would
+ * silently alias each other's checkpoint fingerprint rows and
+ * last-wins-merge each other's results. Called by expand(); also
+ * called by ScenarioSpec::resolve() so a duplicate in a scenario file
+ * is rejected at parse/--dry-run time, before a job is distributed.
+ */
+void validateAxisLabels(const CampaignSpec &spec);
+
+/**
  * Flatten the grid into its ordered run list.
  *
  * Fatal if the spec has no workloads or no configs. Empty seed /

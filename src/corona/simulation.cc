@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "corona/env.hh"
 #include "power/network_power.hh"
 #include "sim/logging.hh"
 
@@ -224,14 +225,8 @@ parsePositiveCount(std::string_view text)
 std::uint64_t
 defaultRequestBudget()
 {
-    if (const char *env = std::getenv("CORONA_REQUESTS")) {
-        const auto value = parsePositiveCount(env);
-        if (!value)
-            sim::fatal("CORONA_REQUESTS must be a positive decimal "
-                       "integer within uint64 range, got \"" +
-                       std::string(env) + "\"");
+    if (const auto value = env::positiveCount("CORONA_REQUESTS"))
         return *value;
-    }
     return 50'000;
 }
 

@@ -36,16 +36,16 @@
 #include "campaign/checkpoint.hh"
 #include "campaign/launch.hh"
 #include "campaign/runner.hh"
+#include "campaign/scenario.hh"
+#include "campaign/scenario_run.hh"
 #include "campaign/sink.hh"
 #include "common.hh"
+#include "corona/knobs.hh"
 #include "model/calibration.hh"
 #include "model/design_space.hh"
 #include "model/executor.hh"
 #include "sim/logging.hh"
 #include "stats/report.hh"
-#include "topology/geometry.hh"
-#include "workload/splash.hh"
-#include "workload/synthetic.hh"
 
 namespace {
 
@@ -76,8 +76,7 @@ struct CliOptions
     std::string confirm_dir = "corona-explore-confirm";
 
     bool worker = false;
-    std::string frontier_path;    ///< Worker: frontier CSV to load.
-    std::string confirm_workload; ///< Worker: this group's workload.
+    std::string scenario_path; ///< Worker: scenario file to execute.
 
     bool quiet = false;
     std::string self;
@@ -288,10 +287,8 @@ parseArgs(int argc, char **argv)
             options.confirm_dir = next(i, "--dir");
         } else if (arg == "--worker") {
             options.worker = true;
-        } else if (arg == "--frontier") {
-            options.frontier_path = next(i, "--frontier");
-        } else if (arg == "--confirm-workload") {
-            options.confirm_workload = next(i, "--confirm-workload");
+        } else if (arg == "--scenario") {
+            options.scenario_path = next(i, "--scenario");
         } else if (arg == "--quiet") {
             options.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -361,109 +358,32 @@ pointCsvRow(const model::EvaluatedPoint &e)
     return os.str();
 }
 
-/** Parse one frontier-CSV row back into a DesignPoint (the design
- * axis columns only; predictions are re-evaluated when needed). */
-model::DesignPoint
-pointFromCsvRow(const std::string &line)
-{
-    const auto parsed = campaign::splitCsvRow(line);
-    if (!parsed || parsed->size() < 8)
-        sim::fatal("corona-explore: malformed frontier row \"" + line +
-                   "\"");
-    const std::vector<std::string> &fields = *parsed;
-    model::DesignPoint d;
-    d.workload = fields[0];
-    if (fields[1] == "XBar")
-        d.network = core::NetworkKind::XBar;
-    else if (fields[1] == "HMesh")
-        d.network = core::NetworkKind::HMesh;
-    else if (fields[1] == "LMesh")
-        d.network = core::NetworkKind::LMesh;
-    else
-        sim::fatal("corona-explore: bad network \"" + fields[1] +
-                   "\" in frontier row");
-    d.memory = fields[2] == "OCM" ? core::MemoryKind::OCM
-                                  : core::MemoryKind::ECM;
-    d.clusters = std::stoul(fields[3]);
-    d.channel_waveguides = std::stoul(fields[4]);
-    d.wavelengths_per_guide = std::stoul(fields[5]);
-    d.token_scheme = fields[6] == "slot" ? model::TokenScheme::Slot
-                                         : model::TokenScheme::Channel;
-    d.memory_channels = std::stoul(fields[7]);
-    return d;
-}
-
-std::vector<model::DesignPoint>
-loadFrontier(const std::string &path)
-{
-    std::ifstream stream(path);
-    if (!stream)
-        sim::fatal("corona-explore: cannot read frontier \"" + path +
-                   "\"");
-    std::vector<model::DesignPoint> points;
-    std::string line;
-    bool first = true;
-    while (std::getline(stream, line)) {
-        if (first) {
-            first = false;
-            continue; // Header.
-        }
-        if (!line.empty())
-            points.push_back(pointFromCsvRow(line));
-    }
-    return points;
-}
-
 // -------------------------------------------------- confirm plumbing
 
-/** Workload factory for @p name scaled to @p clusters (frontier
- * points need not be 64-cluster). */
-campaign::WorkloadSpec
-workloadSpecFor(const std::string &name, std::size_t clusters)
-{
-    const auto synthetic =
-        [&](workload::Pattern pattern) -> campaign::WorkloadSpec {
-        return {name, true, [pattern, clusters] {
-                    return std::make_unique<
-                        workload::SyntheticWorkload>(
-                        pattern, topology::Geometry(clusters));
-                }};
-    };
-    if (name == "Uniform")
-        return synthetic(workload::Pattern::Uniform);
-    if (name == "Hot Spot")
-        return synthetic(workload::Pattern::HotSpot);
-    if (name == "Tornado")
-        return synthetic(workload::Pattern::Tornado);
-    if (name == "Transpose")
-        return synthetic(workload::Pattern::Transpose);
-    return {name, false, [name, clusters] {
-                return std::unique_ptr<workload::Workload>(
-                    std::make_unique<workload::SplashWorkload>(
-                        workload::splashParams(name),
-                        topology::Geometry(clusters)));
-            }};
-}
-
 /** The confirmation campaign for one (workload, cluster-count) group
- * of frontier points: a 1 x N grid, one config per design point.
- * Deterministic given the frontier CSV, so launcher workers rebuild
- * the identical spec from the file. */
-campaign::CampaignSpec
-confirmSpec(const std::vector<model::DesignPoint> &group,
-            std::uint64_t requests)
+ * of frontier points as a serializable scenario: a 1 x N grid, one
+ * config expression per design point (configKnobExpression inverts
+ * model::toConfig, label included). The primary persists this file
+ * and launcher workers resolve the identical spec from it. */
+campaign::ScenarioSpec
+confirmScenario(const std::vector<model::DesignPoint> &group,
+                std::uint64_t requests)
 {
-    campaign::CampaignSpec spec;
-    spec.name = "explore-confirm " + group.front().workload + " c" +
-                std::to_string(group.front().clusters);
-    spec.workloads = {workloadSpecFor(group.front().workload,
-                                      group.front().clusters)};
+    campaign::ScenarioSpec scenario;
+    scenario.name = "explore-confirm " + group.front().workload +
+                    " c" + std::to_string(group.front().clusters);
+    std::string workload = group.front().workload;
+    if (group.front().clusters != 64)
+        workload +=
+            " clusters=" + std::to_string(group.front().clusters);
+    scenario.workloads = {workload};
     for (const model::DesignPoint &point : group)
-        spec.configs.push_back(model::toConfig(point));
-    spec.base.requests = requests;
-    spec.base.warmup_requests = requests / 5;
-    spec.seed_policy = campaign::SeedPolicy::Fixed;
-    return spec;
+        scenario.configs.push_back(
+            core::configKnobExpression(model::toConfig(point)));
+    scenario.requests = requests;
+    scenario.warmup_requests = requests / 5;
+    scenario.seed_policy = campaign::SeedPolicy::Fixed;
+    return scenario;
 }
 
 /** Group frontier points by (workload, clusters), preserving order.
@@ -490,43 +410,21 @@ groupFrontier(const std::vector<model::DesignPoint> &points)
 int
 workerMain(const CliOptions &options)
 {
-    const char *shard_env = std::getenv("CORONA_SHARD");
-    const char *checkpoint_env = std::getenv("CORONA_CHECKPOINT");
-    if (!shard_env || !checkpoint_env)
-        sim::fatal("corona-explore --worker expects CORONA_SHARD and "
-                   "CORONA_CHECKPOINT (the launcher exports both)");
-    const auto shard = campaign::parseShardSpec(shard_env);
-    if (!shard)
-        sim::fatal("corona-explore --worker: malformed CORONA_SHARD "
-                   "\"" +
-                   std::string(shard_env) + "\"");
-    if (options.frontier_path.empty() ||
-        options.confirm_workload.empty())
-        badUsage("--worker needs --frontier and --confirm-workload");
-
-    const auto all = loadFrontier(options.frontier_path);
-    std::vector<model::DesignPoint> group;
-    for (const auto &point : all) {
-        const std::string key =
-            point.workload + "|" + std::to_string(point.clusters);
-        if (key == options.confirm_workload)
-            group.push_back(point);
-    }
-    if (group.empty())
-        sim::fatal("corona-explore --worker: no frontier points for "
-                   "group \"" +
-                   options.confirm_workload + "\"");
-
-    const campaign::CampaignSpec spec =
-        confirmSpec(group, options.confirm_requests);
-    campaign::CheckpointFile checkpoint(checkpoint_env, spec);
-
-    campaign::RunnerOptions runner_options;
-    runner_options.shard = *shard;
-    campaign::CampaignRunner runner(runner_options);
-    runner.addSink(checkpoint.sink());
-    runner.run(spec, checkpoint.takeCompleted());
-    checkpoint.checkWritten();
+    if (options.scenario_path.empty())
+        badUsage("--worker needs --scenario (the primary persists "
+                 "one scenario file per confirmation group)");
+    // The scenario front end picks this worker's CORONA_SHARD /
+    // CORONA_CHECKPOINT (exported by the launcher) up as environment
+    // overrides of the scenario's execution settings. ShardOnly: an
+    // operator-level CORONA_REQUESTS or sink path must not leak in,
+    // or the worker's checkpoint fingerprint would diverge from the
+    // primary's merge spec.
+    const campaign::ScenarioSpec scenario =
+        campaign::loadScenarioFile(options.scenario_path);
+    campaign::ScenarioRunOptions run_options;
+    run_options.quiet = true;
+    run_options.env = campaign::EnvOverrides::ShardOnly;
+    campaign::runScenario(scenario, run_options);
     return 0;
 }
 
@@ -553,29 +451,6 @@ confirmFrontier(const CliOptions &options,
         return true;
     }
 
-    // Workers rebuild their campaign spec from this file, so it must
-    // hold exactly the selected points — the full frontier would give
-    // a worker group more configs than the primary's merge spec and
-    // the checkpoint fingerprints would mismatch.
-    const std::string confirm_csv =
-        (std::filesystem::path(options.confirm_dir) / "confirm.csv")
-            .string();
-    {
-        std::ofstream out(confirm_csv, std::ios::trunc);
-        out << pointCsvHeader << "\n";
-        std::size_t written = 0;
-        for (const std::size_t index : frontier) {
-            if (written >= options.confirm)
-                break;
-            out << pointCsvRow(points[index]) << "\n";
-            ++written;
-        }
-        out.flush();
-        if (!out)
-            sim::fatal("corona-explore: cannot write confirm CSV \"" +
-                       confirm_csv + "\"");
-    }
-
     stats::TableWriter table("Frontier confirmation: model vs. "
                              "simulator");
     table.setHeader({"point", "workload", "model TB/s", "sim TB/s",
@@ -585,11 +460,25 @@ confirmFrontier(const CliOptions &options,
     std::size_t group_number = 0;
     for (const auto &group : groupFrontier(selected)) {
         ++group_number;
-        const campaign::CampaignSpec spec =
-            confirmSpec(group, options.confirm_requests);
-        const std::string group_key =
-            group.front().workload + "|" +
-            std::to_string(group.front().clusters);
+        // Persist this group's campaign as a scenario file: the
+        // worker processes resolve the identical spec (same axis
+        // labels, same fingerprint) from the path alone.
+        const campaign::ScenarioSpec scenario =
+            confirmScenario(group, options.confirm_requests);
+        const campaign::CampaignSpec spec = scenario.resolve();
+        const std::string scenario_path =
+            (std::filesystem::path(options.confirm_dir) /
+             ("confirm" + std::to_string(group_number) + ".scenario"))
+                .string();
+        {
+            std::ofstream out(scenario_path, std::ios::trunc);
+            out << campaign::serializeScenario(scenario);
+            out.flush();
+            if (!out)
+                sim::fatal("corona-explore: cannot write scenario "
+                           "\"" +
+                           scenario_path + "\"");
+        }
 
         campaign::LaunchOptions launch;
         launch.shard_count =
@@ -602,18 +491,15 @@ confirmFrontier(const CliOptions &options,
             launch.log = &std::cerr;
         std::ostringstream cmd;
         cmd << campaign::shellQuote(options.self)
-            << " --worker --frontier "
-            << campaign::shellQuote(confirm_csv)
-            << " --confirm-workload "
-            << campaign::shellQuote(group_key)
-            << " --confirm-requests " << options.confirm_requests;
+            << " --worker --scenario "
+            << campaign::shellQuote(scenario_path);
         launch.command = cmd.str();
 
         const campaign::LaunchReport report =
             campaign::launchShards(launch);
         if (!report.allOk()) {
             std::cerr << "corona-explore: confirmation group \""
-                      << group_key << "\" had poisoned shards\n";
+                      << scenario.name << "\" had poisoned shards\n";
             all_ok = false;
         }
         const auto merged_records = campaign::mergeCheckpointFiles(
@@ -622,8 +508,11 @@ confirmFrontier(const CliOptions &options,
         for (const auto &record : merged_records) {
             if (!record.ok)
                 continue;
-            const auto it = predictions.find(record.config + "|" +
-                                             record.workload);
+            // The scenario's workload axis label may carry a
+            // clusters knob; predictions are keyed by the bare
+            // workload name, which is constant within a group.
+            const auto it = predictions.find(
+                record.config + "|" + group.front().workload);
             if (it == predictions.end())
                 continue;
             const model::Prediction &p = it->second->prediction;

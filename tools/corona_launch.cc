@@ -35,9 +35,14 @@
 #include "campaign/launch.hh"
 #include "campaign/progress.hh"
 #include "campaign/runner.hh"
+#include "campaign/scenario.hh"
+#include "campaign/scenario_run.hh"
 #include "campaign/sink.hh"
 #include "common.hh"
+#include "corona/env.hh"
+#include "corona/knobs.hh"
 #include "sim/logging.hh"
+#include "workload/registry.hh"
 
 namespace {
 
@@ -46,6 +51,7 @@ using namespace corona;
 struct CliOptions
 {
     bool worker = false;
+    std::string scenario; ///< Scenario file; empty = the paper grid.
     std::size_t shards = 4;
     std::size_t jobs = 0; // 0 = hardware concurrency.
     std::uint64_t requests = 0;
@@ -73,6 +79,15 @@ usage(std::ostream &os)
     os << "corona-launch — distribute the paper sweep over worker "
           "processes,\nretry failures, merge checkpoints, and render "
           "merged results.\n\n"
+          "  --scenario F    distribute the scenario file F instead "
+          "of the paper grid\n"
+          "                  (workers receive the spec path; "
+          "incompatible with\n"
+          "                  --requests/--grid). Without --scenario "
+          "the effective grid\n"
+          "                  is written to <dir>/scenario.scenario "
+          "and distributed the\n"
+          "                  same way.\n"
           "  --shards N      shard count (default 4)\n"
           "  --jobs M        concurrent worker processes (default: "
           "hardware)\n"
@@ -120,8 +135,9 @@ usage(std::ostream &os)
           "                  merged sink bytes match exactly\n"
           "  --quiet         suppress launcher/worker progress on "
           "stderr\n"
-          "  --worker        internal: run one shard (reads "
-          "CORONA_SHARD/CORONA_CHECKPOINT)\n";
+          "  --worker        internal: run one shard of --scenario "
+          "(reads\n"
+          "                  CORONA_SHARD/CORONA_CHECKPOINT)\n";
 }
 
 [[noreturn]] void
@@ -156,6 +172,8 @@ parseArgs(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--worker") {
             options.worker = true;
+        } else if (arg == "--scenario") {
+            options.scenario = next(i, "--scenario");
         } else if (arg == "--shards") {
             options.shards = parseCount(next(i, "--shards"), "--shards");
         } else if (arg == "--jobs") {
@@ -234,25 +252,53 @@ parseArgs(int argc, char **argv)
             badUsage("unknown argument \"" + arg + "\"");
         }
     }
-    if (options.requests == 0)
+    if (!options.scenario.empty()) {
+        if (options.requests != 0 || options.grid_workloads > 0 ||
+            options.grid_configs > 0)
+            badUsage("--scenario is incompatible with --requests and "
+                     "--grid (the scenario file defines the grid)");
+    } else if (options.requests == 0) {
         options.requests = core::defaultRequestBudget();
+    }
     return options;
 }
 
-/** The sweep spec the workers and the merge both use: the paper grid,
- * optionally restricted to its leading WxC corner for smoke tests. */
-campaign::CampaignSpec
-launchSpec(const CliOptions &options)
+/** The scenario the workers and the merge both execute: the given
+ * file, or the paper grid — optionally restricted to its leading WxC
+ * corner — expressed as a scenario (the launcher persists it so the
+ * workers receive a spec path, not a baked-in grid). */
+campaign::ScenarioSpec
+launchScenario(const CliOptions &options)
 {
-    campaign::CampaignSpec spec =
-        bench::paperSweepSpec(options.requests);
-    if (options.grid_workloads > 0 &&
-        options.grid_workloads < spec.workloads.size())
-        spec.workloads.resize(options.grid_workloads);
-    if (options.grid_configs > 0 &&
-        options.grid_configs < spec.configs.size())
-        spec.configs.resize(options.grid_configs);
-    return spec;
+    if (!options.scenario.empty())
+        return campaign::loadScenarioFile(options.scenario);
+    campaign::ScenarioSpec scenario =
+        bench::paperScenario(options.requests);
+    if (options.grid_workloads > 0 || options.grid_configs > 0) {
+        // Explicit name lists instead of the "all"/"paper" aliases,
+        // so the generated scenario file states the restricted grid.
+        const std::vector<std::string> workloads =
+            workload::registryNames();
+        const std::size_t keep_workloads =
+            options.grid_workloads > 0
+                ? std::min(options.grid_workloads, workloads.size())
+                : workloads.size();
+        scenario.workloads.assign(
+            workloads.begin(),
+            workloads.begin() +
+                static_cast<std::ptrdiff_t>(keep_workloads));
+        const std::vector<std::string> &configs =
+            core::paperConfigNames();
+        const std::size_t keep_configs =
+            options.grid_configs > 0
+                ? std::min(options.grid_configs, configs.size())
+                : configs.size();
+        scenario.configs.assign(
+            configs.begin(),
+            configs.begin() +
+                static_cast<std::ptrdiff_t>(keep_configs));
+    }
+    return scenario;
 }
 
 /** Crashes the worker after the first freshly checkpointed run:
@@ -287,33 +333,39 @@ class CrashOnceSink : public campaign::ResultSink
 int
 workerMain(const CliOptions &options)
 {
-    const char *shard_env = std::getenv("CORONA_SHARD");
-    const char *checkpoint_env = std::getenv("CORONA_CHECKPOINT");
-    if (!shard_env || !checkpoint_env)
-        sim::fatal("corona-launch --worker expects CORONA_SHARD and "
-                   "CORONA_CHECKPOINT in the environment (the "
-                   "launcher exports both)");
+    if (options.scenario.empty())
+        badUsage("--worker needs --scenario (the launcher always "
+                 "passes the spec path it persisted)");
+    const std::string shard_env =
+        core::env::require("CORONA_SHARD", "corona-launch --worker");
+    const std::string checkpoint_env = core::env::require(
+        "CORONA_CHECKPOINT", "corona-launch --worker");
     const auto shard = campaign::parseShardSpec(shard_env);
     if (!shard)
         sim::fatal("corona-launch --worker: malformed CORONA_SHARD \"" +
-                   std::string(shard_env) + "\"");
+                   shard_env + "\"");
 
-    const campaign::CampaignSpec spec = launchSpec(options);
+    // The worker's grid comes from the same scenario file the
+    // launcher persisted — never from re-baked C++ defaults.
+    const campaign::ScenarioSpec scenario =
+        campaign::loadScenarioFile(options.scenario);
+    const campaign::CampaignSpec spec = scenario.resolve();
     campaign::CheckpointFile checkpoint(checkpoint_env, spec);
 
     campaign::ProgressReporter progress(std::cerr);
     campaign::RunnerOptions runner_options;
     runner_options.shard = *shard;
+    runner_options.execute = campaign::scenarioExecutor(scenario);
     if (!options.quiet)
         runner_options.progress = &progress;
     campaign::CampaignRunner runner(runner_options);
     runner.addSink(checkpoint.sink());
 
     std::optional<CrashOnceSink> crash;
-    if (const char *inject = std::getenv("CORONA_LAUNCH_TEST_CRASH")) {
-        const std::string marker =
-            std::string(checkpoint_env) + ".crashed";
-        if (std::to_string(shard->index + 1) == inject &&
+    if (const auto inject =
+            core::env::lookup("CORONA_LAUNCH_TEST_CRASH")) {
+        const std::string marker = checkpoint_env + ".crashed";
+        if (std::to_string(shard->index + 1) == *inject &&
             !std::filesystem::exists(marker)) {
             crash.emplace(checkpoint.stream(), marker);
             runner.addSink(*crash);
@@ -368,7 +420,28 @@ writeOutput(const std::string &path, const std::string &bytes,
 int
 launchMain(const CliOptions &options)
 {
-    const campaign::CampaignSpec spec = launchSpec(options);
+    const campaign::ScenarioSpec scenario = launchScenario(options);
+    const campaign::CampaignSpec spec = scenario.resolve();
+
+    // Persist the scenario the workers will execute: a worker is
+    // always handed a spec path (its grid is data, not code).
+    std::string scenario_path = options.scenario;
+    if (scenario_path.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options.dir, ec);
+        scenario_path =
+            (std::filesystem::path(options.dir) / "scenario.scenario")
+                .string();
+        std::ofstream out(scenario_path, std::ios::trunc);
+        out << campaign::serializeScenario(scenario);
+        out.flush();
+        if (!out)
+            sim::fatal("corona-launch: cannot write scenario \"" +
+                       scenario_path + "\"");
+        if (!options.quiet)
+            std::cerr << "corona-launch: wrote " << scenario_path
+                      << "\n";
+    }
 
     campaign::LaunchOptions launch;
     launch.shard_count = options.shards;
@@ -414,13 +487,12 @@ launchMain(const CliOptions &options)
 
     std::string command = options.command;
     if (command.empty() && launch.commands.empty()) {
-        // Re-exec this binary as a local worker on the same grid.
+        // Re-exec this binary as a local worker on the persisted
+        // scenario file.
         std::ostringstream self;
         self << campaign::shellQuote(options.self)
-             << " --worker --requests " << options.requests;
-        if (options.grid_workloads > 0 || options.grid_configs > 0)
-            self << " --grid " << spec.workloads.size() << "x"
-                 << spec.configs.size();
+             << " --worker --scenario "
+             << campaign::shellQuote(scenario_path);
         if (options.quiet)
             self << " --quiet";
         command = self.str();
@@ -429,7 +501,7 @@ launchMain(const CliOptions &options)
         // variable is prefixed onto the worker command (scoped to the
         // children) — setenv here would also throttle the un-sharded
         // in-process --verify run.
-        if (!std::getenv("CORONA_JOBS")) {
+        if (!core::env::isSet("CORONA_JOBS")) {
             const unsigned hw = std::thread::hardware_concurrency();
             const std::size_t cores = hw > 0 ? hw : 1;
             const std::size_t pool = std::min(
@@ -444,7 +516,7 @@ launchMain(const CliOptions &options)
     launch.command = command;
 
     std::cerr << "corona-launch: campaign \"" << spec.name << "\" ("
-              << spec.totalRuns() << " runs at " << options.requests
+              << spec.totalRuns() << " runs at " << spec.base.requests
               << " requests) over " << options.shards
               << " shard processes\n";
 
@@ -497,16 +569,26 @@ launchMain(const CliOptions &options)
     }
 
     // Replay the full merged record set through the ordinary sinks:
-    // byte-identical to an uninterrupted un-sharded run.
+    // byte-identical to an uninterrupted un-sharded run. CLI flags
+    // win; otherwise the scenario's own [execution] sink paths are
+    // honoured, so a scenario file fully describes its outputs.
     RenderedSinks rendered = renderRecords(spec, merged);
-    writeOutput(options.csv, rendered.csv, "CSV");
-    writeOutput(options.jsonl, rendered.jsonl, "JSONL");
-    writeOutput(options.summary, rendered.summary, "summary CSV");
+    const campaign::ScenarioExecution &exec = scenario.execution;
+    writeOutput(options.csv.empty() ? exec.csv : options.csv,
+                rendered.csv, "CSV");
+    writeOutput(options.jsonl.empty() ? exec.jsonl : options.jsonl,
+                rendered.jsonl, "JSONL");
+    writeOutput(options.summary.empty() ? exec.summary
+                                        : options.summary,
+                rendered.summary, "summary CSV");
 
     if (options.verify) {
         std::cerr << "corona-launch: verifying against an un-sharded "
                      "in-process run...\n";
-        campaign::CampaignRunner reference;
+        campaign::RunnerOptions reference_options;
+        reference_options.execute =
+            campaign::scenarioExecutor(scenario);
+        campaign::CampaignRunner reference(reference_options);
         campaign::MemorySink memory;
         reference.addSink(memory);
         reference.run(spec);
