@@ -14,3 +14,4 @@ ctest --test-dir build --output-on-failure -j"${JOBS}"
 scripts/launch_smoke.sh build
 scripts/explore_smoke.sh build
 scripts/scenario_smoke.sh build
+scripts/perf_smoke.sh build

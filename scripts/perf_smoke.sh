@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# corona-perf smoke: a --quick run must pass its own determinism gates
+# (legacy-vs-kernel event checksums, pooled-vs-fresh grid CSV parity —
+# a parity failure is a nonzero exit) and emit a JSON report with the
+# stable corona-perf-v1 key shape. Timing values vary run to run and
+# are informational only — CI uploads the report as an artifact, it
+# never threshold-gates on it.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+# Optional second argument: keep the report here (CI uploads it as an
+# artifact instead of benchmarking a second time).
+OUT="${2:-}"
+PERF="${BUILD_DIR}/corona-perf"
+if [ -z "${OUT}" ]; then
+    OUT="$(mktemp -t corona_perf_smoke.XXXXXX.json)"
+    trap 'rm -f "${OUT}"' EXIT
+fi
+
+"${PERF}" --quick --out "${OUT}" >/dev/null
+
+# The key shape is the contract: every consumer of BENCH_perf.json
+# (and every future PR comparing trajectories) keys on these.
+for key in \
+    '"schema":"corona-perf-v1"' \
+    '"quick":true' \
+    '"event_kernel"' \
+    '"near"' \
+    '"mixed"' \
+    '"kernel_events_per_sec"' \
+    '"legacy_events_per_sec"' \
+    '"speedup"' \
+    '"grid"' \
+    '"pooled_cells_per_sec"' \
+    '"fresh_cells_per_sec"' \
+    '"sim_events_per_sec"' \
+    '"parity":true'
+do
+    if ! grep -qF "${key}" "${OUT}"; then
+        echo "perf_smoke: missing ${key} in corona-perf report" >&2
+        cat "${OUT}" >&2
+        exit 1
+    fi
+done
+
+echo "perf_smoke: OK (kernel + pooling determinism, report shape stable)"

@@ -34,6 +34,26 @@ formatSeconds(double seconds)
     return os.str();
 }
 
+std::string
+formatRate(double per_second)
+{
+    std::ostringstream os;
+    const auto scaled = [&](double value, const char *suffix) {
+        const int precision = value < 10.0 ? 2 : (value < 100.0 ? 1 : 0);
+        os << std::fixed << std::setprecision(precision) << value
+           << suffix;
+    };
+    if (per_second < 1e3)
+        os << std::fixed << std::setprecision(0) << per_second;
+    else if (per_second < 1e6)
+        scaled(per_second / 1e3, "k");
+    else if (per_second < 1e9)
+        scaled(per_second / 1e6, "M");
+    else
+        scaled(per_second / 1e9, "G");
+    return os.str();
+}
+
 ProgressReporter::ProgressReporter(std::ostream &os) : _os(os)
 {
 }
@@ -47,6 +67,7 @@ ProgressReporter::begin(const CampaignSpec &spec,
     _replayed = replayed;
     _done = 0;
     _failed = 0;
+    _events = 0;
     _width = 1;
     for (std::size_t n = _total; n >= 10; n /= 10)
         ++_width;
@@ -77,6 +98,17 @@ ProgressReporter::completed(const RunRecord &record)
     if (!record.ok)
         _os << " FAILED: " << record.error;
     _os << " in " << formatSeconds(record.wall_seconds);
+    // Host-side simulator throughput (the model executor executes no
+    // kernel events and reports none).
+    _events += record.metrics.events_executed;
+    if (record.metrics.events_executed > 0 &&
+        record.metrics.host_seconds > 0.0) {
+        _os << " ("
+            << formatRate(
+                   static_cast<double>(record.metrics.events_executed) /
+                   record.metrics.host_seconds)
+            << " ev/s)";
+    }
     // ETA extrapolates this session's throughput over the runs still
     // pending; replayed runs cost nothing and must not dilute it.
     const std::size_t pending = _total - _replayed;
@@ -99,6 +131,16 @@ ProgressReporter::end()
     if (_replayed > 0)
         _os << " (+" << _replayed << " replayed)";
     _os << " in " << formatSeconds(elapsed);
+    if (_done > 0 && elapsed > 0.0) {
+        _os << " ("
+            << formatRate(static_cast<double>(_done) / elapsed)
+            << " cells/s";
+        if (_events > 0)
+            _os << ", "
+                << formatRate(static_cast<double>(_events) / elapsed)
+                << " ev/s";
+        _os << ")";
+    }
     if (_failed > 0)
         _os << ", " << _failed << " FAILED";
     _os << "\n";

@@ -28,6 +28,9 @@ namespace corona::campaign {
  * minutes, "12 min" under two hours, then "2 h 5 min". */
 std::string formatSeconds(double seconds);
 
+/** Human-readable rate: "875", "43.2k", "8.41M", "1.20G". */
+std::string formatRate(double per_second);
+
 /** Prints one line per finished run with throughput-based ETA. */
 class ProgressReporter
 {
@@ -58,6 +61,9 @@ class ProgressReporter
     std::size_t _done = 0;     ///< Executed this session.
     std::size_t _failed = 0;
     int _width = 1; ///< Digits in _total, for aligned counters.
+    /** Kernel events executed this session (host throughput; only the
+     * event-simulator executor reports them). */
+    std::uint64_t _events = 0;
     std::chrono::steady_clock::time_point _start;
 };
 

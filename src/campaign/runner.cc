@@ -17,8 +17,11 @@
 
 namespace corona::campaign {
 
+namespace {
+
+/** Shared body of the fresh-system and pooled execution paths. */
 RunRecord
-executePlan(const RunPlan &plan)
+executePlanWith(const RunPlan &plan, core::SystemPool *pool)
 {
     RunRecord record;
     record.index = plan.index;
@@ -38,7 +41,10 @@ executePlan(const RunPlan &plan)
             sim::fatal("campaign: workload factory for \"" +
                        plan.workload + "\" returned null");
         record.metrics =
-            core::runExperiment(plan.system, *workload, plan.params);
+            pool ? core::runExperiment(pool->lease(plan.system),
+                                       *workload, plan.params)
+                 : core::runExperiment(plan.system, *workload,
+                                       plan.params);
     } catch (const std::exception &e) {
         record.ok = false;
         record.error = e.what();
@@ -51,6 +57,20 @@ executePlan(const RunPlan &plan)
                                       start)
             .count();
     return record;
+}
+
+} // namespace
+
+RunRecord
+executePlan(const RunPlan &plan)
+{
+    return executePlanWith(plan, nullptr);
+}
+
+RunRecord
+executePlan(const RunPlan &plan, core::SystemPool &pool)
+{
+    return executePlanWith(plan, &pool);
 }
 
 CampaignRunner::CampaignRunner(RunnerOptions options)
@@ -153,6 +173,12 @@ CampaignRunner::run(const CampaignSpec &spec,
     flushReady();
 
     const auto worker = [&] {
+        // Each worker thread owns its pool: contexts are leased and
+        // reset between this worker's cells, never shared across
+        // threads. Per-run seeds come from the plan, so pooling cannot
+        // perturb results regardless of which worker runs which cell.
+        core::SystemPool pool;
+        const bool pooled = !_options.execute && _options.reuse_systems;
         while (true) {
             const std::size_t at =
                 next_plan.fetch_add(1, std::memory_order_relaxed);
@@ -161,7 +187,9 @@ CampaignRunner::run(const CampaignSpec &spec,
             const std::size_t idx = pending[at];
             RunRecord record = _options.execute
                                    ? _options.execute(plans[idx])
-                                   : executePlan(plans[idx]);
+                                   : (pooled
+                                          ? executePlan(plans[idx], pool)
+                                          : executePlan(plans[idx]));
 
             std::scoped_lock lock(emit_mutex);
             slots[idx] = std::move(record);

@@ -22,6 +22,7 @@
 #include "campaign/shard.hh"
 #include "campaign/sink.hh"
 #include "campaign/spec.hh"
+#include "corona/context.hh"
 
 namespace corona::campaign {
 
@@ -42,6 +43,14 @@ struct RunnerOptions
      * either way — sinks, sharding, checkpointing and resume are
      * executor-agnostic. Must be thread-safe. */
     std::function<RunRecord(const RunPlan &)> execute{};
+    /** Reuse simulation contexts across a worker's runs: each worker
+     * thread keeps a SystemPool and leases a reset system per cell
+     * instead of reconstructing a full 64-cluster CoronaSystem every
+     * time. Results and sink bytes are bit-identical either way (a
+     * reset context is observationally a fresh one — locked in by
+     * tests); off exists for bisection and the corona-perf baseline.
+     * Ignored when a custom executor is installed. */
+    bool reuse_systems = true;
 };
 
 /**
@@ -88,6 +97,10 @@ class CampaignRunner
 
 /** Execute one plan on the calling thread (also used by the pool). */
 RunRecord executePlan(const RunPlan &plan);
+
+/** Execute one plan on a context leased from @p pool (the runner's
+ * reuse_systems path). The pool must belong to the calling thread. */
+RunRecord executePlan(const RunPlan &plan, core::SystemPool &pool);
 
 /** Resolve a requested worker count: 0 defers to $CORONA_JOBS when
  * set (strictly parsed, fatal on garbage), else hardware concurrency;

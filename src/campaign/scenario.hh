@@ -37,6 +37,7 @@
  *     shard = 1/4
  *     checkpoint = fig9.ckpt
  *     executor = simulate          # simulate | model
+ *     reuse_systems = on           # pool simulation contexts per worker
  *     csv = fig9.csv
  *
  * Axis expressions are whitespace-separated: leading tokens (which
@@ -97,6 +98,10 @@ struct ScenarioExecution
     std::string csv, jsonl, summary;
     /** Progress/ETA reporting on stderr. */
     bool progress = true;
+    /** Reuse pooled simulation contexts across a worker's cells
+     * (RunnerOptions::reuse_systems); results are bit-identical either
+     * way. */
+    bool reuse_systems = true;
 };
 
 /** A serializable experiment description. */

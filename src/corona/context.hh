@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Reusable simulation contexts.
+ *
+ * Building a 64-cluster CoronaSystem allocates hundreds of components
+ * (channels, arbiters, routers, links, buffers, controllers, hubs);
+ * campaign grids at 10k-cell scale used to pay that construction and
+ * teardown for every cell. A SimContext bundles the EventQueue with the
+ * system it drives, and reset() restores both to the pristine
+ * post-construction state — construction involves no randomness, so a
+ * reset context is observationally identical to a fresh one and every
+ * run on it stays bit-identical.
+ *
+ * SystemPool caches contexts per configuration for one worker thread:
+ * workers lease a context per cell and the pool resets it on each
+ * lease, so a sweep revisiting the same configurations (the common
+ * workload-major grid shape) reconstructs nothing. The pool is
+ * intentionally not thread-safe — each campaign worker owns one.
+ */
+
+#ifndef CORONA_CORONA_CONTEXT_HH
+#define CORONA_CORONA_CONTEXT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corona/system.hh"
+#include "sim/event_queue.hh"
+
+namespace corona::core {
+
+/**
+ * An EventQueue plus the CoronaSystem wired to it.
+ */
+class SimContext
+{
+  public:
+    explicit SimContext(const SystemConfig &config)
+        : _system(_eq, config)
+    {
+    }
+
+    SimContext(const SimContext &) = delete;
+    SimContext &operator=(const SimContext &) = delete;
+
+    sim::EventQueue &eq() { return _eq; }
+    CoronaSystem &system() { return _system; }
+    const SystemConfig &config() const { return _system.config(); }
+
+    /** Restore the pristine state of the queue and every component. */
+    void
+    reset()
+    {
+        _eq.reset();
+        _system.reset();
+    }
+
+  private:
+    sim::EventQueue _eq;
+    CoronaSystem _system;
+};
+
+/**
+ * A per-worker cache of SimContexts keyed by configuration, bounded
+ * by LRU eviction so a config-heavy grid cannot hold an unbounded
+ * number of full systems resident.
+ */
+class SystemPool
+{
+  public:
+    /** Resident-context cap per pool (the paper sweeps cycle through
+     * 5 configurations; anything past the cap evicts the
+     * least-recently-used system and rebuilds on return). */
+    static constexpr std::size_t maxContexts = 8;
+
+    SystemPool() = default;
+
+    SystemPool(const SystemPool &) = delete;
+    SystemPool &operator=(const SystemPool &) = delete;
+
+    /**
+     * A pristine context for @p config: an existing one reset, or a
+     * newly built one. The reference stays valid until the pool
+     * evicts it (only a later lease of a different config can) or is
+     * destroyed; lease again for the same configuration returns the
+     * same context, so at most one run may use it at a time.
+     */
+    SimContext &lease(const SystemConfig &config);
+
+    /** Configurations currently resident. */
+    std::size_t size() const { return _slots.size(); }
+
+    /** Leases served by an existing context (reset, not rebuilt). */
+    std::uint64_t reuses() const { return _reuses; }
+
+  private:
+    struct Slot
+    {
+        std::string key;
+        std::unique_ptr<SimContext> context;
+        std::uint64_t last_used = 0;
+    };
+
+    /** Linear scan over <= maxContexts entries beats hashing here. */
+    std::vector<Slot> _slots;
+    std::uint64_t _clock = 0;
+    std::uint64_t _reuses = 0;
+};
+
+} // namespace corona::core
+
+#endif // CORONA_CORONA_CONTEXT_HH

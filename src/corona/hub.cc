@@ -59,7 +59,7 @@ Hub::issueMiss(topology::Addr line, topology::ClusterId home, bool write,
 }
 
 void
-Hub::stallOnMshr(std::function<void()> retry)
+Hub::stallOnMshr(sim::InlineFunction<void()> retry)
 {
     _stalled.push_back(std::move(retry));
 }
@@ -94,8 +94,8 @@ Hub::handleResponse(const noc::Message &msg)
 void
 Hub::completeFill(topology::Addr line)
 {
-    const auto wakers = _mshrs.retire(line, _eq.now());
-    for (const auto &waker : wakers)
+    auto wakers = _mshrs.retire(line, _eq.now());
+    for (auto &waker : wakers)
         waker();
 }
 

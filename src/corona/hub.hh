@@ -15,12 +15,12 @@
 #define CORONA_CORONA_HUB_HH
 
 #include <deque>
-#include <functional>
 
 #include "memory/memory_controller.hh"
 #include "memory/mshr.hh"
 #include "noc/interconnect.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
 
 namespace corona::core {
 
@@ -31,7 +31,7 @@ class Hub
 {
   public:
     /** Fill callback: invoked once when the line returns. */
-    using FillFn = std::function<void()>;
+    using FillFn = sim::InlineFunction<void()>;
 
     /**
      * @param eq Event queue.
@@ -61,7 +61,7 @@ class Hub
                     bool write, FillFn fill);
 
     /** Register a continuation woken when an MSHR frees (FIFO). */
-    void stallOnMshr(std::function<void()> retry);
+    void stallOnMshr(sim::InlineFunction<void()> retry);
 
     /** Network delivered a request for this cluster's memory. */
     void handleRequest(const noc::Message &msg);
@@ -78,6 +78,19 @@ class Hub
     /** Requests satisfied by the cluster-local memory controller. */
     std::uint64_t localRequests() const { return _localRequests; }
 
+    /** Drop every outstanding miss, stalled retry, and statistic,
+     * restoring the pristine post-construction state (message ids
+     * restart at 1). Requires the event queue to be reset alongside. */
+    void
+    reset()
+    {
+        _mshrs.reset();
+        _stalled.clear();
+        _networkRequests = 0;
+        _localRequests = 0;
+        _nextId = 1;
+    }
+
   private:
     /** Complete a fill: retire the MSHR and run all waiters. */
     void completeFill(topology::Addr line);
@@ -92,7 +105,7 @@ class Hub
     memory::MemoryController &_mc;
     memory::MshrFile _mshrs;
     sim::Tick _localHop;
-    std::deque<std::function<void()>> _stalled;
+    std::deque<sim::InlineFunction<void()>> _stalled;
 
     std::uint64_t _networkRequests = 0;
     std::uint64_t _localRequests = 0;

@@ -43,6 +43,13 @@ struct RunMetrics
     /** Workload offered load, bytes per second (calibration aid). */
     double offered_bytes_per_second = 0.0;
 
+    /** Kernel events executed by this run (host-side throughput
+     * accounting; never serialised by the sinks). */
+    std::uint64_t events_executed = 0;
+    /** Host wall-clock the simulation loop took, seconds (informational
+     * only; never serialised by the sinks). */
+    double host_seconds = 0.0;
+
     /** Figure 8 helper: this run's speedup over a baseline run. */
     double speedupOver(const RunMetrics &baseline) const;
 };

@@ -1,6 +1,7 @@
 #include "corona/simulation.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <string>
@@ -14,15 +15,34 @@ namespace corona::core {
 NetworkSimulation::NetworkSimulation(const SystemConfig &config,
                                      workload::Workload &workload,
                                      const SimParams &params)
-    : _config(config), _workload(workload), _params(params),
-      _rng(params.seed),
+    : _ownedContext(std::make_unique<SimContext>(config)),
+      _ctx(*_ownedContext), _config(config), _workload(workload),
+      _params(params), _eq(_ctx.eq()), _rng(params.seed),
       _latencyHist(/*bucket_width_ns=*/5.0, /*num_buckets=*/400)
 {
-    _system = std::make_unique<CoronaSystem>(_eq, config);
-    const std::size_t n = config.threads();
-    if (workload.threads() != n) {
+    bindThreads();
+}
+
+NetworkSimulation::NetworkSimulation(SimContext &ctx,
+                                     workload::Workload &workload,
+                                     const SimParams &params)
+    : _ctx(ctx), _config(ctx.config()), _workload(workload),
+      _params(params), _eq(_ctx.eq()), _rng(params.seed),
+      _latencyHist(/*bucket_width_ns=*/5.0, /*num_buckets=*/400)
+{
+    if (_eq.now() != 0 || !_eq.empty() || _eq.executed() != 0)
+        sim::fatal("NetworkSimulation: leased context is not pristine "
+                   "(reset it, or lease through SystemPool)");
+    bindThreads();
+}
+
+void
+NetworkSimulation::bindThreads()
+{
+    const std::size_t n = _config.threads();
+    if (_workload.threads() != n) {
         sim::fatal("NetworkSimulation: workload drives " +
-                   std::to_string(workload.threads()) +
+                   std::to_string(_workload.threads()) +
                    " threads, system has " + std::to_string(n));
     }
     _threads.reserve(n);
@@ -30,8 +50,8 @@ NetworkSimulation::NetworkSimulation(const SystemConfig &config,
         _threads.emplace_back(
             tid,
             static_cast<topology::ClusterId>(
-                tid / config.threads_per_cluster),
-            config.thread_window);
+                tid / _config.threads_per_cluster),
+            _config.thread_window);
     }
     _pending.resize(n);
 }
@@ -47,9 +67,9 @@ NetworkSimulation::beginMeasurement()
 {
     _measuring = true;
     _measureStart = _eq.now();
-    _bytesAtMeasureStart = _system->memoryBytesMoved();
+    _bytesAtMeasureStart = _ctx.system().memoryBytesMoved();
     _hopsAtMeasureStart =
-        _system->network().netStats().hopTraversals.value();
+        _ctx.system().network().netStats().hopTraversals.value();
 }
 
 void
@@ -85,7 +105,7 @@ NetworkSimulation::tryIssue(std::size_t tid)
 
     const PendingIssue pending = *_pending[tid];
     const workload::MissRequest &req = pending.request;
-    Hub &hub = _system->hub(ctx.cluster());
+    Hub &hub = _ctx.system().hub(ctx.cluster());
 
     const Hub::Issue outcome = hub.issueMiss(
         req.line, req.home, req.write,
@@ -140,6 +160,7 @@ NetworkSimulation::run()
         sim::fatal("NetworkSimulation::run: already ran");
     _ran = true;
 
+    const auto host_start = std::chrono::steady_clock::now();
     if (_params.warmup_requests == 0)
         beginMeasurement();
     for (std::size_t tid = 0; tid < _threads.size(); ++tid)
@@ -160,15 +181,22 @@ NetworkSimulation::run()
     m.elapsed = _endTick > _measureStart ? _endTick - _measureStart : 1;
     const double seconds = sim::ticksToSeconds(m.elapsed);
     m.achieved_bytes_per_second =
-        static_cast<double>(_system->memoryBytesMoved() -
+        static_cast<double>(_ctx.system().memoryBytesMoved() -
                             _bytesAtMeasureStart) /
         seconds;
     m.avg_latency_ns =
         _latency.mean() / static_cast<double>(sim::oneNanosecond);
     m.p95_latency_ns = _latencyHist.percentile(0.95);
     m.offered_bytes_per_second = _workload.offeredBytesPerSecond();
+    // The context was pristine at construction, so the queue's lifetime
+    // counter is exactly this run's event count.
+    m.events_executed = _eq.executed();
+    m.host_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      host_start)
+            .count();
 
-    const noc::NetStats &net = _system->network().netStats();
+    const noc::NetStats &net = _ctx.system().network().netStats();
     m.hop_traversals = net.hopTraversals.value() - _hopsAtMeasureStart;
     switch (_config.network) {
       case NetworkKind::XBar:
@@ -183,14 +211,14 @@ NetworkSimulation::run()
         m.network_power_w = 0.0;
         break;
     }
-    if (const auto *xbar = _system->crossbar()) {
+    if (const auto *xbar = _ctx.system().crossbar()) {
         m.token_wait_ns = xbar->meanTokenWait() /
                           static_cast<double>(sim::oneNanosecond);
     }
     for (topology::ClusterId c = 0; c < _config.clusters; ++c) {
-        m.mshr_full_stalls += _system->hub(c).mshrs().fullStalls();
-        m.peak_mc_queue =
-            std::max(m.peak_mc_queue, _system->mc(c).peakQueueDepth());
+        m.mshr_full_stalls += _ctx.system().hub(c).mshrs().fullStalls();
+        m.peak_mc_queue = std::max(
+            m.peak_mc_queue, _ctx.system().mc(c).peakQueueDepth());
     }
     return m;
 }
@@ -200,6 +228,14 @@ runExperiment(const SystemConfig &config, workload::Workload &workload,
               const SimParams &params)
 {
     NetworkSimulation sim(config, workload, params);
+    return sim.run();
+}
+
+RunMetrics
+runExperiment(SimContext &ctx, workload::Workload &workload,
+              const SimParams &params)
+{
+    NetworkSimulation sim(ctx, workload, params);
     return sim.run();
 }
 

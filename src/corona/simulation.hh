@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "corona/context.hh"
 #include "corona/metrics.hh"
 #include "corona/system.hh"
 #include "sim/rng.hh"
@@ -47,29 +48,43 @@ struct SimParams
 class NetworkSimulation
 {
   public:
+    /** Build a private SimContext for @p config and run on it. */
     NetworkSimulation(const SystemConfig &config,
                       workload::Workload &workload,
+                      const SimParams &params = {});
+
+    /**
+     * Run on an externally owned (typically pooled) context. @p ctx
+     * must be pristine — freshly constructed or reset(), as
+     * SystemPool::lease guarantees — and its configuration is the
+     * system under test. Fatal when the context carries prior-run
+     * state.
+     */
+    NetworkSimulation(SimContext &ctx, workload::Workload &workload,
                       const SimParams &params = {});
 
     /** Execute to completion and return the metrics. */
     RunMetrics run();
 
     /** The system under test (for inspection after run()). */
-    CoronaSystem &system() { return *_system; }
+    CoronaSystem &system() { return _ctx.system(); }
 
   private:
+    void bindThreads();
     std::uint64_t totalBudget() const;
     void beginMeasurement();
     void scheduleNext(std::size_t tid);
     void tryIssue(std::size_t tid);
     void onFill(std::size_t tid, sim::Tick ready_since);
 
+    /** Null when running on a caller-owned context. */
+    std::unique_ptr<SimContext> _ownedContext;
+    SimContext &_ctx;
     SystemConfig _config;
     workload::Workload &_workload;
     SimParams _params;
 
-    sim::EventQueue _eq;
-    std::unique_ptr<CoronaSystem> _system;
+    sim::EventQueue &_eq;
     sim::Rng _rng;
 
     struct PendingIssue
@@ -100,6 +115,14 @@ class NetworkSimulation
  */
 RunMetrics runExperiment(const SystemConfig &config,
                          workload::Workload &workload,
+                         const SimParams &params = {});
+
+/**
+ * Run @p workload on a pristine leased context (see the pooled
+ * constructor). The context is left dirty afterwards; the pool resets
+ * it on the next lease.
+ */
+RunMetrics runExperiment(SimContext &ctx, workload::Workload &workload,
                          const SimParams &params = {});
 
 /**

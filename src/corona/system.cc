@@ -69,6 +69,16 @@ CoronaSystem::CoronaSystem(sim::EventQueue &eq, const SystemConfig &config)
     });
 }
 
+void
+CoronaSystem::reset()
+{
+    _network->reset();
+    for (auto &mc : _mcs)
+        mc->reset();
+    for (auto &hub : _hubs)
+        hub->reset();
+}
+
 double
 CoronaSystem::memoryBandwidth() const
 {

@@ -66,6 +66,16 @@ class CoronaSystem
     /** Total bytes moved over all memory controllers. */
     std::uint64_t memoryBytesMoved() const;
 
+    /**
+     * Restore the pristine post-construction state of every component
+     * (network, memory controllers, hubs). Construction involves no
+     * randomness, so a reset system is observationally identical to a
+     * freshly built one — the basis of the campaign runner's system
+     * pool. The externally owned EventQueue must be reset alongside
+     * (SimContext does both).
+     */
+    void reset();
+
     /** Crossbar accessor (null for mesh systems). */
     const xbar::OpticalCrossbar *crossbar() const { return _xbar; }
 

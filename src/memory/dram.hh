@@ -64,6 +64,15 @@ class DramModule
     /** Total access energy so far, joules. */
     double energyJ() const;
 
+    /** Free every mat and zero the access statistics. */
+    void
+    reset()
+    {
+        _matFree.assign(_matFree.size(), 0);
+        _accesses = 0;
+        _conflicts = 0;
+    }
+
   private:
     DramParams _params;
     std::vector<sim::Tick> _matFree;

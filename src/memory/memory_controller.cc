@@ -83,20 +83,33 @@ MemoryController::tryStart()
     const sim::Tick data_ready =
         std::max(start + ser, array_done) + _params.link_delay;
 
+    // Park the request in an in-flight slot so the completion event
+    // captures only (this, slot, tick) and stays inline.
+    std::size_t slot;
+    if (_freeSlots.empty()) {
+        slot = _inflight.size();
+        _inflight.push_back(std::move(pending));
+    } else {
+        slot = _freeSlots.back();
+        _freeSlots.pop_back();
+        _inflight[slot] = std::move(pending);
+    }
+
     // The link frees after serialization; the array pipeline overlaps.
     _eq.scheduleIn(ser, [this] {
         _busy = false;
         tryStart();
     });
-    _eq.schedule(data_ready, [this, pending = std::move(pending),
-                              data_ready]() mutable {
-        finish(std::move(pending), data_ready);
+    _eq.schedule(data_ready, [this, slot, data_ready] {
+        finish(slot, data_ready);
     });
 }
 
 void
-MemoryController::finish(Pending pending, sim::Tick data_ready)
+MemoryController::finish(std::size_t slot, sim::Tick data_ready)
 {
+    Pending pending = std::move(_inflight[slot]);
+    _freeSlots.push_back(slot);
     ++_accesses;
     _bytesMoved += noc::cacheLineBytes;
     _serviceTime.sample(static_cast<double>(data_ready - pending.arrived));
@@ -110,6 +123,20 @@ MemoryController::finish(Pending pending, sim::Tick data_ready)
                         : noc::MsgKind::WriteAck;
     response.tag = pending.request.tag;
     pending.complete(response);
+}
+
+void
+MemoryController::reset()
+{
+    _queue.clear();
+    _inflight.clear();
+    _freeSlots.clear();
+    _busy = false;
+    _dram.reset();
+    _accesses = 0;
+    _bytesMoved = 0;
+    _serviceTime.reset();
+    _peakQueue = 0;
 }
 
 } // namespace corona::memory

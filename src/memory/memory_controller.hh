@@ -14,12 +14,13 @@
 #define CORONA_MEMORY_MEMORY_CONTROLLER_HH
 
 #include <deque>
-#include <functional>
 #include <string>
+#include <vector>
 
 #include "memory/dram.hh"
 #include "noc/message.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
 #include "stats/stats.hh"
 
 namespace corona::memory {
@@ -45,7 +46,7 @@ class MemoryController
 {
   public:
     /** Completion callback: the response message to send back. */
-    using Complete = std::function<void(const noc::Message &)>;
+    using Complete = sim::InlineFunction<void(const noc::Message &)>;
 
     MemoryController(sim::EventQueue &eq, topology::ClusterId cluster,
                      const MemoryParams &params);
@@ -79,6 +80,12 @@ class MemoryController
 
     const DramModule &dram() const { return _dram; }
 
+    /** Drop queued and in-flight requests, free the link, reset the
+     * DRAM mats, and zero the statistics. Requires the event queue to
+     * be reset alongside (pending completion events reference the
+     * in-flight slots being dropped). */
+    void reset();
+
   private:
     struct Pending
     {
@@ -89,7 +96,7 @@ class MemoryController
     };
 
     void tryStart();
-    void finish(Pending pending, sim::Tick data_ready);
+    void finish(std::size_t slot, sim::Tick data_ready);
 
     sim::EventQueue &_eq;
     topology::ClusterId _cluster;
@@ -97,6 +104,12 @@ class MemoryController
     DramModule _dram;
 
     std::deque<Pending> _queue;
+    /** Requests past the link, awaiting their completion event. Slot
+     * indices keep the scheduled callback captures small (and inline);
+     * completions may be out of order under mat conflicts, so freed
+     * slots recycle through a free list. */
+    std::vector<Pending> _inflight;
+    std::vector<std::size_t> _freeSlots;
     bool _busy = false;
     double _bytesPerTick;
 

@@ -13,10 +13,10 @@
 #define CORONA_MEMORY_MSHR_HH
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 #include "stats/stats.hh"
 #include "topology/address_map.hh"
@@ -29,7 +29,9 @@ namespace corona::memory {
 class MshrFile
 {
   public:
-    using WakeFn = std::function<void()>;
+    /** Waker callbacks capture at most a simulation pointer plus a
+     * thread id, so they always fit the inline buffer. */
+    using WakeFn = sim::InlineFunction<void()>;
 
     /** @param entries Capacity (Table-1-scale default: 32 per cluster). */
     explicit MshrFile(std::size_t entries = 32);
@@ -73,6 +75,17 @@ class MshrFile
 
     /** Count a rejected allocation (callers report their stalls). */
     void noteFullStall() { ++_fullStalls; }
+
+    /** Drop every entry (and its waiters) and zero the statistics.
+     * The onFree wiring is kept. */
+    void
+    reset()
+    {
+        _entries.clear();
+        _lifetime.reset();
+        _coalesced = 0;
+        _fullStalls = 0;
+    }
 
   private:
     struct Entry

@@ -68,6 +68,14 @@ class ElectricalMesh : public noc::Interconnect
     void send(const noc::Message &msg) override;
     std::string name() const override { return _name; }
 
+    void
+    reset() override
+    {
+        Interconnect::reset();
+        for (auto &router : _routers)
+            router->reset();
+    }
+
     std::size_t hopCount(topology::ClusterId src,
                          topology::ClusterId dst) const override;
 

@@ -81,6 +81,24 @@ class Router
 
     topology::ClusterId id() const { return _id; }
 
+    /** Drop all buffered traffic and restore the pristine
+     * post-construction state. Link/eject wiring is kept. Requires the
+     * event queue to be reset alongside. */
+    void
+    reset()
+    {
+        for (auto &buffer : _inputs)
+            buffer->reset();
+        _injection.clear();
+        for (auto &link : _links) {
+            if (link)
+                link->reset();
+        }
+        _rr = 0;
+        _processing = false;
+        _reprocess = false;
+    }
+
   private:
     /** Try to move one message out of the given input stage.
      * @return true when a message moved (progress). */

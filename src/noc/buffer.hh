@@ -66,6 +66,17 @@ class CreditBuffer
     /** Register a callback invoked whenever space becomes available. */
     void onDrain(std::function<void()> cb) { _onDrain = std::move(cb); }
 
+    /** Empty the FIFO, drop reservations, and zero the statistics.
+     * The drain callback wiring is kept. */
+    void
+    reset()
+    {
+        _fifo.clear();
+        _reserved = 0;
+        _occupancy.reset();
+        _peak = 0;
+    }
+
     /** Time-weighted average occupancy. */
     double averageOccupancy(sim::Tick now) const;
 

@@ -31,6 +31,10 @@ class IdealInterconnect : public Interconnect
     void send(const Message &msg) override;
     std::string name() const override { return "Ideal"; }
 
+    /** No state beyond the base statistics (deliveries in flight live
+     * on the event queue, which the caller resets alongside). */
+    void reset() override { Interconnect::reset(); }
+
     std::size_t
     hopCount(topology::ClusterId, topology::ClusterId) const override
     {

@@ -57,6 +57,18 @@ class Interconnect
     virtual std::size_t hopCount(topology::ClusterId src,
                                  topology::ClusterId dst) const = 0;
 
+    /**
+     * Restore the pristine post-construction state: drop queued
+     * traffic, zero statistics. Delivery wiring (setDeliver) is kept —
+     * it binds the network to its owning system, not to one run. Only
+     * meaningful when the shared EventQueue is reset alongside.
+     */
+    virtual void
+    reset()
+    {
+        _stats = NetStats{};
+    }
+
     const NetStats &netStats() const { return _stats; }
 
   protected:

@@ -61,6 +61,22 @@ class BandwidthLink
     /** Enqueue @p msg; @return false when the queue is full. */
     bool trySend(const Message &msg);
 
+    /** Drop queued traffic and zero statistics; sink/downstream/onSpace
+     * wiring is kept. Requires the event queue to be reset too (any
+     * in-flight serialization event would otherwise fire on a link
+     * that no longer remembers it). */
+    void
+    reset()
+    {
+        _queue.clear();
+        _busy = false;
+        _waitingDownstream = false;
+        _bytesSent = 0;
+        _messagesSent = 0;
+        _busyTime = 0;
+        _queueWait.reset();
+    }
+
     /** Serialization time of @p bytes on this link, ticks (>= 1). */
     sim::Tick serializationTime(std::uint32_t bytes) const;
 

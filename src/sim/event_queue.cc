@@ -1,30 +1,178 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
 namespace corona::sim {
+
+EventQueue::EventQueue()
+    : _ring(ringWindow), _occupied(ringWindow / 64, 0),
+      _summary(ringWindow / (64 * 64), 0)
+{
+    static_assert((ringWindow & (ringWindow - 1)) == 0,
+                  "ring window must be a power of two");
+    static_assert(ringWindow % (64 * 64) == 0,
+                  "two-level occupancy bitmap needs whole words");
+}
+
+void
+EventQueue::markOccupied(std::size_t bucket)
+{
+    const std::size_t word = bucket / 64;
+    _occupied[word] |= std::uint64_t{1} << (bucket % 64);
+    _summary[word / 64] |= std::uint64_t{1} << (word % 64);
+}
+
+void
+EventQueue::clearOccupied(std::size_t bucket)
+{
+    const std::size_t word = bucket / 64;
+    _occupied[word] &= ~(std::uint64_t{1} << (bucket % 64));
+    if (_occupied[word] == 0)
+        _summary[word / 64] &= ~(std::uint64_t{1} << (word % 64));
+}
 
 void
 EventQueue::schedule(Tick when, Callback cb)
 {
     if (when < _now)
         throw std::logic_error("EventQueue: scheduling into the past");
-    _events.push(Entry{when, _nextSeq++, std::move(cb)});
+    if (when - _ringBase < ringWindow) {
+        Bucket &bucket = _ring[bucketOf(when)];
+        bucket.entries.push_back(std::move(cb));
+        markOccupied(bucketOf(when));
+        ++_ringCount;
+    } else {
+        std::uint32_t slot;
+        if (_heapFree.empty()) {
+            slot = static_cast<std::uint32_t>(_heapSlab.size());
+            _heapSlab.push_back(std::move(cb));
+        } else {
+            slot = _heapFree.back();
+            _heapFree.pop_back();
+            _heapSlab[slot] = std::move(cb);
+        }
+        _heap.push_back(HeapEntry{when, _nextSeq, slot});
+        std::push_heap(_heap.begin(), _heap.end(), later);
+    }
+    ++_nextSeq;
+    ++_pending;
+}
+
+std::size_t
+EventQueue::nextRingOffset() const
+{
+    if (_ringCount == 0)
+        return ringWindow;
+    // Scan from the cursor: leaf word first, then the summary bitmap
+    // locates the next non-empty leaf word directly. Every occupied
+    // bucket's tick is >= _ringBase, so a set bit "behind" the cursor
+    // is a wrapped bucket further ahead; the rotated scan visits
+    // buckets in increasing tick order.
+    const std::size_t cursor = bucketOf(_ringBase);
+    const std::size_t words = _occupied.size();
+    const std::size_t word = cursor / 64;
+    const std::uint64_t head = _occupied[word] >> (cursor % 64);
+    if (head != 0)
+        return static_cast<std::size_t>(std::countr_zero(head));
+
+    const std::size_t sum_words = _summary.size();
+    const std::size_t sum_word = word / 64;
+    // Words strictly after the cursor's within its summary word.
+    std::uint64_t sum_bits =
+        (word % 64) == 63 ? 0
+                          : _summary[sum_word] >> (word % 64 + 1);
+    std::size_t next_word = words;
+    if (sum_bits != 0) {
+        next_word = word + 1 +
+                    static_cast<std::size_t>(std::countr_zero(sum_bits));
+    } else {
+        for (std::size_t i = 1; i <= sum_words; ++i) {
+            const std::uint64_t bits =
+                _summary[(sum_word + i) % sum_words];
+            if (bits != 0) {
+                next_word =
+                    ((sum_word + i) % sum_words) * 64 +
+                    static_cast<std::size_t>(std::countr_zero(bits));
+                break;
+            }
+        }
+    }
+    if (next_word == words)
+        return ringWindow; // Unreachable while _ringCount > 0.
+    const std::uint64_t bits = _occupied[next_word % words];
+    const std::size_t bucket =
+        (next_word % words) * 64 +
+        static_cast<std::size_t>(std::countr_zero(bits));
+    // Distance from the cursor, wrapping around the ring.
+    return (bucket + ringWindow - cursor) & (ringWindow - 1);
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    const std::size_t offset = nextRingOffset();
+    const Tick ring_tick =
+        offset < ringWindow ? _ringBase + offset : maxTick;
+    const Tick heap_tick = _heap.empty() ? maxTick : _heap.front().when;
+    return std::min(ring_tick, heap_tick);
+}
+
+void
+EventQueue::promoteHeapTop()
+{
+    std::pop_heap(_heap.begin(), _heap.end(), later);
+    const HeapEntry entry = _heap.back();
+    _heap.pop_back();
+    _ring[bucketOf(entry.when)].entries.push_back(
+        std::move(_heapSlab[entry.slot]));
+    _heapFree.push_back(entry.slot);
+    markOccupied(bucketOf(entry.when));
+    ++_ringCount;
+}
+
+void
+EventQueue::advanceTo(Tick tick)
+{
+    // Sliding the base admits the ticks [oldBase + W, tick + W) into
+    // the window; heap events on those ticks must enter their buckets
+    // now, before any direct schedule() for the same tick can append
+    // behind them — that is what keeps global same-tick FIFO exact.
+    // Every heap event's tick was outside the window when it was
+    // scheduled, so none can land in a bucket the cursor has already
+    // passed.
+    _ringBase = tick;
+    while (!_heap.empty() && _heap.front().when - _ringBase < ringWindow)
+        promoteHeapTop();
 }
 
 bool
 EventQueue::step(Tick limit)
 {
-    if (_events.empty() || _events.top().when > limit)
+    if (_pending == 0)
         return false;
-    // priority_queue::top() is const; the callback must be moved out before
-    // pop, so copy the POD fields and steal the callable.
-    Entry entry = std::move(const_cast<Entry &>(_events.top()));
-    _events.pop();
-    _now = entry.when;
+    const Tick next = nextEventTick();
+    if (next > limit)
+        return false;
+    if (next != _ringBase)
+        advanceTo(next);
+
+    Bucket &bucket = _ring[bucketOf(next)];
+    Callback cb = std::move(bucket.entries[bucket.head]);
+    if (++bucket.head == bucket.entries.size()) {
+        // Drained: recycle before invoking, so a same-tick reschedule
+        // from inside the callback starts a fresh FIFO in this bucket.
+        bucket.entries.clear();
+        bucket.head = 0;
+        clearOccupied(bucketOf(next));
+    }
+    --_ringCount;
+    --_pending;
+    _now = next;
     ++_executed;
-    entry.cb();
+    cb();
     return true;
 }
 
@@ -39,7 +187,26 @@ EventQueue::run(Tick limit)
 void
 EventQueue::reset()
 {
-    _events = {};
+    for (std::size_t word = 0; word < _occupied.size(); ++word) {
+        std::uint64_t bits = _occupied[word];
+        while (bits != 0) {
+            const auto bit =
+                static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            Bucket &bucket = _ring[word * 64 + bit];
+            bucket.entries.clear();
+            bucket.head = 0;
+        }
+        _occupied[word] = 0;
+    }
+    for (std::uint64_t &word : _summary)
+        word = 0;
+    _heap.clear();
+    _heapSlab.clear();
+    _heapFree.clear();
+    _ringBase = 0;
+    _ringCount = 0;
+    _pending = 0;
     _now = 0;
     _nextSeq = 0;
     _executed = 0;

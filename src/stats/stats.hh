@@ -110,6 +110,8 @@ class TimeWeighted
 
     double current() const { return _value; }
 
+    void reset() { *this = TimeWeighted(); }
+
   private:
     bool _started = false;
     sim::Tick _lastTick = 0;

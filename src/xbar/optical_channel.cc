@@ -106,23 +106,28 @@ OpticalChannel::transmit(topology::ClusterId src)
 void
 OpticalChannel::sendNext(topology::ClusterId src, std::size_t remaining)
 {
-    Source &source = _sources[src];
-    if (source.pending.empty())
+    Source &head_source = _sources[src];
+    if (head_source.pending.empty())
         sim::panic("OpticalChannel::sendNext: nothing pending");
-    const noc::Message msg = source.pending.front();
-    source.pending.pop_front();
 
-    const sim::Tick ser = serializationTime(msg.bytes());
-    const sim::Tick prop = propagationTime(src);
+    // The head message stays queued until its serialization completes
+    // (the source is arbitrating, so nothing else consumes it) — the
+    // scheduled event then captures only (this, src, remaining) and
+    // fits the kernel's inline buffer.
+    const sim::Tick ser =
+        serializationTime(head_source.pending.front().bytes());
     _busyTime += ser;
 
-    _eq.scheduleIn(ser, [this, src, msg, prop, remaining] {
-        _eq.scheduleIn(prop, [this, msg] {
+    _eq.scheduleIn(ser, [this, src, remaining] {
+        Source &source = _sources[src];
+        const noc::Message msg = source.pending.front();
+        source.pending.pop_front();
+
+        _eq.scheduleIn(propagationTime(src), [this, msg] {
             _sink.push(msg, _eq.now(), /*reserved=*/true);
             startDrain();
         });
 
-        Source &source = _sources[src];
         source.creditHeld = false; // Consumed by the in-flight message.
 
         // Continue the batch while the budget, the backlog, and the
@@ -150,6 +155,20 @@ OpticalChannel::startDrain()
     _draining = true;
     // The hub consumes one message per clock edge.
     _eq.schedule(_clock.edgeAfter(_eq.now()), [this] { drainOne(); });
+}
+
+void
+OpticalChannel::reset()
+{
+    _arbiter.reset();
+    _sink.reset();
+    for (Source &source : _sources)
+        source = Source{};
+    _creditWaiters.clear();
+    _messagesDelivered = 0;
+    _bytesDelivered = 0;
+    _busyTime = 0;
+    _draining = false;
 }
 
 void

@@ -105,6 +105,11 @@ class OpticalChannel
     /** Ticks the channel spent modulating (busy). */
     sim::Tick busyTime() const { return _busyTime; }
 
+    /** Restore the pristine post-construction state: empty queues, a
+     * free token, zeroed statistics. Delivery wiring is kept. Requires
+     * the event queue to be reset alongside. */
+    void reset();
+
   private:
     /** Per-source sending state: queued messages awaiting the token. */
     struct Source

@@ -25,6 +25,14 @@ OpticalCrossbar::OpticalCrossbar(sim::EventQueue &eq,
 }
 
 void
+OpticalCrossbar::reset()
+{
+    Interconnect::reset();
+    for (auto &channel : _channels)
+        channel->reset();
+}
+
+void
 OpticalCrossbar::send(const noc::Message &msg)
 {
     if (msg.dst >= _channels.size())

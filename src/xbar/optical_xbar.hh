@@ -38,6 +38,7 @@ class OpticalCrossbar : public noc::Interconnect
 
     void send(const noc::Message &msg) override;
     std::string name() const override { return "XBar"; }
+    void reset() override;
 
     /** The crossbar is a single optical hop regardless of distance. */
     std::size_t

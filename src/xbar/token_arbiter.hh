@@ -18,11 +18,11 @@
 #ifndef CORONA_XBAR_TOKEN_ARBITER_HH
 #define CORONA_XBAR_TOKEN_ARBITER_HH
 
-#include <functional>
 #include <optional>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
 #include "stats/stats.hh"
 #include "topology/geometry.hh"
 
@@ -39,7 +39,7 @@ namespace corona::xbar {
 class TokenArbiter
 {
   public:
-    using GrantFn = std::function<void()>;
+    using GrantFn = sim::InlineFunction<void()>;
 
     /**
      * @param eq Event queue.
@@ -77,6 +77,21 @@ class TokenArbiter
 
     /** Full-loop revolution time, ticks. */
     sim::Tick loopTime() const { return _hopTime * _clusters; }
+
+    /** Restore the pristine post-construction state: token free at
+     * cluster 0, no waiters, zeroed statistics. Requires the event
+     * queue to be reset alongside (scheduled grants are dropped). */
+    void
+    reset()
+    {
+        _held = false;
+        _tokenOrigin = 0;
+        _tokenDeparture = 0;
+        _waiters.clear();
+        _grantEpoch = 0;
+        _waitStats.reset();
+        _grants = 0;
+    }
 
   private:
     struct Waiter

@@ -81,9 +81,9 @@ TEST(Mshr, AllocateTrackRetire)
     mshrs.coalesce(0x1000, [&] { ++woken; });
     mshrs.coalesce(0x1000, [&] { ++woken; });
     EXPECT_EQ(mshrs.coalesced(), 2u);
-    const auto wakers = mshrs.retire(0x1000, 50);
+    auto wakers = mshrs.retire(0x1000, 50);
     EXPECT_EQ(wakers.size(), 2u);
-    for (const auto &w : wakers)
+    for (auto &w : wakers)
         w();
     EXPECT_EQ(woken, 2);
     EXPECT_EQ(mshrs.inUse(), 0u);

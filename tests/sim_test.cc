@@ -1,15 +1,21 @@
 /**
  * @file
  * Unit tests for the simulation kernel: event queue ordering and
- * determinism, clock-domain arithmetic, RNG distributions.
+ * determinism (including the bucket-ring/overflow-heap boundaries),
+ * the inline callable type, clock-domain arithmetic, RNG
+ * distributions.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/clock.hh"
 #include "sim/event_queue.hh"
+#include "sim/inline_function.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
@@ -185,6 +191,322 @@ TEST(EventQueue, CountsExecutedEvents)
         eq.schedule(t, [] {});
     eq.run();
     EXPECT_EQ(eq.executed(), 42u);
+}
+
+// ---------------------------------------------------------------------
+// Two-level kernel boundaries: bucket-ring wrap, ring<->heap promotion,
+// and parity with a trivially correct reference implementation.
+
+TEST(EventQueue, SameTickFifoAcrossRingWrap)
+{
+    // Two batches whose ticks map to the same bucket index (exactly one
+    // ring window apart): the far batch overflows to the heap, is
+    // promoted once the window slides, and both keep FIFO order.
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick near = 100;
+    const Tick far = near + EventQueue::ringWindow;
+    for (int i = 0; i < 4; ++i)
+        eq.schedule(far, [&order, i] { order.push_back(100 + i); });
+    for (int i = 0; i < 4; ++i)
+        eq.schedule(near, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order,
+              (std::vector<int>{0, 1, 2, 3, 100, 101, 102, 103}));
+    EXPECT_EQ(eq.now(), far);
+}
+
+TEST(EventQueue, PromotedHeapEventsPrecedeLaterRingSchedules)
+{
+    // An event beyond the window (heap) and a same-tick event scheduled
+    // *after* the window has slid over that tick (ring): the heap event
+    // was scheduled first and must fire first.
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick target = EventQueue::ringWindow + 500;
+    eq.schedule(target, [&] { order.push_back(1); }); // To the heap.
+    // Stepping stones pull the window forward so `target` gets
+    // admitted (and the heap event promoted) before the late schedule.
+    eq.schedule(1000, [&, target] {
+        eq.schedule(target, [&] { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, HeapOrderIsStableAcrossInterleavedScheduling)
+{
+    // Far-future events land on the heap in scrambled tick order with
+    // same-tick duplicates; execution must sort by tick with FIFO ties.
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick base = 4 * EventQueue::ringWindow;
+    const int ticks[] = {7, 3, 7, 1, 3, 7, 1, 9};
+    for (int i = 0; i < 8; ++i) {
+        eq.schedule(base + static_cast<Tick>(100 * ticks[i]),
+                    [&order, i] { order.push_back(i); });
+    }
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{3, 6, 1, 4, 0, 2, 5, 7}));
+}
+
+TEST(EventQueue, SparseTicksJumpTheWindow)
+{
+    // Consecutive events multiple windows apart exercise the
+    // empty-ring jump path.
+    EventQueue eq;
+    std::vector<Tick> fired;
+    Tick when = 5;
+    for (int i = 0; i < 6; ++i) {
+        eq.schedule(when, [&fired, &eq] { fired.push_back(eq.now()); });
+        when += 3 * EventQueue::ringWindow + 7;
+    }
+    eq.run();
+    ASSERT_EQ(fired.size(), 6u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+    EXPECT_EQ(eq.now(), fired.back());
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ResetRestoresThePristineQueue)
+{
+    EventQueue eq;
+    int fired = 0;
+    // Dirty every level: a partially drained bucket, ring events ahead,
+    // and heap overflow.
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(500, [&] { ++fired; });
+    eq.schedule(10 * EventQueue::ringWindow, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.executed(), 0u);
+
+    // The recycled queue behaves like a fresh one, including same-tick
+    // FIFO in a bucket that previously held dropped events.
+    std::vector<int> order;
+    for (int i = 0; i < 3; ++i)
+        eq.schedule(10, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.executed(), 3u);
+    EXPECT_EQ(fired, 1); // Dropped events never fire.
+}
+
+/** Reference kernel: the behavioural contract in its simplest form
+ * (stable sort by tick, insertion order breaking ties). */
+struct ReferenceQueue
+{
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        int id;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t next_seq = 0;
+    Tick now = 0;
+
+    void
+    schedule(Tick when, int id)
+    {
+        entries.push_back({when, next_seq++, id});
+    }
+
+    /** Execute through @p limit; returns ids in execution order. */
+    std::vector<int>
+    run(Tick limit)
+    {
+        std::stable_sort(entries.begin(), entries.end(),
+                         [](const Entry &a, const Entry &b) {
+                             return a.when < b.when;
+                         });
+        std::vector<int> fired;
+        std::size_t i = 0;
+        for (; i < entries.size() && entries[i].when <= limit; ++i) {
+            fired.push_back(entries[i].id);
+            now = entries[i].when;
+        }
+        entries.erase(entries.begin(),
+                      entries.begin() + static_cast<std::ptrdiff_t>(i));
+        return fired;
+    }
+};
+
+TEST(EventQueue, RandomisedParityWithReferenceKernel)
+{
+    // Drive both kernels with an identical randomised schedule whose
+    // deltas straddle the ring/heap boundary, in several run(limit)
+    // instalments, and require identical execution order each time.
+    sim::Rng rng(2026);
+    EventQueue eq;
+    ReferenceQueue ref;
+    std::vector<int> fired;
+    int next_id = 0;
+
+    const auto schedule_burst = [&](int count) {
+        for (int i = 0; i < count; ++i) {
+            const Tick base = eq.now();
+            // Mix of same-tick, near (ring), boundary, and far (heap).
+            Tick delta = 0;
+            switch (rng.below(6)) {
+              case 0: delta = 0; break;
+              case 1: delta = static_cast<Tick>(rng.below(64)); break;
+              case 2:
+                delta = static_cast<Tick>(
+                    rng.below(EventQueue::ringWindow));
+                break;
+              case 3:
+                delta = EventQueue::ringWindow -
+                        static_cast<Tick>(rng.below(3));
+                break;
+              case 4:
+                delta = EventQueue::ringWindow +
+                        static_cast<Tick>(rng.below(3));
+                break;
+              default:
+                delta = static_cast<Tick>(
+                    rng.below(5 * EventQueue::ringWindow));
+                break;
+            }
+            const int id = next_id++;
+            ref.schedule(base + delta, id);
+            eq.schedule(base + delta,
+                        [&fired, id] { fired.push_back(id); });
+        }
+    };
+
+    schedule_burst(400);
+    Tick limit = 0;
+    for (int round = 0; round < 12; ++round) {
+        limit += static_cast<Tick>(
+            rng.below(2 * EventQueue::ringWindow) + 1);
+        fired.clear();
+        eq.run(limit);
+        EXPECT_EQ(fired, ref.run(limit)) << "round " << round;
+        EXPECT_EQ(eq.now(), ref.now);
+        EXPECT_EQ(eq.pending(), ref.entries.size());
+        schedule_burst(40);
+    }
+    fired.clear();
+    eq.run();
+    EXPECT_EQ(fired, ref.run(sim::maxTick));
+    EXPECT_TRUE(eq.empty());
+}
+
+// ---------------------------------------------------------------------
+// InlineFunction: the kernel's pooled callable type.
+
+TEST(InlineFunction, SmallCapturesStayInline)
+{
+    int hits = 0;
+    int *p = &hits;
+    sim::InlineFunction<void()> fn([p] { ++*p; });
+    EXPECT_TRUE(static_cast<bool>(fn));
+    EXPECT_TRUE(fn.isInline());
+    fn();
+    fn();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, FortyEightByteCapturesStayInline)
+{
+    // The hot-path contract: `this` plus a full noc::Message (48 B
+    // total) must not allocate.
+    struct Blob
+    {
+        char bytes[48];
+    };
+    Blob blob{};
+    blob.bytes[0] = 7;
+    sim::InlineFunction<int()> fn([blob] { return blob.bytes[0]; });
+    EXPECT_TRUE(fn.isInline());
+    EXPECT_EQ(fn(), 7);
+}
+
+TEST(InlineFunction, OversizeCapturesFallBackToTheHeap)
+{
+    struct Big
+    {
+        char bytes[64];
+    };
+    Big big{};
+    big.bytes[63] = 9;
+    sim::InlineFunction<int()> fn([big] { return big.bytes[63]; });
+    EXPECT_FALSE(fn.isInline());
+    EXPECT_EQ(fn(), 9);
+}
+
+TEST(InlineFunction, MovePreservesTheCallableAndEmptiesTheSource)
+{
+    int calls = 0;
+    int *p = &calls;
+    sim::InlineFunction<void()> a([p] { ++*p; });
+    sim::InlineFunction<void()> b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    b();
+    sim::InlineFunction<void()> c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    c();
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunction, CarriesMoveOnlyState)
+{
+    auto owned = std::make_unique<int>(41);
+    sim::InlineFunction<int()> fn(
+        [owned = std::move(owned)] { return *owned + 1; });
+    EXPECT_TRUE(fn.isInline());
+    sim::InlineFunction<int()> moved(std::move(fn));
+    EXPECT_EQ(moved(), 42);
+}
+
+TEST(InlineFunction, InvokingEmptyThrowsLikeStdFunction)
+{
+    sim::InlineFunction<void()> empty;
+    EXPECT_THROW(empty(), std::bad_function_call);
+    sim::InlineFunction<void()> moved_from([] {});
+    sim::InlineFunction<void()> stolen(std::move(moved_from));
+    EXPECT_THROW(moved_from(), std::bad_function_call);
+}
+
+TEST(InlineFunction, ForwardsArguments)
+{
+    sim::InlineFunction<int(int, int)> add(
+        [](int a, int b) { return a + b; });
+    EXPECT_EQ(add(40, 2), 42);
+}
+
+TEST(InlineFunction, DestroysTheCaptureExactlyOnce)
+{
+    int alive = 0;
+    struct Token
+    {
+        int *alive;
+        explicit Token(int *a) : alive(a) { ++*alive; }
+        Token(const Token &other) : alive(other.alive) { ++*alive; }
+        Token(Token &&other) noexcept : alive(other.alive)
+        {
+            ++*alive;
+        }
+        ~Token() { --*alive; }
+    };
+    {
+        sim::InlineFunction<void()> fn([t = Token(&alive)] {
+            (void)t;
+        });
+        EXPECT_GE(alive, 1);
+        sim::InlineFunction<void()> moved(std::move(fn));
+        EXPECT_EQ(alive, 1);
+    }
+    EXPECT_EQ(alive, 0);
 }
 
 TEST(ClockDomain, CoronaClockIs200ps)

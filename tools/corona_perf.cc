@@ -1,0 +1,422 @@
+/**
+ * @file
+ * corona-perf — host-side performance measurement for the simulator.
+ *
+ * Two fixed benchmarks, reported as events/sec and cells/sec so every
+ * PR leaves a comparable perf trajectory:
+ *
+ *  1. Event kernel: a deterministic self-scheduling event storm whose
+ *     callbacks capture 48 bytes (the hot-path shape: `this` plus a
+ *     noc::Message), run through today's pooled two-level kernel AND
+ *     through a faithful replica of the pre-kernel implementation
+ *     (std::function callbacks in a std::priority_queue), on both a
+ *     near-horizon ("near") and a memory/think-time ("mixed") delta
+ *     mix. The reported speedup is measured, not assumed.
+ *
+ *  2. Campaign grid: a seed-replicate grid of full 64-cluster
+ *     simulations through CampaignRunner with system pooling on vs
+ *     off. The CSV sink bytes of both runs are compared — corona-perf
+ *     doubles as a determinism smoke — and cells/sec quantifies the
+ *     construction-amortisation win.
+ *
+ * Results are written as a single JSON object (BENCH_perf.json by
+ * default) with a byte-stable key shape; timing values vary run to
+ * run, keys never do. --quick shrinks both benchmarks for CI.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/progress.hh"
+#include "campaign/runner.hh"
+#include "campaign/sink.hh"
+#include "campaign/spec.hh"
+#include "corona/config.hh"
+#include "corona/simulation.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+#include "workload/synthetic.hh"
+
+namespace {
+
+using namespace corona;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+// ------------------------------------------------------- event kernel
+
+/**
+ * The pre-PR event kernel, verbatim: heap-allocating std::function
+ * callbacks ordered by a binary-heap priority queue. Kept here (not in
+ * src/) purely as the measurement baseline.
+ */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    sim::Tick now() const { return _now; }
+
+    void
+    schedule(sim::Tick when, Callback cb)
+    {
+        _events.push(Entry{when, _nextSeq++, std::move(cb)});
+    }
+
+    void
+    scheduleIn(sim::Tick delta, Callback cb)
+    {
+        schedule(_now + delta, std::move(cb));
+    }
+
+    std::uint64_t executed() const { return _executed; }
+
+    void
+    run()
+    {
+        while (!_events.empty()) {
+            Entry entry = std::move(const_cast<Entry &>(_events.top()));
+            _events.pop();
+            _now = entry.when;
+            ++_executed;
+            entry.cb();
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        sim::Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _events;
+    sim::Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+};
+
+/** 40 bytes of live payload: the wire size of a noc::Message, so every
+ * callback capture is the hot path's 48 bytes. */
+struct Payload
+{
+    std::uint64_t words[5];
+};
+
+/** Tick deltas modelled on what the network and memory models emit. */
+constexpr sim::Tick nearDeltas[] = {25, 200, 175, 50, 400, 1000, 200, 75};
+constexpr sim::Tick mixedDeltas[] = {25,    200,     175,  50,
+                                     20000, 2000000, 4000, 200};
+
+template <typename Queue>
+struct KernelBench
+{
+    Queue eq;
+    const sim::Tick *deltas;
+    std::uint64_t scheduled = 0;
+    std::uint64_t budget;
+    std::uint64_t checksum = 0;
+
+    void
+    fire(Payload payload)
+    {
+        checksum += payload.words[0];
+        if (scheduled < budget) {
+            payload.words[0] = ++scheduled;
+            eq.scheduleIn(deltas[scheduled % 8],
+                          [this, payload] { fire(payload); });
+        }
+    }
+};
+
+struct KernelResult
+{
+    double events_per_sec = 0.0;
+    std::uint64_t checksum = 0;
+};
+
+template <typename Queue>
+KernelResult
+runKernelBench(std::uint64_t events, bool mixed)
+{
+    KernelBench<Queue> bench;
+    bench.deltas = mixed ? mixedDeltas : nearDeltas;
+    bench.budget = events;
+    constexpr std::uint64_t actors = 64;
+    for (std::uint64_t a = 0; a < actors && bench.scheduled < events;
+         ++a) {
+        ++bench.scheduled;
+        Payload seed{{a, 0, 0, 0, 0}};
+        bench.eq.schedule(a * 25,
+                          [&bench, seed] { bench.fire(seed); });
+    }
+    const auto start = std::chrono::steady_clock::now();
+    bench.eq.run();
+    const double seconds = secondsSince(start);
+    KernelResult result;
+    result.events_per_sec =
+        static_cast<double>(bench.eq.executed()) / seconds;
+    result.checksum = bench.checksum;
+    return result;
+}
+
+// ------------------------------------------------------ campaign grid
+
+struct GridResult
+{
+    double cells_per_sec = 0.0;
+    double events_per_sec = 0.0;
+    std::string csv;
+};
+
+GridResult
+runGrid(std::size_t cells, std::uint64_t requests, bool reuse_systems)
+{
+    campaign::CampaignSpec spec;
+    spec.name = "perf-grid";
+    spec.workloads = {{"Uniform", true, workload::makeUniform}};
+    spec.configs = {core::makeConfig(core::NetworkKind::XBar,
+                                     core::MemoryKind::OCM)};
+    spec.seeds.resize(cells);
+    for (std::size_t i = 0; i < cells; ++i)
+        spec.seeds[i] = i;
+    spec.base.requests = requests;
+
+    std::ostringstream csv;
+    campaign::CsvSink sink(csv);
+    campaign::RunnerOptions options;
+    options.threads = 1; // Single worker: a clean pooled-vs-fresh A/B.
+    options.reuse_systems = reuse_systems;
+    campaign::CampaignRunner runner(options);
+    runner.addSink(sink);
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto records = runner.run(spec);
+    const double seconds = secondsSince(start);
+
+    GridResult result;
+    result.cells_per_sec = static_cast<double>(cells) / seconds;
+    std::uint64_t events = 0;
+    for (const auto &record : records) {
+        if (!record.ok) {
+            std::cerr << "corona-perf: grid run " << record.index
+                      << " failed: " << record.error << "\n";
+            std::exit(1);
+        }
+        events += record.metrics.events_executed;
+    }
+    result.events_per_sec = static_cast<double>(events) / seconds;
+    result.csv = csv.str();
+    return result;
+}
+
+// -------------------------------------------------------------- output
+
+std::string
+jsonNumber(double value)
+{
+    return campaign::formatShortestDouble(value);
+}
+
+void
+usage()
+{
+    std::cout
+        << "usage: corona-perf [options]\n"
+           "\n"
+           "Host-side performance benchmarks: event-kernel events/sec\n"
+           "(new kernel vs the pre-PR std::function/priority_queue\n"
+           "baseline) and campaign cells/sec (system pooling on vs\n"
+           "off, with CSV byte-parity checked). Writes a JSON report.\n"
+           "\n"
+           "  --quick          small sizes for CI smoke\n"
+           "  --out PATH       report path (default BENCH_perf.json)\n"
+           "  --events N       kernel benchmark event count\n"
+           "  --cells N        grid benchmark cell count\n"
+           "  --requests N     primary misses per grid cell\n"
+           "  --help           this text\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string out_path = "BENCH_perf.json";
+    std::uint64_t events = 4'000'000;
+    std::size_t cells = 200;
+    std::uint64_t requests = 500;
+    bool events_set = false, cells_set = false, requests_set = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "corona-perf: " << arg
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        const auto count = [&]() -> std::uint64_t {
+            const std::string text = value();
+            const auto parsed = core::parsePositiveCount(text);
+            if (!parsed) {
+                std::cerr << "corona-perf: " << arg
+                          << " needs a strictly positive decimal, "
+                             "got \""
+                          << text << "\"\n";
+                std::exit(2);
+            }
+            return *parsed;
+        };
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--out") {
+            out_path = value();
+        } else if (arg == "--events") {
+            events = count();
+            events_set = true;
+        } else if (arg == "--cells") {
+            cells = static_cast<std::size_t>(count());
+            cells_set = true;
+        } else if (arg == "--requests") {
+            requests = count();
+            requests_set = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "corona-perf: unknown option \"" << arg
+                      << "\" (--help)\n";
+            return 2;
+        }
+    }
+    if (quick) {
+        if (!events_set)
+            events = 200'000;
+        if (!cells_set)
+            cells = 16;
+        if (!requests_set)
+            requests = 200;
+    }
+
+    std::cerr << "corona-perf: event kernel (" << events
+              << " events, near + mixed horizons)...\n";
+    const KernelResult near_pooled =
+        runKernelBench<sim::EventQueue>(events, false);
+    const KernelResult near_legacy =
+        runKernelBench<LegacyEventQueue>(events, false);
+    const KernelResult mixed_pooled =
+        runKernelBench<sim::EventQueue>(events, true);
+    const KernelResult mixed_legacy =
+        runKernelBench<LegacyEventQueue>(events, true);
+    if (near_pooled.checksum != near_legacy.checksum ||
+        mixed_pooled.checksum != mixed_legacy.checksum) {
+        std::cerr << "corona-perf: kernel checksum mismatch — the two "
+                     "kernels executed different event sets\n";
+        return 1;
+    }
+
+    std::cerr << "corona-perf: campaign grid (" << cells << " cells x "
+              << requests << " requests, pooling on/off)...\n";
+    const GridResult pooled = runGrid(cells, requests, true);
+    const GridResult fresh = runGrid(cells, requests, false);
+    const bool parity = pooled.csv == fresh.csv;
+    if (!parity) {
+        std::cerr << "corona-perf: PARITY FAILURE — pooled grid CSV "
+                     "differs from the fresh-system grid\n";
+    }
+
+    const double near_speedup =
+        near_pooled.events_per_sec / near_legacy.events_per_sec;
+    const double mixed_speedup =
+        mixed_pooled.events_per_sec / mixed_legacy.events_per_sec;
+    const double grid_speedup =
+        pooled.cells_per_sec / fresh.cells_per_sec;
+
+    std::ostringstream json;
+    json << "{\"schema\":\"corona-perf-v1\",\"quick\":"
+         << (quick ? "true" : "false") << ",\"event_kernel\":{"
+         << "\"events\":" << events << ",\"near\":{"
+         << "\"kernel_events_per_sec\":"
+         << jsonNumber(near_pooled.events_per_sec)
+         << ",\"legacy_events_per_sec\":"
+         << jsonNumber(near_legacy.events_per_sec) << ",\"speedup\":"
+         << jsonNumber(near_speedup) << "},\"mixed\":{"
+         << "\"kernel_events_per_sec\":"
+         << jsonNumber(mixed_pooled.events_per_sec)
+         << ",\"legacy_events_per_sec\":"
+         << jsonNumber(mixed_legacy.events_per_sec) << ",\"speedup\":"
+         << jsonNumber(mixed_speedup) << "}},\"grid\":{"
+         << "\"cells\":" << cells << ",\"requests\":" << requests
+         << ",\"pooled_cells_per_sec\":"
+         << jsonNumber(pooled.cells_per_sec)
+         << ",\"fresh_cells_per_sec\":"
+         << jsonNumber(fresh.cells_per_sec) << ",\"speedup\":"
+         << jsonNumber(grid_speedup) << ",\"sim_events_per_sec\":"
+         << jsonNumber(pooled.events_per_sec) << ",\"parity\":"
+         << (parity ? "true" : "false") << "}}\n";
+
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+        std::cerr << "corona-perf: cannot write \"" << out_path
+                  << "\"\n";
+        return 1;
+    }
+    out << json.str();
+    out.flush();
+    if (!out) {
+        std::cerr << "corona-perf: write error on \"" << out_path
+                  << "\"\n";
+        return 1;
+    }
+
+    std::cout << "event kernel  near : "
+              << campaign::formatRate(near_pooled.events_per_sec)
+              << " ev/s vs legacy "
+              << campaign::formatRate(near_legacy.events_per_sec)
+              << " ev/s  (x" << jsonNumber(near_speedup) << ")\n"
+              << "event kernel  mixed: "
+              << campaign::formatRate(mixed_pooled.events_per_sec)
+              << " ev/s vs legacy "
+              << campaign::formatRate(mixed_legacy.events_per_sec)
+              << " ev/s  (x" << jsonNumber(mixed_speedup) << ")\n"
+              << "campaign grid      : "
+              << campaign::formatRate(pooled.cells_per_sec)
+              << " cells/s pooled vs "
+              << campaign::formatRate(fresh.cells_per_sec)
+              << " cells/s fresh  (x" << jsonNumber(grid_speedup)
+              << ", sim "
+              << campaign::formatRate(pooled.events_per_sec)
+              << " ev/s, parity "
+              << (parity ? "ok" : "FAILED") << ")\n"
+              << "report: " << out_path << "\n";
+    return parity ? 0 : 1;
+}
