@@ -15,3 +15,4 @@ scripts/launch_smoke.sh build
 scripts/explore_smoke.sh build
 scripts/scenario_smoke.sh build
 scripts/perf_smoke.sh build
+scripts/obs_smoke.sh build

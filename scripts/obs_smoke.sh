@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Observability smoke test against the real corona-run / corona-stats
+# binaries:
+#
+#   1. A scenario with every [observability] plane on runs end to end;
+#      corona-stats validates each produced file shape (time-series
+#      CSV, Chrome trace JSON, registry snapshot CSV, heartbeat JSONL)
+#      and the trace actually contains crossbar + memory spans.
+#   2. Off-parity: the same scenario with the [observability] section
+#      deleted writes byte-identical CSV sink output — observing a
+#      campaign never changes its results.
+#   3. Determinism: every per-run obs file (time series, trace,
+#      snapshot) is byte-identical between a 1-worker and a 4-worker
+#      run of the same grid.
+#
+# Usage: scripts/obs_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+DIR="${BUILD}/obs-smoke"
+rm -rf "${DIR}"
+mkdir -p "${DIR}"
+
+# A small observed grid (2 workloads x 1 config x 2 seeds = 4 runs).
+scenario() { # $1 = obs dir; empty = no [observability] section
+  cat <<EOF
+[scenario]
+name = obs-smoke
+requests = 1500
+seed_policy = derived
+seeds = 0,1
+
+[workloads]
+workload = Uniform
+workload = Hot Spot
+
+[configs]
+config = XBar/OCM
+
+[execution]
+progress = off
+EOF
+  if [ -n "$1" ]; then
+    cat <<EOF
+
+[observability]
+sample_period = 200000
+trace_capacity = 8192
+snapshot = on
+heartbeat = on
+dir = $1
+EOF
+  fi
+}
+
+scenario "${DIR}/obs1" > "${DIR}/on1.scenario"
+scenario "${DIR}/obs4" > "${DIR}/on4.scenario"
+scenario ""            > "${DIR}/off.scenario"
+
+# ---- 1. Observed run; corona-stats validates every file shape.
+CORONA_JOBS=1 CORONA_SWEEP_CSV="${DIR}/on1.csv" \
+  "${BUILD}/corona-run" --quiet --no-table "${DIR}/on1.scenario"
+
+for run in 0 1 2 3; do
+  "${BUILD}/corona-stats" summary \
+    "${DIR}/obs1/run${run}.timeseries.csv" > /dev/null
+  "${BUILD}/corona-stats" trace \
+    "${DIR}/obs1/run${run}.trace.json" > "${DIR}/trace${run}.txt"
+  "${BUILD}/corona-stats" snapshot \
+    "${DIR}/obs1/run${run}.snapshot.csv" net > /dev/null
+done
+"${BUILD}/corona-stats" heartbeat "${DIR}/obs1/heartbeat.jsonl" \
+  > "${DIR}/heartbeat.txt"
+
+grep -q "^channel_grant," "${DIR}/trace0.txt" || {
+  echo "obs smoke: trace has no crossbar channel_grant spans" >&2
+  exit 1
+}
+grep -q "^mc_issue," "${DIR}/trace0.txt" || {
+  echo "obs smoke: trace has no memory-controller spans" >&2
+  exit 1
+}
+for event in campaign_begin cell worker_done campaign_end; do
+  grep -q "^${event}," "${DIR}/heartbeat.txt" || {
+    echo "obs smoke: heartbeat stream lacks ${event} records" >&2
+    exit 1
+  }
+done
+
+# ---- 2. Observability never changes the results.
+CORONA_JOBS=1 CORONA_SWEEP_CSV="${DIR}/off.csv" \
+  "${BUILD}/corona-run" --quiet --no-table "${DIR}/off.scenario"
+cmp -s "${DIR}/on1.csv" "${DIR}/off.csv" || {
+  echo "obs smoke: CSV sink bytes differ with observability on" >&2
+  exit 1
+}
+
+# ---- 3. Per-run obs files are worker-count invariant.
+CORONA_JOBS=4 CORONA_SWEEP_CSV="${DIR}/on4.csv" \
+  "${BUILD}/corona-run" --quiet --no-table "${DIR}/on4.scenario"
+cmp -s "${DIR}/on1.csv" "${DIR}/on4.csv" || {
+  echo "obs smoke: CSV sink bytes differ across worker counts" >&2
+  exit 1
+}
+for run in 0 1 2 3; do
+  for suffix in timeseries.csv trace.json snapshot.csv; do
+    cmp -s "${DIR}/obs1/run${run}.${suffix}" \
+           "${DIR}/obs4/run${run}.${suffix}" || {
+      echo "obs smoke: run${run}.${suffix} differs at 1 vs 4 workers" >&2
+      exit 1
+    }
+  done
+done
+
+echo "obs smoke: OK (file shapes valid, sink off-parity," \
+     "obs bytes worker-count invariant)"

@@ -85,6 +85,18 @@ class Cache
                      : 0.0;
     }
 
+    /** Invalidate every line and zero the statistics (cold cache). */
+    void
+    reset()
+    {
+        for (Set &set : _data)
+            set.clear();
+        _resident = 0;
+        _hits.reset();
+        _misses.reset();
+        _writebacks.reset();
+    }
+
   private:
     struct Line
     {

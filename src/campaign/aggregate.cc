@@ -56,15 +56,19 @@ SummarySink::header()
 {
     return "workload,config,override,replicates,failed,"
            "avg_latency_ns_mean,avg_latency_ns_stddev,"
-           "avg_latency_ns_ci95,"
+           "avg_latency_ns_ci95,avg_latency_ns_min,avg_latency_ns_max,"
            "p95_latency_ns_mean,p95_latency_ns_stddev,"
-           "p95_latency_ns_ci95,"
+           "p95_latency_ns_ci95,p95_latency_ns_min,p95_latency_ns_max,"
            "achieved_bytes_per_second_mean,"
            "achieved_bytes_per_second_stddev,"
            "achieved_bytes_per_second_ci95,"
+           "achieved_bytes_per_second_min,"
+           "achieved_bytes_per_second_max,"
            "network_power_w_mean,network_power_w_stddev,"
-           "network_power_w_ci95,"
-           "token_wait_ns_mean,token_wait_ns_stddev,token_wait_ns_ci95";
+           "network_power_w_ci95,network_power_w_min,"
+           "network_power_w_max,"
+           "token_wait_ns_mean,token_wait_ns_stddev,token_wait_ns_ci95,"
+           "token_wait_ns_min,token_wait_ns_max";
 }
 
 void
@@ -137,6 +141,8 @@ SummarySink::end()
                     ? tCritical95(stats.count() - 1) * summary.stddev /
                           std::sqrt(static_cast<double>(stats.count()))
                     : 0.0;
+            summary.min = stats.min();
+            summary.max = stats.max();
         }
         if (_os) {
             *_os << csvEscape(acc.cell.workload) << ','
@@ -148,7 +154,9 @@ SummarySink::end()
                 const MetricSummary &summary = acc.cell.metrics[metric];
                 *_os << ',' << formatShortestDouble(summary.mean) << ','
                      << formatShortestDouble(summary.stddev) << ','
-                     << formatShortestDouble(summary.ci95);
+                     << formatShortestDouble(summary.ci95) << ','
+                     << formatShortestDouble(summary.min) << ','
+                     << formatShortestDouble(summary.max);
             }
             *_os << "\n";
         }

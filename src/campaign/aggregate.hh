@@ -34,6 +34,10 @@ struct MetricSummary
     double stddev = 0.0;
     /** 95 % CI half-width, t(n-1) * stddev / sqrt(n); 0 when n < 2. */
     double ci95 = 0.0;
+    /** Smallest replicate value; 0 with no replicates. */
+    double min = 0.0;
+    /** Largest replicate value; 0 with no replicates. */
+    double max = 0.0;
 };
 
 /** The metrics SummarySink aggregates, in summary-CSV column order. */

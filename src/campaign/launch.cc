@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "campaign/progress.hh"
+#include "obs/heartbeat.hh"
 #include "sim/logging.hh"
 
 namespace corona::campaign {
@@ -332,6 +333,15 @@ launchShards(const LaunchOptions &options)
     log(std::to_string(options.shard_count) + " shards over " +
         std::to_string(max_parallel) + " worker processes, " +
         std::to_string(options.max_retries) + " retries per shard");
+    if (options.heartbeat)
+        options.heartbeat->write(
+            obs::heartbeatEvent("launch_begin")
+                .field("shards", static_cast<std::uint64_t>(
+                                     options.shard_count))
+                .field("max_parallel",
+                       static_cast<std::uint64_t>(max_parallel))
+                .field("max_retries", static_cast<std::uint64_t>(
+                                          options.max_retries)));
 
     std::size_t running = 0;
     while (true) {
@@ -354,6 +364,15 @@ launchShards(const LaunchOptions &options)
             log("shard " + state.outcome.shard.label() + " attempt " +
                 std::to_string(state.outcome.attempts) + " started (pid " +
                 std::to_string(state.pid) + ")");
+            if (options.heartbeat)
+                options.heartbeat->write(
+                    obs::heartbeatEvent("shard_start")
+                        .field("shard", state.outcome.shard.label())
+                        .field("attempt",
+                               static_cast<std::uint64_t>(
+                                   state.outcome.attempts))
+                        .field("pid", static_cast<std::int64_t>(
+                                          state.pid)));
         }
 
         // Reap finished workers and watch running ones for progress.
@@ -389,6 +408,14 @@ launchShards(const LaunchOptions &options)
                 // retry/backoff path relaunch (or poison) the shard.
                 state.stall_killed = true;
                 ++state.outcome.stall_kills;
+                if (options.heartbeat)
+                    options.heartbeat->write(
+                        obs::heartbeatEvent("shard_stall")
+                            .field("shard",
+                                   state.outcome.shard.label())
+                            .field("stalled_s",
+                                   now() - state.last_growth)
+                            .field("killed", true));
                 log("shard " + state.outcome.shard.label() +
                     " has checkpointed nothing for " +
                     formatSeconds(now() - state.last_growth) +
@@ -403,6 +430,14 @@ launchShards(const LaunchOptions &options)
                        now() - state.last_growth >
                            options.stall_warn_seconds) {
                 state.stall_warned = true;
+                if (options.heartbeat)
+                    options.heartbeat->write(
+                        obs::heartbeatEvent("shard_stall")
+                            .field("shard",
+                                   state.outcome.shard.label())
+                            .field("stalled_s",
+                                   now() - state.last_growth)
+                            .field("killed", false));
                 log("shard " + state.outcome.shard.label() +
                     " has checkpointed nothing for " +
                     formatSeconds(now() - state.last_growth) +
@@ -428,6 +463,17 @@ launchShards(const LaunchOptions &options)
             state.outcome.exit_code = exit_code;
             state.outcome.rows =
                 countCheckpointRows(state.outcome.checkpoint_path);
+            if (options.heartbeat)
+                options.heartbeat->write(
+                    obs::heartbeatEvent("shard_exit")
+                        .field("shard", state.outcome.shard.label())
+                        .field("attempt",
+                               static_cast<std::uint64_t>(
+                                   state.outcome.attempts))
+                        .field("exit_code", exit_code)
+                        .field("rows", static_cast<std::uint64_t>(
+                                           state.outcome.rows))
+                        .field("ok", exit_code == 0));
 
             if (exit_code == 0) {
                 state.outcome.ok = true;
@@ -468,6 +514,21 @@ launchShards(const LaunchOptions &options)
     report.shards.reserve(states.size());
     for (ShardState &state : states)
         report.shards.push_back(std::move(state.outcome));
+    if (options.heartbeat) {
+        std::uint64_t ok = 0;
+        std::uint64_t poisoned = 0;
+        for (const ShardOutcome &outcome : report.shards) {
+            if (outcome.ok)
+                ++ok;
+            else if (outcome.poisoned)
+                ++poisoned;
+        }
+        options.heartbeat->write(
+            obs::heartbeatEvent("launch_done")
+                .field("ok", ok)
+                .field("poisoned", poisoned)
+                .field("wall_s", now()));
+    }
     return report;
 }
 

@@ -32,6 +32,10 @@
 
 #include "campaign/shard.hh"
 
+namespace corona::obs {
+class HeartbeatWriter;
+} // namespace corona::obs
+
 namespace corona::campaign {
 
 /**
@@ -173,6 +177,11 @@ struct LaunchOptions
     double stall_kill_seconds = 0.0;
     /** Progress/diagnostic log (nullptr silences the launcher). */
     std::ostream *log = nullptr;
+    /** Optional shard-lifecycle heartbeat stream (not owned):
+     * launch_begin, shard_start / shard_stall / shard_exit per
+     * attempt, launch_done — the host-profiling JSONL schema shared
+     * with CampaignRunner (see src/obs/heartbeat.hh). */
+    obs::HeartbeatWriter *heartbeat = nullptr;
 };
 
 /** What became of one shard. */

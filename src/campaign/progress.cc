@@ -72,13 +72,19 @@ ProgressReporter::begin(const CampaignSpec &spec,
     for (std::size_t n = _total; n >= 10; n /= 10)
         ++_width;
     _start = std::chrono::steady_clock::now();
-    _os << "campaign \"" << spec.name << "\": " << total_runs
-        << " runs";
+    // Compose every report in a local buffer and emit it with a single
+    // insertion: piecewise writes from concurrent processes sharing the
+    // stream (sharded launches) would interleave mid-line.
+    std::ostringstream line;
+    line << "campaign \"" << spec.name << "\": " << total_runs
+         << " runs";
     if (replayed > 0)
-        _os << " (" << replayed << " replayed from checkpoint, "
-            << total_runs - replayed << " pending)";
-    _os << " on " << threads
-        << (threads == 1 ? " worker thread\n" : " worker threads\n");
+        line << " (" << replayed << " replayed from checkpoint, "
+             << total_runs - replayed << " pending)";
+    line << " on " << threads
+         << (threads == 1 ? " worker thread\n" : " worker threads\n");
+    _os << line.str();
+    _os.flush();
 }
 
 void
@@ -91,23 +97,24 @@ ProgressReporter::completed(const RunRecord &record)
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       _start)
             .count();
-    _os << "  [" << std::setw(_width) << _replayed + _done << "/"
-        << _total << "] " << record.workload << " on " << record.config;
+    std::ostringstream line;
+    line << "  [" << std::setw(_width) << _replayed + _done << "/"
+         << _total << "] " << record.workload << " on " << record.config;
     if (!record.override_label.empty())
-        _os << " (" << record.override_label << ")";
+        line << " (" << record.override_label << ")";
     if (!record.ok)
-        _os << " FAILED: " << record.error;
-    _os << " in " << formatSeconds(record.wall_seconds);
+        line << " FAILED: " << record.error;
+    line << " in " << formatSeconds(record.wall_seconds);
     // Host-side simulator throughput (the model executor executes no
     // kernel events and reports none).
     _events += record.metrics.events_executed;
     if (record.metrics.events_executed > 0 &&
         record.metrics.host_seconds > 0.0) {
-        _os << " ("
-            << formatRate(
-                   static_cast<double>(record.metrics.events_executed) /
-                   record.metrics.host_seconds)
-            << " ev/s)";
+        line << " ("
+             << formatRate(
+                    static_cast<double>(record.metrics.events_executed) /
+                    record.metrics.host_seconds)
+             << " ev/s)";
     }
     // ETA extrapolates this session's throughput over the runs still
     // pending; replayed runs cost nothing and must not dilute it.
@@ -115,9 +122,11 @@ ProgressReporter::completed(const RunRecord &record)
     if (_done < pending) {
         const double eta = elapsed / static_cast<double>(_done) *
                            static_cast<double>(pending - _done);
-        _os << ", ETA " << formatSeconds(eta);
+        line << ", ETA " << formatSeconds(eta);
     }
-    _os << "\n";
+    line << "\n";
+    _os << line.str();
+    _os.flush();
 }
 
 void
@@ -127,23 +136,29 @@ ProgressReporter::end()
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       _start)
             .count();
-    _os << "campaign finished: " << _done << " runs";
+    std::ostringstream line;
+    line << "campaign finished: " << _done << " runs";
     if (_replayed > 0)
-        _os << " (+" << _replayed << " replayed)";
-    _os << " in " << formatSeconds(elapsed);
+        line << " (+" << _replayed << " replayed)";
+    line << " in " << formatSeconds(elapsed);
     if (_done > 0 && elapsed > 0.0) {
-        _os << " ("
-            << formatRate(static_cast<double>(_done) / elapsed)
-            << " cells/s";
+        line << " ("
+             << formatRate(static_cast<double>(_done) / elapsed)
+             << " cells/s";
         if (_events > 0)
-            _os << ", "
-                << formatRate(static_cast<double>(_events) / elapsed)
-                << " ev/s";
-        _os << ")";
+            line << ", "
+                 << formatRate(static_cast<double>(_events) / elapsed)
+                 << " ev/s";
+        line << ")";
     }
     if (_failed > 0)
-        _os << ", " << _failed << " FAILED";
-    _os << "\n";
+        line << ", " << _failed << " FAILED";
+    line << "\n";
+    // The final cells/s + ev/s summary goes through the same stream,
+    // same single-insertion discipline, as the per-run lines — no
+    // interleaving garble under multi-worker output.
+    _os << line.str();
+    _os.flush();
 }
 
 } // namespace corona::campaign

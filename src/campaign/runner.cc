@@ -19,9 +19,25 @@ namespace corona::campaign {
 
 namespace {
 
-/** Shared body of the fresh-system and pooled execution paths. */
+double
+secondsSince(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/**
+ * Shared body of the fresh-system and pooled execution paths.
+ * @p workloads, @p obs, and @p lease_seconds are optional extras used
+ * by the runner's worker loop: workload pooling, per-run observability,
+ * and lease-cost accounting for heartbeats.
+ */
 RunRecord
-executePlanWith(const RunPlan &plan, core::SystemPool *pool)
+executePlanWith(const RunPlan &plan, core::SystemPool *pool,
+                WorkloadCache *workloads,
+                const obs::RunObservability *obs,
+                double *lease_seconds)
 {
     RunRecord record;
     record.index = plan.index;
@@ -36,15 +52,34 @@ executePlanWith(const RunPlan &plan, core::SystemPool *pool)
 
     const auto start = std::chrono::steady_clock::now();
     try {
-        auto workload = plan.make_workload();
-        if (!workload)
-            sim::fatal("campaign: workload factory for \"" +
-                       plan.workload + "\" returned null");
-        record.metrics =
-            pool ? core::runExperiment(pool->lease(plan.system),
-                                       *workload, plan.params)
-                 : core::runExperiment(plan.system, *workload,
-                                       plan.params);
+        std::unique_ptr<workload::Workload> owned;
+        workload::Workload *workload = nullptr;
+        const auto lease_start = std::chrono::steady_clock::now();
+        if (workloads) {
+            workload = &workloads->lease(plan);
+        } else {
+            owned = plan.make_workload();
+            if (!owned)
+                sim::fatal("campaign: workload factory for \"" +
+                           plan.workload + "\" returned null");
+            workload = owned.get();
+        }
+        core::SimContext *ctx =
+            pool ? &pool->lease(plan.system) : nullptr;
+        if (lease_seconds)
+            *lease_seconds = secondsSince(lease_start);
+        if (obs && obs->enabled()) {
+            record.metrics =
+                ctx ? core::runExperiment(*ctx, *workload, plan.params,
+                                          *obs)
+                    : core::runExperiment(plan.system, *workload,
+                                          plan.params, *obs);
+        } else {
+            record.metrics =
+                ctx ? core::runExperiment(*ctx, *workload, plan.params)
+                    : core::runExperiment(plan.system, *workload,
+                                          plan.params);
+        }
     } catch (const std::exception &e) {
         record.ok = false;
         record.error = e.what();
@@ -52,10 +87,7 @@ executePlanWith(const RunPlan &plan, core::SystemPool *pool)
         record.metrics.workload = plan.workload;
         record.metrics.config = plan.config;
     }
-    record.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+    record.wall_seconds = secondsSince(start);
     return record;
 }
 
@@ -64,13 +96,13 @@ executePlanWith(const RunPlan &plan, core::SystemPool *pool)
 RunRecord
 executePlan(const RunPlan &plan)
 {
-    return executePlanWith(plan, nullptr);
+    return executePlanWith(plan, nullptr, nullptr, nullptr, nullptr);
 }
 
 RunRecord
 executePlan(const RunPlan &plan, core::SystemPool &pool)
 {
-    return executePlanWith(plan, &pool);
+    return executePlanWith(plan, &pool, nullptr, nullptr, nullptr);
 }
 
 CampaignRunner::CampaignRunner(RunnerOptions options)
@@ -141,6 +173,20 @@ CampaignRunner::run(const CampaignSpec &spec,
     }
     const std::size_t threads = effectiveThreads(pending.size());
 
+    const auto campaign_start = std::chrono::steady_clock::now();
+    if (_options.heartbeat) {
+        _options.heartbeat->write(
+            obs::heartbeatEvent("campaign_begin")
+                .field("campaign", spec.name)
+                .field("runs", static_cast<std::uint64_t>(total))
+                .field("replayed", static_cast<std::uint64_t>(
+                                       total - pending.size()))
+                .field("pending",
+                       static_cast<std::uint64_t>(pending.size()))
+                .field("threads",
+                       static_cast<std::uint64_t>(threads)));
+    }
+
     for (ResultSink *sink : _sinks)
         sink->begin(spec, total);
     if (_options.progress)
@@ -172,24 +218,62 @@ CampaignRunner::run(const CampaignSpec &spec,
     // campaign's entire record list) flush before any worker starts.
     flushReady();
 
-    const auto worker = [&] {
+    // Observability and workload pooling apply only on the
+    // event-simulator path: a custom executor owns its own execution
+    // (and the scenario layer rejects [observability] for the model).
+    const bool observe =
+        !_options.execute && _options.observability.enabled();
+
+    const auto worker = [&](std::size_t worker_id) {
         // Each worker thread owns its pool: contexts are leased and
         // reset between this worker's cells, never shared across
         // threads. Per-run seeds come from the plan, so pooling cannot
         // perturb results regardless of which worker runs which cell.
         core::SystemPool pool;
+        WorkloadCache workloads;
         const bool pooled = !_options.execute && _options.reuse_systems;
+        std::uint64_t cells = 0;
         while (true) {
             const std::size_t at =
                 next_plan.fetch_add(1, std::memory_order_relaxed);
             if (at >= pending.size())
-                return;
+                break;
             const std::size_t idx = pending[at];
-            RunRecord record = _options.execute
-                                   ? _options.execute(plans[idx])
-                                   : (pooled
-                                          ? executePlan(plans[idx], pool)
-                                          : executePlan(plans[idx]));
+            obs::RunObservability run_obs;
+            if (observe)
+                run_obs =
+                    _options.observability.forRun(plans[idx].index);
+            double lease_seconds = 0.0;
+            RunRecord record =
+                _options.execute
+                    ? _options.execute(plans[idx])
+                    : executePlanWith(plans[idx],
+                                      pooled ? &pool : nullptr,
+                                      pooled ? &workloads : nullptr,
+                                      observe ? &run_obs : nullptr,
+                                      &lease_seconds);
+            ++cells;
+            if (_options.heartbeat) {
+                const double wall = record.wall_seconds;
+                const double events = static_cast<double>(
+                    record.metrics.events_executed);
+                _options.heartbeat->write(
+                    obs::heartbeatEvent("cell")
+                        .field("worker", static_cast<std::uint64_t>(
+                                             worker_id))
+                        .field("run", static_cast<std::uint64_t>(
+                                          plans[idx].index))
+                        .field("workload", plans[idx].workload)
+                        .field("config", plans[idx].config)
+                        .field("seed", plans[idx].params.seed)
+                        .field("ok", record.ok)
+                        .field("wall_s", wall)
+                        .field("lease_s", lease_seconds)
+                        .field("events",
+                               record.metrics.events_executed)
+                        .field("ev_per_s",
+                               wall > 0.0 ? events / wall : 0.0));
+            }
 
             std::scoped_lock lock(emit_mutex);
             slots[idx] = std::move(record);
@@ -205,16 +289,25 @@ CampaignRunner::run(const CampaignSpec &spec,
                                 std::memory_order_relaxed);
             }
         }
+        if (_options.heartbeat) {
+            _options.heartbeat->write(
+                obs::heartbeatEvent("worker_done")
+                    .field("worker",
+                           static_cast<std::uint64_t>(worker_id))
+                    .field("cells", cells)
+                    .field("pool_reuses", pool.reuses())
+                    .field("workload_reuses", workloads.reuses()));
+        }
     };
 
     if (threads <= 1) {
         if (!pending.empty())
-            worker();
+            worker(0);
     } else {
         std::vector<std::thread> pool;
         pool.reserve(threads);
         for (std::size_t t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
+            pool.emplace_back(worker, t);
         for (std::thread &thread : pool)
             thread.join();
     }
@@ -234,6 +327,19 @@ CampaignRunner::run(const CampaignSpec &spec,
             sim::panic("CampaignRunner: drained pool left a hole in "
                        "the result list");
         records.push_back(std::move(*slot));
+    }
+
+    if (_options.heartbeat) {
+        std::uint64_t done = 0;
+        std::uint64_t failed = 0;
+        for (const RunRecord &record : records)
+            (record.ok ? done : failed) += 1;
+        _options.heartbeat->write(
+            obs::heartbeatEvent("campaign_end")
+                .field("campaign", spec.name)
+                .field("done", done)
+                .field("failed", failed)
+                .field("wall_s", secondsSince(campaign_start)));
     }
     return records;
 }

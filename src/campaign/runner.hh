@@ -23,8 +23,48 @@
 #include "campaign/sink.hh"
 #include "campaign/spec.hh"
 #include "corona/context.hh"
+#include "obs/heartbeat.hh"
+#include "obs/observe.hh"
+#include "sim/logging.hh"
 
 namespace corona::campaign {
+
+/**
+ * A per-worker cache of workload instances keyed by workload index.
+ * Workload models are deterministic state machines; leasing resets the
+ * cached instance to its pristine state, so a revisited workload axis
+ * entry costs no construction (the last per-cell steady-state
+ * allocation). Not thread-safe — each campaign worker owns one.
+ */
+class WorkloadCache
+{
+  public:
+    /** A pristine workload for @p plan: cached-and-reset, or built. */
+    workload::Workload &
+    lease(const RunPlan &plan)
+    {
+        if (plan.workload_index >= _slots.size())
+            _slots.resize(plan.workload_index + 1);
+        auto &slot = _slots[plan.workload_index];
+        if (slot) {
+            slot->reset();
+            ++_reuses;
+        } else {
+            slot = plan.make_workload();
+            if (!slot)
+                sim::fatal("campaign: workload factory for \"" +
+                           plan.workload + "\" returned null");
+        }
+        return *slot;
+    }
+
+    /** Leases served by an existing instance (reset, not rebuilt). */
+    std::uint64_t reuses() const { return _reuses; }
+
+  private:
+    std::vector<std::unique_ptr<workload::Workload>> _slots;
+    std::uint64_t _reuses = 0;
+};
 
 /** Runner knobs. */
 struct RunnerOptions
@@ -43,14 +83,26 @@ struct RunnerOptions
      * either way — sinks, sharding, checkpointing and resume are
      * executor-agnostic. Must be thread-safe. */
     std::function<RunRecord(const RunPlan &)> execute{};
-    /** Reuse simulation contexts across a worker's runs: each worker
-     * thread keeps a SystemPool and leases a reset system per cell
-     * instead of reconstructing a full 64-cluster CoronaSystem every
-     * time. Results and sink bytes are bit-identical either way (a
-     * reset context is observationally a fresh one — locked in by
-     * tests); off exists for bisection and the corona-perf baseline.
-     * Ignored when a custom executor is installed. */
+    /** Reuse simulation contexts and workload instances across a
+     * worker's runs: each worker thread keeps a SystemPool plus a
+     * WorkloadCache and leases reset instances per cell instead of
+     * reconstructing a full 64-cluster CoronaSystem (and a workload
+     * model) every time. Results and sink bytes are bit-identical
+     * either way (a reset context/workload is observationally a fresh
+     * one — locked in by tests); off exists for bisection and the
+     * corona-perf baseline. Ignored when a custom executor is
+     * installed. */
     bool reuse_systems = true;
+    /** Per-run observability: registry time-series sampling, event
+     * tracing, end-of-run snapshots (all off by default). Applied only
+     * on the event-simulator path (the scenario layer rejects it for
+     * the model executor). Sink and checkpoint bytes are unaffected —
+     * observability writes its own files. */
+    obs::CampaignObsOptions observability{};
+    /** Optional host-profiling heartbeat stream (not owned): campaign
+     * begin/end, per-cell timings and throughput, per-worker lease
+     * accounting, as JSONL. */
+    obs::HeartbeatWriter *heartbeat = nullptr;
 };
 
 /**

@@ -290,12 +290,13 @@ parseScenario(std::string_view text)
             section.name != "workloads" &&
             section.name != "configs" &&
             section.name != "overrides" &&
-            section.name != "execution")
+            section.name != "execution" &&
+            section.name != "observability")
             badScenario(
                 "line " + std::to_string(section.line) +
                 ": unknown section [" + section.name +
                 "] (known: scenario, workloads, configs, overrides, "
-                "execution)");
+                "execution, observability)");
     }
 
     const ScenarioSection *header = doc.find("scenario");
@@ -409,6 +410,43 @@ parseScenario(std::string_view text)
         }
     }
 
+    if (const ScenarioSection *observability =
+            doc.find("observability")) {
+        checkUniqueKeys(*observability,
+                        {"sample_period", "trace_capacity", "snapshot",
+                         "heartbeat", "dir"});
+        for (const ScenarioEntry &entry : observability->entries) {
+            if (entry.key == "sample_period") {
+                spec.observability.sample_period = entryUnsigned(entry);
+            } else if (entry.key == "trace_capacity") {
+                spec.observability.trace_capacity =
+                    entryUnsigned(entry);
+            } else if (entry.key == "snapshot") {
+                const auto value = core::parseOnOff(entry.value);
+                if (!value)
+                    badEntry(entry, "snapshot is on/off, got \"" +
+                                        entry.value + "\"");
+                spec.observability.snapshot = *value;
+            } else if (entry.key == "heartbeat") {
+                const auto value = core::parseOnOff(entry.value);
+                if (!value)
+                    badEntry(entry, "heartbeat is on/off, got \"" +
+                                        entry.value + "\"");
+                spec.observability.heartbeat = *value;
+            } else if (entry.key == "dir") {
+                if (entry.value.empty())
+                    badEntry(entry, "dir is empty");
+                spec.observability.dir = entry.value;
+            }
+        }
+        if (spec.observability.enabled() &&
+            spec.execution.executor == "model")
+            badScenario(
+                "line " + std::to_string(observability->line) +
+                ": [observability] requires executor = simulate (the "
+                "analytical model has no event stream to observe)");
+    }
+
     // Surface resolution errors (unknown workload/config/knob) at
     // parse time: a scenario that parses is a scenario that runs.
     spec.resolve();
@@ -500,6 +538,23 @@ serializeScenario(const ScenarioSpec &spec)
         add(execution, "reuse_systems", "off");
     if (!execution.entries.empty())
         doc.sections.push_back(std::move(execution));
+
+    ScenarioSection observability{"observability", {}, 0};
+    const ScenarioObservability &obs = spec.observability;
+    if (obs.sample_period != 0)
+        add(observability, "sample_period",
+            std::to_string(obs.sample_period));
+    if (obs.trace_capacity != 0)
+        add(observability, "trace_capacity",
+            std::to_string(obs.trace_capacity));
+    if (obs.snapshot)
+        add(observability, "snapshot", "on");
+    if (obs.heartbeat)
+        add(observability, "heartbeat", "on");
+    if (obs.dir != "obs")
+        add(observability, "dir", obs.dir);
+    if (!observability.entries.empty())
+        doc.sections.push_back(std::move(observability));
 
     return serializeScenarioDoc(doc);
 }

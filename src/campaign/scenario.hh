@@ -40,6 +40,13 @@
  *     reuse_systems = on           # pool simulation contexts per worker
  *     csv = fig9.csv
  *
+ *     [observability]              # optional; all planes off by default
+ *     sample_period = 1000000      # ticks between time-series samples
+ *     trace_capacity = 65536       # event-trace ring size (events)
+ *     snapshot = on                # end-of-run registry snapshot CSVs
+ *     heartbeat = on               # host-profiling JSONL stream
+ *     dir = obs                    # output directory for all of it
+ *
  * Axis expressions are whitespace-separated: leading tokens (which
  * may contain spaces, e.g. "Hot Spot") name the registry entry or
  * label, and key=value tokens set knobs; a value may be
@@ -104,6 +111,32 @@ struct ScenarioExecution
     bool reuse_systems = true;
 };
 
+/** The [observability] section: per-run in-sim recording plus campaign
+ * heartbeats (see src/obs). Every plane defaults off; an enabled
+ * section requires executor = simulate (the analytical model has no
+ * event stream to observe). */
+struct ScenarioObservability
+{
+    /** Ticks between time-series samples; 0 = no sampler. */
+    std::uint64_t sample_period = 0;
+    /** Event-trace ring capacity in events; 0 = no tracer. */
+    std::uint64_t trace_capacity = 0;
+    /** Write an end-of-run registry snapshot CSV per run. */
+    bool snapshot = false;
+    /** Stream host-profiling heartbeat JSONL from the runner. */
+    bool heartbeat = false;
+    /** Directory receiving per-run files and the heartbeat stream
+     * (created on demand by runScenario). */
+    std::string dir = "obs";
+
+    bool
+    enabled() const
+    {
+        return sample_period > 0 || trace_capacity > 0 || snapshot ||
+               heartbeat;
+    }
+};
+
 /** A serializable experiment description. */
 struct ScenarioSpec
 {
@@ -126,6 +159,7 @@ struct ScenarioSpec
     std::vector<std::string> overrides;
 
     ScenarioExecution execution;
+    ScenarioObservability observability;
 
     /**
      * Lower to an executable CampaignSpec: workload expressions

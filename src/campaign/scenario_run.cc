@@ -1,5 +1,6 @@
 #include "campaign/scenario_run.hh"
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -177,6 +178,43 @@ runScenario(const ScenarioSpec &scenario,
     if (!options.quiet && exec.progress)
         runner_options.progress = &progress;
     runner_options.execute = scenarioExecutor(effective);
+
+    // Observability outputs live under the scenario's obs dir: per-run
+    // files are named by global run index (disjoint across shards),
+    // and the heartbeat stream gets a per-shard suffix so concurrent
+    // shard processes never truncate each other's file.
+    std::ofstream heartbeat_stream;
+    std::unique_ptr<obs::HeartbeatWriter> heartbeat;
+    const ScenarioObservability &observability = effective.observability;
+    if (observability.enabled()) {
+        std::error_code ec;
+        std::filesystem::create_directories(observability.dir, ec);
+        if (ec)
+            sim::fatal("scenario \"" + effective.name +
+                       "\": cannot create observability dir \"" +
+                       observability.dir + "\": " + ec.message());
+        runner_options.observability.sample_period =
+            observability.sample_period;
+        runner_options.observability.trace_capacity =
+            static_cast<std::size_t>(observability.trace_capacity);
+        runner_options.observability.snapshot = observability.snapshot;
+        runner_options.observability.dir = observability.dir;
+        if (observability.heartbeat) {
+            std::string path = observability.dir + "/heartbeat";
+            if (!exec.shard.isWhole())
+                path += "-" + std::to_string(exec.shard.index + 1) +
+                        "-" + std::to_string(exec.shard.count);
+            path += ".jsonl";
+            heartbeat_stream.open(path, std::ios::trunc);
+            if (!heartbeat_stream)
+                sim::fatal("scenario \"" + effective.name +
+                           "\": cannot open heartbeat \"" + path +
+                           "\" for writing");
+            heartbeat = std::make_unique<obs::HeartbeatWriter>(
+                heartbeat_stream);
+            runner_options.heartbeat = heartbeat.get();
+        }
+    }
 
     CampaignRunner runner(runner_options);
     const auto csv =

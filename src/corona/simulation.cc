@@ -7,6 +7,7 @@
 #include <string>
 
 #include "corona/env.hh"
+#include "obs/observe.hh"
 #include "power/network_power.hh"
 #include "sim/logging.hh"
 
@@ -237,6 +238,34 @@ runExperiment(SimContext &ctx, workload::Workload &workload,
 {
     NetworkSimulation sim(ctx, workload, params);
     return sim.run();
+}
+
+RunMetrics
+runExperiment(const SystemConfig &config, workload::Workload &workload,
+              const SimParams &params, const obs::RunObservability &obs)
+{
+    if (!obs.enabled())
+        return runExperiment(config, workload, params);
+    // A fresh context is pristine, so the pooled path below applies.
+    SimContext ctx(config);
+    return runExperiment(ctx, workload, params, obs);
+}
+
+RunMetrics
+runExperiment(SimContext &ctx, workload::Workload &workload,
+              const SimParams &params, const obs::RunObservability &obs)
+{
+    if (!obs.enabled())
+        return runExperiment(ctx, workload, params);
+    NetworkSimulation sim(ctx, workload, params);
+    // Constructed after the simulation: the pristine check above must
+    // not see sampler events, and the destructor detaches the tracer so
+    // a pooled system never keeps a dangling pointer across leases.
+    obs::RunObserver observer(ctx.system(), ctx.eq(), obs);
+    observer.start();
+    RunMetrics metrics = sim.run();
+    observer.finish();
+    return metrics;
 }
 
 std::optional<std::uint64_t>

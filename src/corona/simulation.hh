@@ -26,6 +26,10 @@
 #include "workload/thread_model.hh"
 #include "workload/workload.hh"
 
+namespace corona::obs {
+struct RunObservability;
+} // namespace corona::obs
+
 namespace corona::core {
 
 /** Simulation controls. */
@@ -124,6 +128,21 @@ RunMetrics runExperiment(const SystemConfig &config,
  */
 RunMetrics runExperiment(SimContext &ctx, workload::Workload &workload,
                          const SimParams &params = {});
+
+/**
+ * Observed variants: when @p obs requests any plane, the run carries a
+ * fully wired obs::RunObserver (registry instrumentation, optional
+ * event tracer, optional time-series sampler) and its output files are
+ * written before returning. A disabled @p obs takes exactly the
+ * unobserved code path — metrics and sink bytes cannot differ.
+ */
+RunMetrics runExperiment(const SystemConfig &config,
+                         workload::Workload &workload,
+                         const SimParams &params,
+                         const obs::RunObservability &obs);
+RunMetrics runExperiment(SimContext &ctx, workload::Workload &workload,
+                         const SimParams &params,
+                         const obs::RunObservability &obs);
 
 /**
  * Strictly parse a positive decimal count: digits only (no sign,

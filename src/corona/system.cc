@@ -1,5 +1,10 @@
 #include "corona/system.hh"
 
+#include <string>
+#include <utility>
+
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace corona::core {
@@ -77,6 +82,119 @@ CoronaSystem::reset()
         mc->reset();
     for (auto &hub : _hubs)
         hub->reset();
+}
+
+void
+CoronaSystem::instrument(obs::Registry &registry)
+{
+    const noc::NetStats &net = _network->netStats();
+    registry.add("net/messages", net.messages);
+    registry.add("net/bytes", net.bytes);
+    registry.add("net/hops", net.hopTraversals);
+    registry.addStats("net/latency", net.latency);
+
+    if (_xbar) {
+        for (topology::ClusterId c = 0; c < _xbar->clusters(); ++c) {
+            const xbar::OpticalChannel &ch = _xbar->channel(c);
+            const std::string prefix =
+                "xbar/ch/" + std::to_string(c) + "/";
+            registry.add(prefix + "messages", [&ch] {
+                return static_cast<double>(ch.messagesDelivered());
+            });
+            registry.add(prefix + "bytes", [&ch] {
+                return static_cast<double>(ch.bytesDelivered());
+            });
+            registry.add(prefix + "busy_ticks", [&ch] {
+                return static_cast<double>(ch.busyTime());
+            });
+            registry.add(prefix + "sink_depth", [&ch] {
+                return static_cast<double>(ch.sinkDepth());
+            });
+            registry.add(prefix + "queued", [&ch] {
+                return static_cast<double>(ch.queuedMessages());
+            });
+            registry.add(prefix + "token/grants", [&ch] {
+                return static_cast<double>(ch.arbiter().grants());
+            });
+            registry.add(prefix + "token/held", [&ch] {
+                return ch.arbiter().held() ? 1.0 : 0.0;
+            });
+            registry.addStats(prefix + "token/wait",
+                              ch.arbiter().waitStats());
+        }
+    }
+
+    if (_mesh) {
+        static const std::pair<mesh::Direction, const char *> ports[] = {
+            {mesh::Direction::East, "e"},
+            {mesh::Direction::West, "w"},
+            {mesh::Direction::North, "n"},
+            {mesh::Direction::South, "s"},
+        };
+        for (topology::ClusterId c = 0; c < _config.clusters; ++c) {
+            mesh::Router &router = _mesh->router(c);
+            const std::string prefix =
+                "mesh/r/" + std::to_string(c) + "/";
+            registry.add(prefix + "injection_depth", [&router] {
+                return static_cast<double>(router.injectionDepth());
+            });
+            for (const auto &[dir, tag] : ports) {
+                const noc::CreditBuffer &in = router.inputBuffer(dir);
+                registry.add(prefix + "in/" + tag + "/depth", [&in] {
+                    return static_cast<double>(in.size());
+                });
+            }
+        }
+    }
+
+    for (topology::ClusterId c = 0; c < _config.clusters; ++c) {
+        const memory::MemoryController &mc = *_mcs[c];
+        const std::string prefix = "mc/" + std::to_string(c) + "/";
+        registry.add(prefix + "accesses", [&mc] {
+            return static_cast<double>(mc.accesses());
+        });
+        registry.add(prefix + "bytes", [&mc] {
+            return static_cast<double>(mc.bytesMoved());
+        });
+        registry.add(prefix + "queue_depth", [&mc] {
+            return static_cast<double>(mc.queueDepth());
+        });
+        registry.add(prefix + "peak_queue", [&mc] {
+            return static_cast<double>(mc.peakQueueDepth());
+        });
+        registry.addStats(prefix + "service", mc.serviceTime());
+    }
+
+    for (topology::ClusterId c = 0; c < _config.clusters; ++c) {
+        const Hub &hub = *_hubs[c];
+        const std::string prefix = "hub/" + std::to_string(c) + "/";
+        registry.add(prefix + "network_requests", [&hub] {
+            return static_cast<double>(hub.networkRequests());
+        });
+        registry.add(prefix + "local_requests", [&hub] {
+            return static_cast<double>(hub.localRequests());
+        });
+        registry.add(prefix + "mshr/in_use", [&hub] {
+            return static_cast<double>(hub.mshrs().inUse());
+        });
+        registry.add(prefix + "mshr/coalesced", [&hub] {
+            return static_cast<double>(hub.mshrs().coalesced());
+        });
+        registry.add(prefix + "mshr/full_stalls", [&hub] {
+            return static_cast<double>(hub.mshrs().fullStalls());
+        });
+        registry.addStats(prefix + "mshr/lifetime",
+                          hub.mshrs().lifetime());
+    }
+}
+
+void
+CoronaSystem::setTracer(obs::EventTracer *tracer)
+{
+    if (_xbar)
+        _xbar->setTracer(tracer);
+    for (auto &mc : _mcs)
+        mc->setTracer(tracer);
 }
 
 double

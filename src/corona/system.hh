@@ -28,6 +28,11 @@
 #include "topology/geometry.hh"
 #include "xbar/optical_xbar.hh"
 
+namespace corona::obs {
+class EventTracer;
+class Registry;
+} // namespace corona::obs
+
 namespace corona::core {
 
 /**
@@ -75,6 +80,24 @@ class CoronaSystem
      * (SimContext does both).
      */
     void reset();
+
+    /**
+     * Register every component's statistics (plus live depth gauges)
+     * in @p registry under stable paths: net/..., xbar/ch/<c>/...,
+     * mesh/r/<c>/..., mc/<c>/..., hub/<c>/.... Registration order is
+     * construction order, so the probe set is deterministic for a
+     * given configuration. Probes hold references into this system:
+     * the registry must not outlive it.
+     */
+    void instrument(obs::Registry &registry);
+
+    /**
+     * Attach a trace sink to every traced component — crossbar
+     * channels and token arbiters, memory controllers — or detach
+     * them all with null. reset() keeps the attachment; a RunObserver
+     * detaches in its destructor.
+     */
+    void setTracer(obs::EventTracer *tracer);
 
     /** Crossbar accessor (null for mesh systems). */
     const xbar::OpticalCrossbar *crossbar() const { return _xbar; }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace corona::memory {
@@ -71,6 +72,10 @@ MemoryController::tryStart()
     _busy = true;
 
     const sim::Tick start = _eq.now();
+    if (_tracer)
+        _tracer->record(obs::TraceKind::McIssue, _cluster, pending.arrived,
+                        start,
+                        static_cast<std::uint32_t>(pending.request.src));
     // Every access moves one cache line over the off-stack link (read
     // fill or write data) — the serialization resource.
     const auto line = static_cast<double>(noc::cacheLineBytes);
@@ -113,6 +118,10 @@ MemoryController::finish(std::size_t slot, sim::Tick data_ready)
     ++_accesses;
     _bytesMoved += noc::cacheLineBytes;
     _serviceTime.sample(static_cast<double>(data_ready - pending.arrived));
+    if (_tracer)
+        _tracer->record(obs::TraceKind::McComplete, _cluster,
+                        pending.arrived, data_ready,
+                        static_cast<std::uint32_t>(pending.request.src));
 
     noc::Message response;
     response.id = pending.request.id;

@@ -23,6 +23,10 @@
 #include "sim/inline_function.hh"
 #include "stats/stats.hh"
 
+namespace corona::obs {
+class EventTracer;
+} // namespace corona::obs
+
 namespace corona::memory {
 
 /** Off-stack memory interconnect parameters (one controller's share). */
@@ -80,6 +84,13 @@ class MemoryController
 
     const DramModule &dram() const { return _dram; }
 
+    /**
+     * Attach a trace sink (null detaches): link issues and data-ready
+     * completions get recorded. Observability wiring; reset() keeps
+     * it.
+     */
+    void setTracer(obs::EventTracer *tracer) { _tracer = tracer; }
+
     /** Drop queued and in-flight requests, free the link, reset the
      * DRAM mats, and zero the statistics. Requires the event queue to
      * be reset alongside (pending completion events reference the
@@ -117,6 +128,7 @@ class MemoryController
     std::uint64_t _bytesMoved = 0;
     stats::RunningStats _serviceTime;
     std::size_t _peakQueue = 0;
+    obs::EventTracer *_tracer = nullptr;
 };
 
 /** Build the paper's OCM per-controller parameters (Table 4). */

@@ -81,6 +81,9 @@ class Router
 
     topology::ClusterId id() const { return _id; }
 
+    /** Messages parked in the local injection queue right now. */
+    std::size_t injectionDepth() const { return _injection.size(); }
+
     /** Drop all buffered traffic and restore the pristine
      * post-construction state. Link/eject wiring is kept. Requires the
      * event queue to be reset alongside. */

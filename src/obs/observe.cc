@@ -1,0 +1,88 @@
+#include "obs/observe.hh"
+
+#include <fstream>
+
+#include "corona/system.hh"
+#include "sim/logging.hh"
+
+namespace corona::obs {
+
+namespace {
+
+void
+writeFileOrDie(const std::string &path,
+               const std::function<void(std::ostream &)> &emit)
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+        sim::fatal("obs: cannot open output file: " + path);
+    emit(os);
+    os.flush();
+    if (!os)
+        sim::fatal("obs: write failed: " + path);
+}
+
+} // namespace
+
+RunObservability
+CampaignObsOptions::forRun(std::size_t run_index) const
+{
+    RunObservability obs;
+    obs.sample_period = sample_period;
+    obs.trace_capacity = trace_capacity;
+    obs.snapshot = snapshot;
+    const std::string stem = dir + "/run" + std::to_string(run_index);
+    if (sample_period > 0)
+        obs.timeseries_path = stem + ".timeseries.csv";
+    if (trace_capacity > 0)
+        obs.trace_path = stem + ".trace.json";
+    if (snapshot)
+        obs.snapshot_path = stem + ".snapshot.csv";
+    return obs;
+}
+
+RunObserver::RunObserver(core::CoronaSystem &system, sim::EventQueue &eq,
+                         const RunObservability &obs)
+    : _system(system), _eq(eq), _obs(obs)
+{
+    _system.instrument(_registry);
+    if (_obs.trace_capacity > 0) {
+        _tracer = std::make_unique<EventTracer>(_obs.trace_capacity);
+        _system.setTracer(_tracer.get());
+    }
+}
+
+RunObserver::~RunObserver()
+{
+    if (_tracer)
+        _system.setTracer(nullptr);
+}
+
+void
+RunObserver::start()
+{
+    if (_obs.sample_period > 0) {
+        _sampler = std::make_unique<TimeSeriesSampler>(_registry, _eq,
+                                                       _obs.sample_period);
+        _sampler->start();
+    }
+}
+
+void
+RunObserver::finish()
+{
+    if (_sampler && !_obs.timeseries_path.empty())
+        writeFileOrDie(_obs.timeseries_path, [this](std::ostream &os) {
+            _sampler->writeCsv(os);
+        });
+    if (_tracer && !_obs.trace_path.empty())
+        writeFileOrDie(_obs.trace_path, [this](std::ostream &os) {
+            _tracer->writeChromeJson(os);
+        });
+    if (_obs.snapshot && !_obs.snapshot_path.empty())
+        writeFileOrDie(_obs.snapshot_path, [this](std::ostream &os) {
+            _registry.writeSnapshotCsv(os);
+        });
+}
+
+} // namespace corona::obs

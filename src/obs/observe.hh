@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Per-run observability bundle.
+ *
+ * RunObservability is the resolved request for one run: which planes
+ * are on (sample period, trace capacity, snapshot) and where each
+ * output file goes. RunObserver owns the per-run machinery — a
+ * Registry instrumented over the system, an optional EventTracer
+ * attached to the components, an optional TimeSeriesSampler on the
+ * event queue — and writes the requested files after the run.
+ *
+ * Lifecycle against the pooled-context discipline:
+ *
+ *     core::SimContext &ctx = pool.lease(config);    // pristine
+ *     core::NetworkSimulation sim(ctx, workload);    // pristine check
+ *     obs::RunObserver observer(ctx.system(), ctx.eq(), run_obs);
+ *     observer.start();                              // t=0 sample
+ *     RunMetrics m = sim.run();
+ *     observer.finish();                             // write files
+ *
+ * The observer is constructed after the simulation (the pristine check
+ * must not see sampler events) and detaches the tracer from the system
+ * in its destructor, so a pooled system never keeps a dangling tracer
+ * pointer across leases.
+ */
+
+#ifndef CORONA_OBS_OBSERVE_HH
+#define CORONA_OBS_OBSERVE_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "obs/registry.hh"
+#include "obs/timeseries.hh"
+#include "obs/trace.hh"
+#include "sim/types.hh"
+
+namespace corona::core {
+class CoronaSystem;
+} // namespace corona::core
+
+namespace corona::obs {
+
+/** What to observe in one run, and where to put it. */
+struct RunObservability
+{
+    /** Ticks between time-series samples; 0 disables the sampler. */
+    sim::Tick sample_period = 0;
+    /** Trace ring capacity in events; 0 disables tracing. */
+    std::size_t trace_capacity = 0;
+    /** Write an end-of-run registry snapshot CSV. */
+    bool snapshot = false;
+
+    /** Output paths; an empty path skips that file. */
+    std::string timeseries_path;
+    std::string trace_path;
+    std::string snapshot_path;
+
+    bool
+    enabled() const
+    {
+        return sample_period > 0 || trace_capacity > 0 || snapshot;
+    }
+};
+
+/** Campaign-wide observability knobs (the [observability] section). */
+struct CampaignObsOptions
+{
+    sim::Tick sample_period = 0;
+    std::size_t trace_capacity = 0;
+    bool snapshot = false;
+    /** Directory receiving per-run files (created by the caller). */
+    std::string dir;
+
+    bool
+    enabled() const
+    {
+        return sample_period > 0 || trace_capacity > 0 || snapshot;
+    }
+
+    /**
+     * The per-run request for global run index @p run_index:
+     * dir/run<index>.timeseries.csv / .trace.json / .snapshot.csv,
+     * each present only when its plane is on.
+     */
+    RunObservability forRun(std::size_t run_index) const;
+};
+
+/**
+ * Owns one run's observability state (see file comment for the
+ * lifecycle).
+ */
+class RunObserver
+{
+  public:
+    /**
+     * Instrument @p system into a fresh registry and, if tracing is
+     * requested, attach a tracer to it.
+     */
+    RunObserver(core::CoronaSystem &system, sim::EventQueue &eq,
+                const RunObservability &obs);
+
+    /** Detaches the tracer from the system. */
+    ~RunObserver();
+
+    RunObserver(const RunObserver &) = delete;
+    RunObserver &operator=(const RunObserver &) = delete;
+
+    /**
+     * Begin in-sim recording (t=0 time-series sample + periodic
+     * rescheduling). Call after the simulation is constructed and
+     * before run().
+     */
+    void start();
+
+    /** Write every configured output file (fatal on I/O failure). */
+    void finish();
+
+    const Registry &registry() const { return _registry; }
+    const EventTracer *tracer() const { return _tracer.get(); }
+    const TimeSeriesSampler *sampler() const { return _sampler.get(); }
+
+  private:
+    core::CoronaSystem &_system;
+    sim::EventQueue &_eq;
+    RunObservability _obs;
+    Registry _registry;
+    std::unique_ptr<EventTracer> _tracer;
+    std::unique_ptr<TimeSeriesSampler> _sampler;
+};
+
+} // namespace corona::obs
+
+#endif // CORONA_OBS_OBSERVE_HH

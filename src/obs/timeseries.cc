@@ -1,0 +1,60 @@
+#include "obs/timeseries.hh"
+
+#include <ostream>
+
+#include "obs/registry.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace corona::obs {
+
+TimeSeriesSampler::TimeSeriesSampler(const Registry &registry,
+                                     sim::EventQueue &eq, sim::Tick period)
+    : _registry(registry), _eq(eq), _period(period)
+{
+    if (period == 0)
+        sim::fatal("obs::TimeSeriesSampler: sample period must be > 0");
+}
+
+void
+TimeSeriesSampler::start()
+{
+    sample();
+    scheduleNext();
+}
+
+void
+TimeSeriesSampler::sample()
+{
+    _rows.push_back(SampleRow{_eq.now(), _registry.read()});
+}
+
+void
+TimeSeriesSampler::scheduleNext()
+{
+    _eq.scheduleIn(_period, [this] {
+        sample();
+        // Our own event is already popped: an empty queue here means the
+        // simulation proper has drained and this was the closing sample.
+        // Rescheduling would keep the run alive forever.
+        if (!_eq.empty())
+            scheduleNext();
+    });
+}
+
+void
+TimeSeriesSampler::writeCsv(std::ostream &os) const
+{
+    os << "tick";
+    for (const Probe &probe : _registry.probes())
+        os << ',' << probe.path;
+    os << '\n';
+    for (const SampleRow &row : _rows) {
+        os << row.tick;
+        for (const double value : row.values)
+            os << ',' << formatValue(value);
+        os << '\n';
+    }
+}
+
+} // namespace corona::obs

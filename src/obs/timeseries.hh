@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Periodic time-series sampler — the temporal plane of src/obs.
+ *
+ * The sampler rides the simulation's own event queue: every
+ * sample period it reads the whole obs::Registry into one row
+ * (tick, probe values in registration order) and reschedules itself.
+ * Rescheduling stops the moment the queue drains — the sampler checks
+ * `EventQueue::empty()` at fire time, when its own event has already
+ * been popped — so an instrumented run still terminates exactly like
+ * an uninstrumented one, just with a final sample at the last
+ * scheduled tick.
+ *
+ * Rows are held in memory and written as a columnar CSV after the run
+ * ("tick,<path>,<path>,..."); values use the shortest round-trip
+ * decimal form, so the bytes are deterministic for a given run.
+ */
+
+#ifndef CORONA_OBS_TIMESERIES_HH
+#define CORONA_OBS_TIMESERIES_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace corona::sim {
+class EventQueue;
+} // namespace corona::sim
+
+namespace corona::obs {
+
+class Registry;
+
+/** One sampled row: the tick plus every probe value. */
+struct SampleRow
+{
+    sim::Tick tick = 0;
+    std::vector<double> values;
+};
+
+/**
+ * Samples a Registry every fixed number of ticks, via the event queue.
+ */
+class TimeSeriesSampler
+{
+  public:
+    /**
+     * @param registry Probes to sample (must outlive the sampler).
+     * @param eq Event queue driving the simulation (must outlive).
+     * @param period Ticks between samples (must be > 0).
+     */
+    TimeSeriesSampler(const Registry &registry, sim::EventQueue &eq,
+                      sim::Tick period);
+
+    /**
+     * Take the t=now sample and schedule the periodic ones. Call once,
+     * after instrumentation and before the run.
+     */
+    void start();
+
+    sim::Tick period() const { return _period; }
+    const std::vector<SampleRow> &rows() const { return _rows; }
+
+    /**
+     * Write the samples as CSV: a "tick,<paths...>" header then one
+     * row per sample, values in registration order.
+     */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    void sample();
+    void scheduleNext();
+
+    const Registry &_registry;
+    sim::EventQueue &_eq;
+    sim::Tick _period;
+    std::vector<SampleRow> _rows;
+};
+
+} // namespace corona::obs
+
+#endif // CORONA_OBS_TIMESERIES_HH

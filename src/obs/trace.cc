@@ -1,0 +1,124 @@
+#include "obs/trace.hh"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace corona::obs {
+
+namespace {
+
+/**
+ * Ticks (picoseconds) as a decimal microsecond count with full tick
+ * resolution: "1" for 1'000'000 ticks, "0.000001" for one tick.
+ * Integer arithmetic only, so the emitted bytes are deterministic.
+ */
+void
+writeMicroseconds(std::ostream &os, sim::Tick ticks)
+{
+    constexpr sim::Tick per_us = 1'000'000;
+    os << ticks / per_us;
+    sim::Tick frac = ticks % per_us;
+    if (frac == 0)
+        return;
+    char digits[6];
+    for (int i = 5; i >= 0; --i) {
+        digits[i] = static_cast<char>('0' + frac % 10);
+        frac /= 10;
+    }
+    int last = 5;
+    while (digits[last] == '0')
+        --last; // frac != 0, so a non-zero digit exists.
+    os << '.';
+    os.write(digits, last + 1);
+}
+
+} // namespace
+
+const char *
+traceCategory(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::ChannelGrant:
+      case TraceKind::TokenHandoff:
+        return "xbar";
+      case TraceKind::McIssue:
+      case TraceKind::McComplete:
+        return "mc";
+      case TraceKind::BarrierWait:
+        return "barrier";
+    }
+    return "other";
+}
+
+const char *
+traceName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::ChannelGrant:
+        return "channel_grant";
+      case TraceKind::TokenHandoff:
+        return "token_handoff";
+      case TraceKind::McIssue:
+        return "mc_issue";
+      case TraceKind::McComplete:
+        return "mc_complete";
+      case TraceKind::BarrierWait:
+        return "barrier_wait";
+    }
+    return "event";
+}
+
+EventTracer::EventTracer(std::size_t capacity)
+{
+    if (capacity == 0)
+        throw std::invalid_argument("EventTracer: capacity must be > 0");
+    _ring.resize(capacity);
+}
+
+std::vector<TraceEvent>
+EventTracer::events() const
+{
+    std::vector<TraceEvent> out;
+    const std::size_t held = size();
+    out.reserve(held);
+    // When wrapped, the oldest surviving event sits at _next.
+    const std::size_t first =
+        _recorded > _ring.size() ? _next : 0;
+    for (std::size_t i = 0; i < held; ++i)
+        out.push_back(_ring[(first + i) % _ring.size()]);
+    return out;
+}
+
+void
+EventTracer::writeChromeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first_event = true;
+    for (const TraceEvent &event : events()) {
+        if (!first_event)
+            os << ',';
+        first_event = false;
+        os << "{\"name\":\"" << traceName(event.kind)
+           << "\",\"cat\":\"" << traceCategory(event.kind)
+           << "\",\"ph\":\"X\",\"ts\":";
+        writeMicroseconds(os, event.start);
+        os << ",\"dur\":";
+        writeMicroseconds(os, event.end >= event.start
+                                  ? event.end - event.start
+                                  : 0);
+        os << ",\"pid\":0,\"tid\":" << event.actor
+           << ",\"args\":{\"aux\":" << event.aux << "}}";
+    }
+    os << "]}\n";
+}
+
+void
+EventTracer::reset()
+{
+    _next = 0;
+    _recorded = 0;
+    for (TraceEvent &slot : _ring)
+        slot = TraceEvent{};
+}
+
+} // namespace corona::obs

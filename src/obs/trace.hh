@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Bounded ring-buffer event tracer — the dynamic plane of src/obs.
+ *
+ * Components with a tracer attached record timed spans (channel
+ * modulation grants, token handoffs, memory-controller queue/service
+ * intervals, barrier waits) into a fixed-capacity ring: recording is a
+ * couple of stores, never an allocation, and when the ring fills the
+ * oldest events are overwritten so the trace always holds the most
+ * recent window. The ring exports as Chrome trace-event JSON
+ * (complete "X" events), loadable directly in Perfetto or
+ * chrome://tracing: one row per actor (cluster), one slice per span.
+ *
+ * Recording order is simulation order (components record at event
+ * execution time on the single-threaded kernel), so the exported
+ * bytes are deterministic for a given run regardless of host thread
+ * count.
+ */
+
+#ifndef CORONA_OBS_TRACE_HH
+#define CORONA_OBS_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace corona::obs {
+
+/** What a trace span describes. */
+enum class TraceKind : std::uint8_t
+{
+    ChannelGrant, ///< One message modulated on a crossbar channel.
+    TokenHandoff, ///< Token request-to-divert wait on the arbitration ring.
+    McIssue,      ///< Memory request queued (arrival to link issue).
+    McComplete,   ///< Memory request serviced (arrival to data ready).
+    BarrierWait,  ///< Barrier arrival-to-release wait.
+};
+
+/** Chrome trace-event category name for @p kind. */
+const char *traceCategory(TraceKind kind);
+
+/** Chrome trace-event slice name for @p kind. */
+const char *traceName(TraceKind kind);
+
+/** One recorded span. */
+struct TraceEvent
+{
+    sim::Tick start = 0;
+    sim::Tick end = 0;
+    /** Row the span renders on (cluster id of the acting component). */
+    std::uint32_t actor = 0;
+    /** Kind-specific detail (peer cluster, queue depth, ...). */
+    std::uint32_t aux = 0;
+    TraceKind kind = TraceKind::ChannelGrant;
+};
+
+/**
+ * Fixed-capacity ring of trace events.
+ */
+class EventTracer
+{
+  public:
+    /** @param capacity Ring size in events (must be > 0). */
+    explicit EventTracer(std::size_t capacity);
+
+    /** Record one span; overwrites the oldest event when full. */
+    void
+    record(TraceKind kind, std::uint32_t actor, sim::Tick start,
+           sim::Tick end, std::uint32_t aux = 0)
+    {
+        TraceEvent &slot = _ring[_next];
+        slot = TraceEvent{start, end, actor, aux, kind};
+        _next = (_next + 1) % _ring.size();
+        ++_recorded;
+    }
+
+    std::size_t capacity() const { return _ring.size(); }
+
+    /** Events currently held (<= capacity). */
+    std::size_t
+    size() const
+    {
+        return _recorded < _ring.size()
+                   ? static_cast<std::size_t>(_recorded)
+                   : _ring.size();
+    }
+
+    /** Total events ever recorded. */
+    std::uint64_t recorded() const { return _recorded; }
+
+    /** Events lost to ring wrap-around. */
+    std::uint64_t
+    dropped() const
+    {
+        return _recorded > _ring.size() ? _recorded - _ring.size() : 0;
+    }
+
+    /** Held events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    /**
+     * Export the held events as Chrome trace-event JSON (an object
+     * with a "traceEvents" array of complete events; timestamps in
+     * microseconds with tick resolution preserved). The byte output
+     * is deterministic: pure integer formatting, insertion order.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+    /** Drop every event and zero the counters. */
+    void reset();
+
+  private:
+    std::vector<TraceEvent> _ring;
+    std::size_t _next = 0;
+    std::uint64_t _recorded = 0;
+};
+
+} // namespace corona::obs
+
+#endif // CORONA_OBS_TRACE_HH

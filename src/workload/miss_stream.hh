@@ -85,6 +85,19 @@ class MissStreamWorkload : public Workload
     /** Total memory accesses generated so far. */
     std::uint64_t accesses() const { return _accesses; }
 
+    void
+    reset() override
+    {
+        for (auto &cache : _l1)
+            cache->reset();
+        for (auto &cache : _l2)
+            cache->reset();
+        _cursor.assign(_cursor.size(), 0);
+        for (auto &queue : _writebacks)
+            queue.clear();
+        _accesses = 0;
+    }
+
   private:
     /** Next address in thread's pattern. */
     topology::Addr nextAddress(std::size_t thread, sim::Rng &rng);

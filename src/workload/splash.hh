@@ -83,6 +83,12 @@ class SplashWorkload : public Workload
     double offeredBytesPerSecond() const override;
     std::size_t threads() const override;
 
+    void
+    reset() override
+    {
+        _state.assign(_state.size(), ThreadState{});
+    }
+
     const SplashParams &params() const { return _params; }
 
   private:

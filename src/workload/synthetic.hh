@@ -66,6 +66,12 @@ class SyntheticWorkload : public Workload
     double offeredBytesPerSecond() const override;
     std::size_t threads() const override;
 
+    void
+    reset() override
+    {
+        _sequence.assign(_sequence.size(), 0);
+    }
+
     /** Destination cluster the pattern assigns to traffic from @p src. */
     topology::ClusterId destinationOf(topology::ClusterId src,
                                       sim::Rng &rng) const;

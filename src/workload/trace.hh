@@ -98,6 +98,12 @@ class TraceWorkload : public Workload
     double offeredBytesPerSecond() const override;
     std::size_t threads() const override { return _perThread.size(); }
 
+    void
+    reset() override
+    {
+        _cursor.assign(_cursor.size(), 0);
+    }
+
   private:
     std::string _name;
     std::vector<std::vector<TraceRecord>> _perThread;

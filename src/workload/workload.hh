@@ -67,6 +67,15 @@ class Workload
 
     /** Threads the model drives (1024 for all paper workloads). */
     virtual std::size_t threads() const { return 1024; }
+
+    /**
+     * Restore the pristine post-construction state (sequence
+     * counters, per-thread cursors, cache contents). Models are
+     * deterministic given the run seed, so a reset workload replays
+     * exactly like a fresh one — the basis of the campaign runner's
+     * per-cell workload pooling.
+     */
+    virtual void reset() = 0;
 };
 
 /** Factory type used by the experiment harness. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace corona::xbar {
@@ -26,6 +27,10 @@ OpticalBarrier::OpticalBarrier(sim::EventQueue &eq, BroadcastBus &bus,
                 static_cast<double>(_eq.now() - waiter.arrived));
             _releaseStats.sample(
                 static_cast<double>(_eq.now() - waiter.last_arrival));
+            if (_tracer)
+                _tracer->record(obs::TraceKind::BarrierWait,
+                                waiter.cluster, waiter.arrived, _eq.now(),
+                                static_cast<std::uint32_t>(msg.tag));
             auto resume = std::move(waiter.resume);
             waiter.resume = nullptr;
             resume();

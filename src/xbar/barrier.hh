@@ -62,6 +62,13 @@ class OpticalBarrier
         return _releaseStats;
     }
 
+    /**
+     * Attach a trace sink (null detaches): each waiter's
+     * arrival-to-resume wait is recorded as a BarrierWait span tagged
+     * with the episode number.
+     */
+    void setTracer(obs::EventTracer *tracer) { _tracer = tracer; }
+
   private:
     struct Waiter
     {
@@ -84,6 +91,7 @@ class OpticalBarrier
     std::uint64_t _releaseTag = 0;
     stats::RunningStats _waitStats;
     stats::RunningStats _releaseStats;
+    obs::EventTracer *_tracer = nullptr;
 };
 
 } // namespace corona::xbar

@@ -63,6 +63,17 @@ class BroadcastBus
 
     std::uint64_t broadcastsSent() const { return _broadcasts; }
 
+    /**
+     * Attach a trace sink to the broadcast token arbiter (null
+     * detaches). Handoffs are tagged one past the last channel home,
+     * distinguishing the bus token from the per-channel tokens.
+     */
+    void
+    setTracer(obs::EventTracer *tracer)
+    {
+        _arbiter.setTracer(tracer, static_cast<std::uint32_t>(_clusters));
+    }
+
   private:
     void transmit();
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace corona::xbar {
@@ -117,6 +118,9 @@ OpticalChannel::sendNext(topology::ClusterId src, std::size_t remaining)
     const sim::Tick ser =
         serializationTime(head_source.pending.front().bytes());
     _busyTime += ser;
+    if (_tracer)
+        _tracer->record(obs::TraceKind::ChannelGrant, _home, _eq.now(),
+                        _eq.now() + ser, src);
 
     _eq.scheduleIn(ser, [this, src, remaining] {
         Source &source = _sources[src];

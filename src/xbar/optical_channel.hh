@@ -105,6 +105,31 @@ class OpticalChannel
     /** Ticks the channel spent modulating (busy). */
     sim::Tick busyTime() const { return _busyTime; }
 
+    /** Messages occupying the home input buffer right now. */
+    std::size_t sinkDepth() const { return _sink.size(); }
+
+    /** Messages queued at sources awaiting the token. */
+    std::size_t
+    queuedMessages() const
+    {
+        std::size_t queued = 0;
+        for (const Source &source : _sources)
+            queued += source.pending.size();
+        return queued;
+    }
+
+    /**
+     * Attach a trace sink (null detaches) to the channel and its
+     * arbiter: modulation grants and token handoffs get recorded.
+     * Observability wiring, like setDeliver: reset() keeps it.
+     */
+    void
+    setTracer(obs::EventTracer *tracer)
+    {
+        _tracer = tracer;
+        _arbiter.setTracer(tracer, static_cast<std::uint32_t>(_home));
+    }
+
     /** Restore the pristine post-construction state: empty queues, a
      * free token, zeroed statistics. Delivery wiring is kept. Requires
      * the event queue to be reset alongside. */
@@ -153,6 +178,7 @@ class OpticalChannel
     std::uint64_t _bytesDelivered = 0;
     sim::Tick _busyTime = 0;
     bool _draining = false;
+    obs::EventTracer *_tracer = nullptr;
 };
 
 } // namespace corona::xbar

@@ -53,6 +53,13 @@ OpticalCrossbar::channel(topology::ClusterId home) const
     return *_channels.at(home);
 }
 
+void
+OpticalCrossbar::setTracer(obs::EventTracer *tracer)
+{
+    for (auto &channel : _channels)
+        channel->setTracer(tracer);
+}
+
 double
 OpticalCrossbar::meanTokenWait() const
 {

@@ -59,6 +59,9 @@ class OpticalCrossbar : public noc::Interconnect
     /** Mean token-acquisition wait across all channels, ticks. */
     double meanTokenWait() const;
 
+    /** Attach a trace sink to every channel (null detaches). */
+    void setTracer(obs::EventTracer *tracer);
+
     std::size_t clusters() const { return _channels.size(); }
 
   private:

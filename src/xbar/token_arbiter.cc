@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace corona::xbar {
@@ -109,6 +110,9 @@ TokenArbiter::fireGrant(std::size_t waiter_index, sim::Tick granted_at)
     ++_grantEpoch; // Invalidate any other scheduled grant.
     ++_grants;
     _waitStats.sample(static_cast<double>(granted_at - waiter.since));
+    if (_tracer)
+        _tracer->record(obs::TraceKind::TokenHandoff, waiter.cluster,
+                        waiter.since, granted_at, _traceChannel);
     waiter.grant();
 }
 

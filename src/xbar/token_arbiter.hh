@@ -26,6 +26,10 @@
 #include "stats/stats.hh"
 #include "topology/geometry.hh"
 
+namespace corona::obs {
+class EventTracer;
+} // namespace corona::obs
+
 namespace corona::xbar {
 
 /**
@@ -78,6 +82,18 @@ class TokenArbiter
     /** Full-loop revolution time, ticks. */
     sim::Tick loopTime() const { return _hopTime * _clusters; }
 
+    /**
+     * Attach a trace sink (null detaches); grants record a
+     * TokenHandoff span tagged with @p channel (the owning channel's
+     * home). Observability wiring, like setDeliver: reset() keeps it.
+     */
+    void
+    setTracer(obs::EventTracer *tracer, std::uint32_t channel)
+    {
+        _tracer = tracer;
+        _traceChannel = channel;
+    }
+
     /** Restore the pristine post-construction state: token free at
      * cluster 0, no waiters, zeroed statistics. Requires the event
      * queue to be reset alongside (scheduled grants are dropped). */
@@ -129,6 +145,9 @@ class TokenArbiter
 
     stats::RunningStats _waitStats;
     std::uint64_t _grants = 0;
+
+    obs::EventTracer *_tracer = nullptr;
+    std::uint32_t _traceChannel = 0;
 };
 
 } // namespace corona::xbar

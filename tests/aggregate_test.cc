@@ -83,6 +83,8 @@ TEST(SummarySink, ComputesMeanStddevAndCi)
     EXPECT_NEAR(latency.mean, 20.0, 1e-12);
     EXPECT_NEAR(latency.stddev, 10.0, 1e-12);
     EXPECT_NEAR(latency.ci95, 4.303 * 10.0 / std::sqrt(3.0), 1e-9);
+    EXPECT_EQ(latency.min, 10.0);
+    EXPECT_EQ(latency.max, 30.0);
     // Derived metrics flow through the same pipeline.
     EXPECT_NEAR(cell.metric(SummaryMetric::P95LatencyNs).mean, 40.0,
                 1e-12);
@@ -105,6 +107,8 @@ TEST(SummarySink, SingleReplicateHasZeroSpread)
     EXPECT_NEAR(latency.mean, 42.0, 1e-12);
     EXPECT_EQ(latency.stddev, 0.0);
     EXPECT_EQ(latency.ci95, 0.0);
+    EXPECT_EQ(latency.min, 42.0);
+    EXPECT_EQ(latency.max, 42.0);
 }
 
 TEST(SummarySink, ExcludesFailedRunsFromTheStatistics)
@@ -154,6 +158,9 @@ TEST(SummarySink, WritesOneCsvRowPerCell)
     EXPECT_EQ(line, campaign::SummarySink::header());
     ASSERT_TRUE(std::getline(lines, line));
     EXPECT_EQ(line.rfind("Uniform,XBar/OCM,,3,0,20,10,", 0), 0u)
+        << "row was: " << line;
+    // The latency min/max columns follow the ci95 column.
+    EXPECT_NE(line.find(",10,30,"), std::string::npos)
         << "row was: " << line;
     EXPECT_FALSE(std::getline(lines, line)); // Exactly one cell.
 }

@@ -24,6 +24,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -41,6 +42,7 @@
 #include "common.hh"
 #include "corona/env.hh"
 #include "corona/knobs.hh"
+#include "obs/heartbeat.hh"
 #include "sim/logging.hh"
 #include "workload/registry.hh"
 
@@ -68,6 +70,7 @@ struct CliOptions
     std::string rsh = "ssh";
     std::string fetch = "scp";
     std::string csv, jsonl, summary, merged;
+    std::string heartbeat; ///< Shard-lifecycle JSONL path; empty = off.
     bool verify = false;
     bool quiet = false;
     std::string self; ///< argv[0], for the self-exec worker template.
@@ -130,6 +133,10 @@ usage(std::ostream &os)
           "  --summary PATH  write the merged per-cell summary CSV\n"
           "  --merged PATH   merged checkpoint (default "
           "<dir>/merged.ckpt)\n"
+          "  --heartbeat P   stream shard-lifecycle heartbeats "
+          "(launch_begin,\n"
+          "                  shard_start/stall/exit, launch_done) as "
+          "JSONL to P\n"
           "  --verify        also run the sweep un-sharded in-process "
           "and assert the\n"
           "                  merged sink bytes match exactly\n"
@@ -241,6 +248,8 @@ parseArgs(int argc, char **argv)
             options.summary = next(i, "--summary");
         } else if (arg == "--merged") {
             options.merged = next(i, "--merged");
+        } else if (arg == "--heartbeat") {
+            options.heartbeat = next(i, "--heartbeat");
         } else if (arg == "--verify") {
             options.verify = true;
         } else if (arg == "--quiet") {
@@ -452,6 +461,17 @@ launchMain(const CliOptions &options)
     launch.stall_kill_seconds = options.stall_kill;
     if (!options.quiet)
         launch.log = &std::cerr;
+    std::ofstream heartbeat_stream;
+    std::unique_ptr<obs::HeartbeatWriter> heartbeat;
+    if (!options.heartbeat.empty()) {
+        heartbeat_stream.open(options.heartbeat, std::ios::trunc);
+        if (!heartbeat_stream)
+            sim::fatal("corona-launch: cannot open heartbeat \"" +
+                       options.heartbeat + "\" for writing");
+        heartbeat =
+            std::make_unique<obs::HeartbeatWriter>(heartbeat_stream);
+        launch.heartbeat = heartbeat.get();
+    }
 
     if (!options.hosts_file.empty()) {
         // Multi-machine: expand the host list into per-shard ssh

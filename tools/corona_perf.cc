@@ -19,6 +19,14 @@
  *     doubles as a determinism smoke — and cells/sec quantifies the
  *     construction-amortisation win.
  *
+ *  3. Observability overhead: the same grid with the [observability]
+ *     planes enabled (time-series sampler + event tracer, files under
+ *     <out>-obs/ next to the report). The disabled path is the pooled
+ *     grid itself —
+ *     observability off IS the baseline code path — and the enabled
+ *     run's CSV must still match byte-for-byte (obs never touches sink
+ *     bytes).
+ *
  * Results are written as a single JSON object (BENCH_perf.json by
  * default) with a byte-stable key shape; timing values vary run to
  * run, keys never do. --quick shrinks both benchmarks for CI.
@@ -26,6 +34,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -195,7 +204,8 @@ struct GridResult
 };
 
 GridResult
-runGrid(std::size_t cells, std::uint64_t requests, bool reuse_systems)
+runGrid(std::size_t cells, std::uint64_t requests, bool reuse_systems,
+        const obs::CampaignObsOptions *observability = nullptr)
 {
     campaign::CampaignSpec spec;
     spec.name = "perf-grid";
@@ -212,6 +222,8 @@ runGrid(std::size_t cells, std::uint64_t requests, bool reuse_systems)
     campaign::RunnerOptions options;
     options.threads = 1; // Single worker: a clean pooled-vs-fresh A/B.
     options.reuse_systems = reuse_systems;
+    if (observability)
+        options.observability = *observability;
     campaign::CampaignRunner runner(options);
     runner.addSink(sink);
 
@@ -354,6 +366,34 @@ main(int argc, char **argv)
                      "differs from the fresh-system grid\n";
     }
 
+    std::cerr << "corona-perf: observability overhead (" << cells
+              << " cells, sampler + tracer on)...\n";
+    obs::CampaignObsOptions obs_options;
+    obs_options.sample_period = 1'000'000; // 1 us between samples.
+    obs_options.trace_capacity = 4096;
+    // Obs files land next to the report, never in the invoker's cwd.
+    obs_options.dir = (std::filesystem::path(out_path)
+                           .replace_extension()
+                           .string() +
+                       "-obs");
+    std::error_code obs_ec;
+    std::filesystem::create_directories(obs_options.dir, obs_ec);
+    if (obs_ec) {
+        std::cerr << "corona-perf: cannot create \"" << obs_options.dir
+                  << "\": " << obs_ec.message() << "\n";
+        return 1;
+    }
+    const GridResult observed = runGrid(cells, requests, true,
+                                        &obs_options);
+    const bool obs_parity = observed.csv == pooled.csv;
+    if (!obs_parity) {
+        std::cerr << "corona-perf: PARITY FAILURE — observability-on "
+                     "grid CSV differs from the observability-off "
+                     "grid\n";
+    }
+    const double obs_overhead =
+        pooled.cells_per_sec / observed.cells_per_sec;
+
     const double near_speedup =
         near_pooled.events_per_sec / near_legacy.events_per_sec;
     const double mixed_speedup =
@@ -382,7 +422,15 @@ main(int argc, char **argv)
          << jsonNumber(fresh.cells_per_sec) << ",\"speedup\":"
          << jsonNumber(grid_speedup) << ",\"sim_events_per_sec\":"
          << jsonNumber(pooled.events_per_sec) << ",\"parity\":"
-         << (parity ? "true" : "false") << "}}\n";
+         << (parity ? "true" : "false")
+         << "},\"observability\":{\"sample_period\":"
+         << obs_options.sample_period << ",\"trace_capacity\":"
+         << obs_options.trace_capacity << ",\"on_cells_per_sec\":"
+         << jsonNumber(observed.cells_per_sec)
+         << ",\"off_cells_per_sec\":"
+         << jsonNumber(pooled.cells_per_sec) << ",\"overhead\":"
+         << jsonNumber(obs_overhead) << ",\"csv_parity\":"
+         << (obs_parity ? "true" : "false") << "}}\n";
 
     std::ofstream out(out_path, std::ios::trunc);
     if (!out) {
@@ -417,6 +465,13 @@ main(int argc, char **argv)
               << campaign::formatRate(pooled.events_per_sec)
               << " ev/s, parity "
               << (parity ? "ok" : "FAILED") << ")\n"
+              << "observability      : "
+              << campaign::formatRate(observed.cells_per_sec)
+              << " cells/s on vs "
+              << campaign::formatRate(pooled.cells_per_sec)
+              << " cells/s off  (x" << jsonNumber(obs_overhead)
+              << " overhead, csv parity "
+              << (obs_parity ? "ok" : "FAILED") << ")\n"
               << "report: " << out_path << "\n";
-    return parity ? 0 : 1;
+    return parity && obs_parity ? 0 : 1;
 }

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * corona-stats — inspect and summarize src/obs output files.
+ *
+ * The observability planes write three file shapes (see README
+ * "Observability"): per-run time-series CSVs, Chrome trace-event JSON,
+ * registry snapshot CSVs, and host heartbeat JSONL. This tool checks
+ * and condenses them from the command line:
+ *
+ *   corona-stats summary  RUN.timeseries.csv   per-column stats
+ *   corona-stats trace    RUN.trace.json       validate + count events
+ *   corona-stats snapshot RUN.snapshot.csv [PREFIX]   print (filtered)
+ *   corona-stats heartbeat HEARTBEAT.jsonl     count by event type
+ *
+ * Every subcommand exits non-zero on a malformed file, so the CI smoke
+ * can use it as a validity gate; all output is deterministic for a
+ * given input file.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hh"
+#include "stats/stats.hh"
+
+namespace {
+
+using namespace corona;
+
+void
+usage(std::ostream &os)
+{
+    os << "corona-stats — inspect observability dumps\n\n"
+          "  corona-stats summary FILE.timeseries.csv\n"
+          "      per-column count/mean/min/max over the sampled rows\n"
+          "  corona-stats trace FILE.trace.json\n"
+          "      validate the Chrome trace shape; count events by "
+          "name\n"
+          "  corona-stats snapshot FILE.snapshot.csv [PREFIX]\n"
+          "      print snapshot rows (only those under PREFIX)\n"
+          "  corona-stats heartbeat FILE.jsonl\n"
+          "      count heartbeat records by event type\n";
+}
+
+[[noreturn]] void
+die(const std::string &message)
+{
+    std::cerr << "corona-stats: " << message << "\n";
+    std::exit(1);
+}
+
+std::ifstream
+openOrDie(const std::string &path)
+{
+    std::ifstream stream(path);
+    if (!stream)
+        die("cannot read \"" + path + "\"");
+    return stream;
+}
+
+/** Split one CSV line (no quoting — none of our writers quote). */
+std::vector<std::string>
+splitCsv(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream is(line);
+    while (std::getline(is, field, ','))
+        fields.push_back(field);
+    if (!line.empty() && line.back() == ',')
+        fields.push_back("");
+    return fields;
+}
+
+double
+parseDoubleField(const std::string &text, const std::string &path,
+                 std::size_t line_no)
+{
+    try {
+        std::size_t used = 0;
+        const double value = std::stod(text, &used);
+        if (used != text.size())
+            throw std::invalid_argument(text);
+        return value;
+    } catch (const std::exception &) {
+        die(path + ":" + std::to_string(line_no) +
+            ": not a number: \"" + text + "\"");
+    }
+}
+
+int
+summarizeTimeSeries(const std::string &path)
+{
+    std::ifstream stream = openOrDie(path);
+    std::string line;
+    if (!std::getline(stream, line))
+        die(path + ": empty file (expected a tick,<paths...> header)");
+    const std::vector<std::string> header = splitCsv(line);
+    if (header.size() < 2 || header[0] != "tick")
+        die(path + ": header must be \"tick,<path>,...\", got \"" +
+            line + "\"");
+
+    std::vector<stats::RunningStats> columns(header.size() - 1);
+    std::size_t rows = 0;
+    std::size_t line_no = 1;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        const std::vector<std::string> fields = splitCsv(line);
+        if (fields.size() != header.size())
+            die(path + ":" + std::to_string(line_no) + ": expected " +
+                std::to_string(header.size()) + " fields, got " +
+                std::to_string(fields.size()));
+        for (std::size_t i = 1; i < fields.size(); ++i)
+            columns[i - 1].sample(
+                parseDoubleField(fields[i], path, line_no));
+        ++rows;
+    }
+
+    std::cout << "rows," << rows << "\n";
+    std::cout << "path,count,mean,min,max\n";
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        const stats::RunningStats &column = columns[i];
+        std::cout << header[i + 1] << ","
+                  << column.count() << ","
+                  << obs::formatValue(column.count() ? column.mean()
+                                                     : 0.0)
+                  << ","
+                  << obs::formatValue(column.count() ? column.min()
+                                                     : 0.0)
+                  << ","
+                  << obs::formatValue(column.count() ? column.max()
+                                                     : 0.0)
+                  << "\n";
+    }
+    return 0;
+}
+
+/** Extract the string value of "key":"value" inside @p object. */
+std::string
+jsonStringField(const std::string &object, const std::string &key,
+                const std::string &path)
+{
+    const std::string needle = "\"" + key + "\":\"";
+    const std::size_t at = object.find(needle);
+    if (at == std::string::npos)
+        die(path + ": trace event missing \"" + key + "\": " + object);
+    const std::size_t start = at + needle.size();
+    const std::size_t end = object.find('"', start);
+    if (end == std::string::npos)
+        die(path + ": unterminated \"" + key + "\" value: " + object);
+    return object.substr(start, end - start);
+}
+
+int
+summarizeTrace(const std::string &path)
+{
+    std::ifstream stream = openOrDie(path);
+    std::stringstream buffer;
+    buffer << stream.rdbuf();
+    const std::string text = buffer.str();
+
+    const std::string opener = "\"traceEvents\":[";
+    const std::size_t events_at = text.find(opener);
+    if (text.empty() || text[0] != '{' || events_at == std::string::npos)
+        die(path + ": not a Chrome trace ("
+                   "{\"traceEvents\":[...]} expected)");
+    const std::size_t close = text.rfind("]}");
+    if (close == std::string::npos || close < events_at)
+        die(path + ": unterminated traceEvents array");
+
+    // Our writer emits flat one-level event objects, so object
+    // boundaries are brace-matched scans (args adds one nested level).
+    std::vector<std::string> names;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+    std::size_t at = events_at + opener.size();
+    while (at < close) {
+        if (text[at] == ',' || text[at] == ' ') {
+            ++at;
+            continue;
+        }
+        if (text[at] != '{')
+            die(path + ": expected '{' at offset " +
+                std::to_string(at));
+        int depth = 0;
+        std::size_t end = at;
+        for (; end < close; ++end) {
+            if (text[end] == '{')
+                ++depth;
+            else if (text[end] == '}' && --depth == 0)
+                break;
+        }
+        if (depth != 0)
+            die(path + ": unterminated trace event object");
+        const std::string object = text.substr(at, end - at + 1);
+        for (const char *key : {"\"ph\":", "\"ts\":", "\"dur\":",
+                                "\"pid\":", "\"tid\":"}) {
+            if (object.find(key) == std::string::npos)
+                die(path + ": trace event missing " + key + ": " +
+                    object);
+        }
+        const std::string name = jsonStringField(object, "name", path);
+        jsonStringField(object, "cat", path);
+        bool seen = false;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (names[i] == name) {
+                ++counts[i];
+                seen = true;
+                break;
+            }
+        }
+        if (!seen) {
+            names.push_back(name);
+            counts.push_back(1);
+        }
+        ++total;
+        at = end + 1;
+    }
+
+    std::cout << "events," << total << "\n";
+    for (std::size_t i = 0; i < names.size(); ++i)
+        std::cout << names[i] << "," << counts[i] << "\n";
+    return 0;
+}
+
+int
+printSnapshot(const std::string &path, const std::string &prefix)
+{
+    std::ifstream stream = openOrDie(path);
+    std::string line;
+    if (!std::getline(stream, line) || line != "path,value")
+        die(path + ": snapshot header must be \"path,value\"");
+    std::size_t line_no = 1;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        const std::size_t comma = line.rfind(',');
+        if (comma == std::string::npos)
+            die(path + ":" + std::to_string(line_no) +
+                ": not a path,value row: \"" + line + "\"");
+        if (prefix.empty() || line.compare(0, prefix.size(), prefix) == 0)
+            std::cout << line << "\n";
+    }
+    return 0;
+}
+
+int
+summarizeHeartbeat(const std::string &path)
+{
+    std::ifstream stream = openOrDie(path);
+    std::vector<std::string> events;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        if (line.front() != '{' || line.back() != '}')
+            die(path + ":" + std::to_string(line_no) +
+                ": not a JSON object line");
+        const std::string event =
+            jsonStringField(line, "event", path);
+        bool seen = false;
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            if (events[i] == event) {
+                ++counts[i];
+                seen = true;
+                break;
+            }
+        }
+        if (!seen) {
+            events.push_back(event);
+            counts.push_back(1);
+        }
+        ++total;
+    }
+    std::cout << "records," << total << "\n";
+    for (std::size_t i = 0; i < events.size(); ++i)
+        std::cout << events[i] << "," << counts[i] << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 &&
+        (std::string(argv[1]) == "--help" ||
+         std::string(argv[1]) == "-h")) {
+        usage(std::cout);
+        return 0;
+    }
+    if (argc < 3) {
+        usage(std::cerr);
+        return 2;
+    }
+    const std::string command = argv[1];
+    const std::string path = argv[2];
+    if (command == "summary")
+        return summarizeTimeSeries(path);
+    if (command == "trace")
+        return summarizeTrace(path);
+    if (command == "snapshot")
+        return printSnapshot(path, argc > 3 ? argv[3] : "");
+    if (command == "heartbeat")
+        return summarizeHeartbeat(path);
+    std::cerr << "corona-stats: unknown subcommand \"" << command
+              << "\"\n\n";
+    usage(std::cerr);
+    return 2;
+}
