@@ -15,6 +15,8 @@ allWorkloads()
     // list, so sweeps regenerated here stay bit-compatible.
     std::vector<WorkloadEntry> entries;
     for (const auto &entry : workload::registry()) {
+        if (entry.sharing)
+            continue; // Not part of the Table-3 sweep.
         entries.push_back(WorkloadEntry{
             entry.name, entry.synthetic,
             workload::registryFactory(entry.name)});

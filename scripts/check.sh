@@ -16,3 +16,4 @@ scripts/explore_smoke.sh build
 scripts/scenario_smoke.sh build
 scripts/perf_smoke.sh build
 scripts/obs_smoke.sh build
+scripts/coherence_smoke.sh build

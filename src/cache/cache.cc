@@ -65,16 +65,17 @@ Cache::access(topology::Addr addr, bool write)
             it->dirty = it->dirty || write;
             set.splice(set.begin(), set, it); // Move to MRU.
             _hits.increment();
-            return AccessResult{true, std::nullopt};
+            return AccessResult{true, std::nullopt, std::nullopt};
         }
     }
 
     _misses.increment();
-    AccessResult result{false, std::nullopt};
+    AccessResult result{false, std::nullopt, std::nullopt};
     if (set.size() >= _config.associativity) {
         const Line victim = set.back();
         set.pop_back();
         --_resident;
+        result.evicted = victim.tag * _config.line_bytes;
         if (victim.dirty) {
             _writebacks.increment();
             result.writeback = victim.tag * _config.line_bytes;
@@ -100,12 +101,33 @@ Cache::contains(topology::Addr addr) const
 bool
 Cache::invalidate(topology::Addr addr)
 {
+    return invalidateLine(addr).present;
+}
+
+InvalidateResult
+Cache::invalidateLine(topology::Addr addr)
+{
     Set &set = _data[setOf(addr)];
     const topology::Addr tag = tagOf(addr);
     for (auto it = set.begin(); it != set.end(); ++it) {
         if (it->tag == tag) {
+            const bool dirty = it->dirty;
             set.erase(it);
             --_resident;
+            return InvalidateResult{true, dirty};
+        }
+    }
+    return InvalidateResult{false, false};
+}
+
+bool
+Cache::markDirty(topology::Addr addr)
+{
+    Set &set = _data[setOf(addr)];
+    const topology::Addr tag = tagOf(addr);
+    for (auto &line : set) {
+        if (line.tag == tag) {
+            line.dirty = true;
             return true;
         }
     }

@@ -43,6 +43,16 @@ struct AccessResult
     bool hit;
     /** Dirty line evicted to make room (when allocating on a miss). */
     std::optional<topology::Addr> writeback;
+    /** Any line evicted to make room, clean or dirty. The coherent
+     * front end uses this to keep directory residency in sync. */
+    std::optional<topology::Addr> evicted;
+};
+
+/** Outcome of an invalidation probe. */
+struct InvalidateResult
+{
+    bool present = false;
+    bool dirty = false;
 };
 
 /**
@@ -65,6 +75,16 @@ class Cache
 
     /** Invalidate a line (coherence); @return true if it was present. */
     bool invalidate(topology::Addr addr);
+
+    /** Invalidate a line, reporting whether it was present and dirty
+     * (the hierarchy turns a dirty back-invalidation into a
+     * writeback). */
+    InvalidateResult invalidateLine(topology::Addr addr);
+
+    /** Mark a resident line dirty without disturbing LRU order (a
+     * dirty L1 victim written back into the L2). @return false when
+     * the line is not resident. */
+    bool markDirty(topology::Addr addr);
 
     /** Number of lines currently resident. */
     std::size_t residentLines() const { return _resident; }

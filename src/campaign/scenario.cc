@@ -213,9 +213,14 @@ ScenarioSpec::resolve() const
         const AxisExpression expr =
             parseAxisExpression(text, "workload");
         if (expr.name == "all") {
-            for (const std::string &registered :
-                 workload::registryNames())
-                addWorkload(registered, expr.knobs);
+            // The alias means the Table-3 suite; sharing-pattern
+            // generators are addressable by name only, so historical
+            // "all" sweeps stay bit-compatible.
+            for (const workload::RegistryEntry &registered :
+                 workload::registry()) {
+                if (!registered.sharing)
+                    addWorkload(registered.name, expr.knobs);
+            }
         } else {
             addWorkload(expr.name, expr.knobs);
         }

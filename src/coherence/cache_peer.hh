@@ -59,6 +59,9 @@ class CachePeer
         return _lines;
     }
 
+    /** Drop every copy (cold peer). */
+    void reset() { _lines.clear(); }
+
   private:
     std::size_t _id;
     std::unordered_map<topology::Addr, Copy> _lines;

@@ -17,16 +17,40 @@ CoherentSystem::CoherentSystem(const CoherenceConfig &config)
         _peers.emplace_back(i);
 }
 
-Directory &
-CoherentSystem::homeDirectory(topology::Addr line)
+std::size_t
+CoherentSystem::homeOf(topology::Addr line) const
 {
-    return _directories[_map.homeOf(line)];
+    const auto it = _homes.find(line);
+    return it == _homes.end() ? _map.homeOf(line) : it->second;
 }
 
 void
 CoherentSystem::count(CoherenceMsg msg, std::uint64_t n)
 {
     _msgCounts[static_cast<std::size_t>(msg)] += n;
+}
+
+void
+CoherentSystem::emit(CoherenceMsg msg, std::size_t from, std::size_t to,
+                     topology::Addr line)
+{
+    if (_emitter)
+        _emitter(msg, from, to, line);
+}
+
+void
+CoherentSystem::reset()
+{
+    for (auto &peer : _peers)
+        peer.reset();
+    for (auto &dir : _directories)
+        dir.reset();
+    _memory.clear();
+    _versionCounter.clear();
+    _touched.clear();
+    _homes.clear();
+    _msgCounts.fill(0);
+    // The emitter survives: it is wiring, not state.
 }
 
 std::uint64_t
@@ -65,21 +89,31 @@ CoherentSystem::currentVersion(topology::Addr line) const
 std::uint64_t
 CoherentSystem::read(std::size_t peer, topology::Addr line)
 {
+    return read(peer, line, homeOf(line));
+}
+
+std::uint64_t
+CoherentSystem::read(std::size_t peer, topology::Addr line, std::size_t home)
+{
     if (peer >= _peers.size())
         throw std::out_of_range("CoherentSystem::read: bad peer");
+    if (home >= _directories.size())
+        throw std::out_of_range("CoherentSystem::read: bad home");
     _touched.insert(line);
+    _homes.emplace(line, home);
     CachePeer &p = _peers[peer];
     if (canRead(p.state(line)))
         return p.version(line); // Hit; no protocol traffic.
 
     count(CoherenceMsg::GetS);
-    DirectoryEntry &entry = homeDirectory(line).entry(line);
+    DirectoryEntry &entry = _directories[home].entry(line);
     std::uint64_t version = 0;
 
     if (entry.owner && *entry.owner != peer) {
         // Forward to the owner, which supplies data.
         count(CoherenceMsg::FwdGetS);
         count(CoherenceMsg::Data);
+        emit(CoherenceMsg::FwdGetS, home, *entry.owner, line);
         CachePeer &owner = _peers[*entry.owner];
         version = owner.version(line);
         switch (owner.state(line)) {
@@ -119,7 +153,8 @@ CoherentSystem::read(std::size_t peer, topology::Addr line)
 
 void
 CoherentSystem::invalidateSharers(DirectoryEntry &entry,
-                                  topology::Addr line, std::size_t except)
+                                  topology::Addr line, std::size_t home,
+                                  std::size_t except)
 {
     SharerSet victims = entry.sharers;
     if (except < maxPeers)
@@ -129,25 +164,41 @@ CoherentSystem::invalidateSharers(DirectoryEntry &entry,
         return;
     const bool broadcast = _config.policy == InvalPolicy::Broadcast &&
                            n >= _config.broadcast_threshold;
-    if (broadcast)
+    if (broadcast) {
         count(CoherenceMsg::InvalBcast);
-    else
+        // `to` carries the excluded requester (its fresh copy must not
+        // be snooped away), or broadcastDest when nobody is spared.
+        emit(CoherenceMsg::InvalBcast, home,
+             except < maxPeers ? except : broadcastDest, line);
+    } else {
         count(CoherenceMsg::Inval, n);
+    }
     count(CoherenceMsg::InvAck, n);
     for (std::size_t i = 0; i < _peers.size(); ++i) {
-        if (victims.test(i))
+        if (victims.test(i)) {
+            if (!broadcast)
+                emit(CoherenceMsg::Inval, home, i, line);
             _peers[i].setState(line, MoesiState::Invalid);
+        }
     }
     entry.sharers &= ~victims;
-    (void)line;
 }
 
 std::uint64_t
 CoherentSystem::write(std::size_t peer, topology::Addr line)
 {
+    return write(peer, line, homeOf(line));
+}
+
+std::uint64_t
+CoherentSystem::write(std::size_t peer, topology::Addr line, std::size_t home)
+{
     if (peer >= _peers.size())
         throw std::out_of_range("CoherentSystem::write: bad peer");
+    if (home >= _directories.size())
+        throw std::out_of_range("CoherentSystem::write: bad home");
     _touched.insert(line);
+    _homes.emplace(line, home);
     CachePeer &p = _peers[peer];
     const MoesiState st = p.state(line);
 
@@ -159,13 +210,14 @@ CoherentSystem::write(std::size_t peer, topology::Addr line)
     }
 
     count(CoherenceMsg::GetM);
-    DirectoryEntry &entry = homeDirectory(line).entry(line);
+    DirectoryEntry &entry = _directories[home].entry(line);
 
     // Fetch data unless this peer already holds a readable copy (S/O).
     if (st == MoesiState::Invalid) {
         if (entry.owner && *entry.owner != peer) {
             count(CoherenceMsg::FwdGetM);
             count(CoherenceMsg::Data);
+            emit(CoherenceMsg::FwdGetM, home, *entry.owner, line);
             CachePeer &owner = _peers[*entry.owner];
             // A dirty owner's data flows to the requester; memory is
             // not updated (ownership migrates).
@@ -177,12 +229,13 @@ CoherentSystem::write(std::size_t peer, topology::Addr line)
     } else if (entry.owner && *entry.owner != peer) {
         // Requester holds S while another peer owns O: invalidate it.
         count(CoherenceMsg::FwdGetM);
+        emit(CoherenceMsg::FwdGetM, home, *entry.owner, line);
         _peers[*entry.owner].setState(line, MoesiState::Invalid);
         entry.owner.reset();
     }
 
     // Kill the remaining sharers.
-    invalidateSharers(entry, line, peer);
+    invalidateSharers(entry, line, home, peer);
     entry.sharers.reset(peer);
 
     const std::uint64_t version = ++_versionCounter[line];
@@ -194,12 +247,21 @@ CoherentSystem::write(std::size_t peer, topology::Addr line)
 void
 CoherentSystem::evict(std::size_t peer, topology::Addr line)
 {
+    evict(peer, line, homeOf(line));
+}
+
+void
+CoherentSystem::evict(std::size_t peer, topology::Addr line, std::size_t home)
+{
     if (peer >= _peers.size())
         throw std::out_of_range("CoherentSystem::evict: bad peer");
+    if (home >= _directories.size())
+        throw std::out_of_range("CoherentSystem::evict: bad home");
     _touched.insert(line);
+    _homes.emplace(line, home);
     CachePeer &p = _peers[peer];
     const MoesiState st = p.state(line);
-    Directory &dir = homeDirectory(line);
+    Directory &dir = _directories[home];
     DirectoryEntry &entry = dir.entry(line);
 
     switch (st) {
@@ -207,6 +269,7 @@ CoherentSystem::evict(std::size_t peer, topology::Addr line)
       case MoesiState::Owned:
         count(CoherenceMsg::PutM);
         count(CoherenceMsg::PutAck);
+        emit(CoherenceMsg::PutM, peer, home, line);
         _memory[line] = p.version(line);
         if (entry.owner && *entry.owner == peer)
             entry.owner.reset();
@@ -265,8 +328,7 @@ CoherentSystem::checkInvariants() const
         }
 
         // Directory agreement.
-        const Directory &dir =
-            _directories[_map.homeOf(line)];
+        const Directory &dir = _directories[homeOf(line)];
         const DirectoryEntry *entry = dir.find(line);
         for (const auto &peer : _peers) {
             const MoesiState st = peer.state(line);

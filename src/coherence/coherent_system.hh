@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -42,13 +43,30 @@ struct CoherenceConfig
     std::size_t broadcast_threshold = 2;
 };
 
+/** Destination id used for a broadcast (all peers). */
+inline constexpr std::size_t broadcastDest = static_cast<std::size_t>(-1);
+
 /**
  * The coherent 64-cluster L2 system.
  */
 class CoherentSystem
 {
   public:
+    /**
+     * Hook receiving the protocol messages that travel as real network
+     * traffic (Inval, InvalBcast, FwdGetS, FwdGetM, PutM) with their
+     * endpoints; GetS/GetM/Data ride the front end's existing
+     * request/response pair, and PutS/PutAck/InvAck are absorbed
+     * locally. For an InvalBcast, `to` names the requester excluded
+     * from the snoop (broadcastDest when nobody is spared).
+     */
+    using Emitter = std::function<void(CoherenceMsg msg, std::size_t from,
+                                       std::size_t to, topology::Addr line)>;
+
     explicit CoherentSystem(const CoherenceConfig &config = {});
+
+    /** Install the network-traffic hook (empty = atomic-only mode). */
+    void setEmitter(Emitter emitter) { _emitter = std::move(emitter); }
 
     /** Execute a load by @p peer; returns the version observed. */
     std::uint64_t read(std::size_t peer, topology::Addr line);
@@ -58,6 +76,18 @@ class CoherentSystem
 
     /** Evict @p line from @p peer (writeback when dirty). */
     void evict(std::size_t peer, topology::Addr line);
+
+    /**
+     * Explicit-home variants: bank @p line under @p home instead of the
+     * internal address map. The home must be a pure function of the
+     * line (the workload's contract) — the bank is remembered and
+     * reused by invariant checking.
+     */
+    std::uint64_t read(std::size_t peer, topology::Addr line,
+                       std::size_t home);
+    std::uint64_t write(std::size_t peer, topology::Addr line,
+                        std::size_t home);
+    void evict(std::size_t peer, topology::Addr line, std::size_t home);
 
     /** Current globally visible version of @p line (0 = never written). */
     std::uint64_t memoryVersion(topology::Addr line) const;
@@ -77,14 +107,21 @@ class CoherentSystem
      */
     void checkInvariants() const;
 
-  private:
-    Directory &homeDirectory(topology::Addr line);
+    /** Return to the pristine post-construction state. */
+    void reset();
 
+  private:
     /** Invalidate all sharers of @p line except @p except. */
     void invalidateSharers(DirectoryEntry &entry, topology::Addr line,
-                           std::size_t except);
+                           std::size_t home, std::size_t except);
 
     void count(CoherenceMsg msg, std::uint64_t n = 1);
+
+    void emit(CoherenceMsg msg, std::size_t from, std::size_t to,
+              topology::Addr line);
+
+    /** Directory bank a line is (or will be) tracked under. */
+    std::size_t homeOf(topology::Addr line) const;
 
     /** Latest committed version (memory or dirty owner). */
     std::uint64_t currentVersion(topology::Addr line) const;
@@ -96,7 +133,10 @@ class CoherentSystem
     std::unordered_map<topology::Addr, std::uint64_t> _memory;
     std::unordered_map<topology::Addr, std::uint64_t> _versionCounter;
     std::unordered_set<topology::Addr> _touched;
+    /** Explicit directory banks (lines routed via the overloads). */
+    std::unordered_map<topology::Addr, std::size_t> _homes;
     std::array<std::uint64_t, numCoherenceMsgs> _msgCounts{};
+    Emitter _emitter;
 };
 
 } // namespace corona::coherence

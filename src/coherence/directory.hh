@@ -58,6 +58,9 @@ class Directory
     /** Lines currently tracked. */
     std::size_t trackedLines() const { return _entries.size(); }
 
+    /** Forget every line (cold directory). */
+    void reset() { _entries.clear(); }
+
   private:
     std::unordered_map<topology::Addr, DirectoryEntry> _entries;
 };

@@ -25,6 +25,26 @@ to_string(MemoryKind kind)
 }
 
 std::string
+to_string(FrontendKind kind)
+{
+    switch (kind) {
+      case FrontendKind::MissStream: return "miss-stream";
+      case FrontendKind::Coherent: return "coherent";
+    }
+    return "Unknown";
+}
+
+std::string
+to_string(InvalTransport transport)
+{
+    switch (transport) {
+      case InvalTransport::Unicast: return "unicast";
+      case InvalTransport::Broadcast: return "broadcast";
+    }
+    return "Unknown";
+}
+
+std::string
 SystemConfig::name() const
 {
     if (!label.empty())

@@ -11,6 +11,7 @@
 #ifndef CORONA_CORONA_CONFIG_HH
 #define CORONA_CORONA_CONFIG_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,8 +36,24 @@ enum class MemoryKind
     ECM, ///< Electrically connected memory, 0.96 TB/s.
 };
 
+/** Traffic-injection front end (how workload records reach the hub). */
+enum class FrontendKind
+{
+    MissStream, ///< Workload records are injected as L2 misses directly.
+    Coherent,   ///< References filter through L1/L2 + MOESI coherence.
+};
+
+/** Invalidation transport for the coherent front end. */
+enum class InvalTransport
+{
+    Unicast,   ///< One crossbar message per sharer.
+    Broadcast, ///< One broadcast-bus message when sharers >= threshold.
+};
+
 std::string to_string(NetworkKind kind);
 std::string to_string(MemoryKind kind);
+std::string to_string(FrontendKind kind);
+std::string to_string(InvalTransport transport);
 
 /** Full system configuration. */
 struct SystemConfig
@@ -60,6 +77,24 @@ struct SystemConfig
      * design-space explorer's "memory channels per controller" axis;
      * 1.0 reproduces the paper's Table 4 rates). */
     double memory_bandwidth_scale = 1.0;
+
+    /** Injection front end. MissStream replays workload records as L2
+     * misses (the historical path); Coherent filters reference streams
+     * through a per-cluster cache hierarchy and turns MOESI directory
+     * traffic into real network messages. */
+    FrontendKind frontend = FrontendKind::MissStream;
+    /** Per-cluster cache shape (coherent front end only). A 0 KiB
+     * level is absent; 0/0 is the pass-through hierarchy. */
+    std::uint32_t l1_kib = 32;
+    std::uint32_t l1_assoc = 4;
+    std::uint32_t l2_kib = 256;
+    std::uint32_t l2_assoc = 16;
+    std::uint32_t cache_line = 64;
+    /** Write-through stores (default write-back). */
+    bool write_through = false;
+    /** Invalidation transport and broadcast-bus threshold (§3.2.2). */
+    InvalTransport inval_transport = InvalTransport::Broadcast;
+    std::size_t broadcast_threshold = 2;
 
     /** Optional display label. Off-nominal design points set this so
      * campaign axes (and checkpoint fingerprints) stay unambiguous

@@ -59,6 +59,29 @@ Hub::issueMiss(topology::Addr line, topology::ClusterId home, bool write,
 }
 
 void
+Hub::issueWriteback(topology::Addr line, topology::ClusterId home)
+{
+    noc::Message request;
+    request.id = _nextId++;
+    request.src = _cluster;
+    request.dst = home;
+    request.kind = noc::MsgKind::WriteReq;
+    request.tag = tagOf(line) | sidebandBit;
+
+    if (home == _cluster) {
+        ++_localRequests;
+        _eq.scheduleIn(_localHop, [this, request] {
+            // The ack is absorbed: nobody waits on a writeback.
+            _mc.access(request, lineOf(request.tag),
+                       [](const noc::Message &) {});
+        });
+    } else {
+        ++_networkRequests;
+        _network.send(request);
+    }
+}
+
+void
 Hub::stallOnMshr(sim::InlineFunction<void()> retry)
 {
     _stalled.push_back(std::move(retry));
@@ -74,6 +97,8 @@ Hub::handleRequest(const noc::Message &msg)
         if (response.dst == _cluster) {
             // Requester is co-located with the memory (possible for
             // synthetic patterns routed over the network).
+            if (sideband(response.tag))
+                return; // Writeback ack: nobody waits.
             _eq.scheduleIn(_localHop, [this, response] {
                 completeFill(lineOf(response.tag));
             });
@@ -88,6 +113,8 @@ Hub::handleResponse(const noc::Message &msg)
 {
     if (msg.dst != _cluster)
         sim::panic("Hub::handleResponse: misdelivered response");
+    if (sideband(msg.tag))
+        return; // Writeback ack: nobody waits.
     completeFill(lineOf(msg.tag));
 }
 

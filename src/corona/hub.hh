@@ -60,6 +60,19 @@ class Hub
     Issue issueMiss(topology::Addr line, topology::ClusterId home,
                     bool write, FillFn fill);
 
+    /**
+     * Issue a fire-and-forget writeback of @p line to @p home (coherent
+     * front end: PutM / write-through store). No MSHR is consumed and
+     * no thread waits: the write travels as a normal WriteReq with the
+     * sideband tag bit set, and the memory controller's ack is absorbed
+     * instead of completing a fill.
+     */
+    void issueWriteback(topology::Addr line, topology::ClusterId home);
+
+    /** Tag bit marking sideband (no-waiter) traffic. Line addresses
+     * must stay below this bit — the coherent front end asserts it. */
+    static constexpr std::uint64_t sidebandBit = 1ull << 63;
+
     /** Register a continuation woken when an MSHR frees (FIFO). */
     void stallOnMshr(sim::InlineFunction<void()> retry);
 
@@ -97,7 +110,14 @@ class Hub
 
     /** Encode (line) into a message tag and back. */
     static std::uint64_t tagOf(topology::Addr line) { return line; }
-    static topology::Addr lineOf(std::uint64_t tag) { return tag; }
+    static topology::Addr lineOf(std::uint64_t tag)
+    {
+        return tag & ~sidebandBit;
+    }
+    static bool sideband(std::uint64_t tag)
+    {
+        return (tag & sidebandBit) != 0;
+    }
 
     sim::EventQueue &_eq;
     topology::ClusterId _cluster;

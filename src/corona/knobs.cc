@@ -236,6 +236,16 @@ configKnobs()
         {"max_batch", "messages modulated per token grant"},
         {"token_node_pause",
          "extra per-cluster token dwell, ticks (0 = flying token)"},
+        {"frontend", "injection front end: miss-stream | coherent"},
+        {"l1_kib", "per-cluster L1 capacity, KiB (0 = no L1)"},
+        {"l1_assoc", "L1 associativity"},
+        {"l2_kib", "per-cluster L2 capacity, KiB (0 = no L2)"},
+        {"l2_assoc", "L2 associativity"},
+        {"cache_line", "cache line size, bytes"},
+        {"write_policy", "store policy: writeback | writethrough"},
+        {"inval_policy", "invalidation transport: unicast | broadcast"},
+        {"broadcast_threshold",
+         "minimum sharer count that prefers the broadcast bus"},
         {"label", "display label / campaign axis name"},
     };
     return knobs;
@@ -282,6 +292,47 @@ applyConfigKnob(SystemConfig &config, const std::string &key,
     else if (key == "token_node_pause")
         config.xbar_channel.token_node_pause =
             knobUnsigned(what, key, value);
+    else if (key == "frontend") {
+        if (value == "miss-stream")
+            config.frontend = FrontendKind::MissStream;
+        else if (value == "coherent")
+            config.frontend = FrontendKind::Coherent;
+        else
+            badValue(what, key, value, "miss-stream or coherent");
+    }
+    else if (key == "l1_kib")
+        config.l1_kib =
+            static_cast<std::uint32_t>(knobUnsigned(what, key, value));
+    else if (key == "l1_assoc")
+        config.l1_assoc =
+            static_cast<std::uint32_t>(knobPositive(what, key, value));
+    else if (key == "l2_kib")
+        config.l2_kib =
+            static_cast<std::uint32_t>(knobUnsigned(what, key, value));
+    else if (key == "l2_assoc")
+        config.l2_assoc =
+            static_cast<std::uint32_t>(knobPositive(what, key, value));
+    else if (key == "cache_line")
+        config.cache_line =
+            static_cast<std::uint32_t>(knobPositive(what, key, value));
+    else if (key == "write_policy") {
+        if (value == "writeback")
+            config.write_through = false;
+        else if (value == "writethrough")
+            config.write_through = true;
+        else
+            badValue(what, key, value, "writeback or writethrough");
+    }
+    else if (key == "inval_policy") {
+        if (value == "unicast")
+            config.inval_transport = InvalTransport::Unicast;
+        else if (value == "broadcast")
+            config.inval_transport = InvalTransport::Broadcast;
+        else
+            badValue(what, key, value, "unicast or broadcast");
+    }
+    else if (key == "broadcast_threshold")
+        config.broadcast_threshold = knobUnsigned(what, key, value);
     else if (key == "label")
         config.label = value;
     else
@@ -337,6 +388,26 @@ configKnobExpression(const SystemConfig &config)
         defaults.xbar_channel.token_node_pause)
         emit("token_node_pause",
              std::to_string(config.xbar_channel.token_node_pause));
+    if (config.frontend != defaults.frontend)
+        emit("frontend", to_string(config.frontend));
+    if (config.l1_kib != defaults.l1_kib)
+        emit("l1_kib", std::to_string(config.l1_kib));
+    if (config.l1_assoc != defaults.l1_assoc)
+        emit("l1_assoc", std::to_string(config.l1_assoc));
+    if (config.l2_kib != defaults.l2_kib)
+        emit("l2_kib", std::to_string(config.l2_kib));
+    if (config.l2_assoc != defaults.l2_assoc)
+        emit("l2_assoc", std::to_string(config.l2_assoc));
+    if (config.cache_line != defaults.cache_line)
+        emit("cache_line", std::to_string(config.cache_line));
+    if (config.write_through != defaults.write_through)
+        emit("write_policy",
+             config.write_through ? "writethrough" : "writeback");
+    if (config.inval_transport != defaults.inval_transport)
+        emit("inval_policy", to_string(config.inval_transport));
+    if (config.broadcast_threshold != defaults.broadcast_threshold)
+        emit("broadcast_threshold",
+             std::to_string(config.broadcast_threshold));
     if (!config.label.empty() && config.label != base) {
         const bool quote =
             config.label.find(' ') != std::string::npos;

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "corona/env.hh"
+#include "corona/frontend.hh"
 #include "obs/observe.hh"
 #include "power/network_power.hh"
 #include "sim/logging.hh"
@@ -78,8 +79,12 @@ NetworkSimulation::scheduleNext(std::size_t tid)
 {
     if (_issued >= totalBudget())
         return; // Budget exhausted: the thread retires.
+    // The coherent front end consumes pre-cache reference streams; the
+    // miss-stream front end replays records as L2 misses directly.
     const workload::MissRequest req =
-        _workload.next(tid, _eq.now(), _rng);
+        _config.frontend == FrontendKind::Coherent
+            ? _workload.nextReference(tid, _eq.now(), _rng)
+            : _workload.next(tid, _eq.now(), _rng);
     const sim::Tick ready = _eq.now() + req.think_time;
     _eq.schedule(ready, [this, tid, req, ready] {
         if (_pending[tid])
@@ -107,27 +112,46 @@ NetworkSimulation::tryIssue(std::size_t tid)
     const PendingIssue pending = *_pending[tid];
     const workload::MissRequest &req = pending.request;
     Hub &hub = _ctx.system().hub(ctx.cluster());
+    Hub::FillFn fill =
+        [this, tid, ready = pending.ready] { onFill(tid, ready); };
 
-    const Hub::Issue outcome = hub.issueMiss(
-        req.line, req.home, req.write,
-        [this, tid, ready = pending.ready] { onFill(tid, ready); });
+    // A cache hit is a primary issue too (its fill arrives after one
+    // hub traversal): references and misses share the budget, the
+    // window, and the drain invariant.
+    bool primary = false;
+    bool stalled = false;
+    if (CoherentFrontEnd *fe = _ctx.system().frontEnd()) {
+        switch (fe->access(ctx.cluster(), req.line, req.home, req.write,
+                           std::move(fill))) {
+          case CoherentFrontEnd::Outcome::MshrFull: stalled = true; break;
+          case CoherentFrontEnd::Outcome::Hit:
+          case CoherentFrontEnd::Outcome::Sent: primary = true; break;
+          case CoherentFrontEnd::Outcome::Coalesced: primary = false;
+            break;
+        }
+    } else {
+        switch (hub.issueMiss(req.line, req.home, req.write,
+                              std::move(fill))) {
+          case Hub::Issue::MshrFull: stalled = true; break;
+          case Hub::Issue::Sent: primary = true; break;
+          case Hub::Issue::Coalesced: primary = false; break;
+        }
+    }
 
-    switch (outcome) {
-      case Hub::Issue::MshrFull:
+    if (stalled) {
         ctx.setWaitingForMshr(true);
         hub.stallOnMshr([this, tid] {
             _threads[tid].setWaitingForMshr(false);
             tryIssue(tid);
         });
         return;
-      case Hub::Issue::Sent:
+    }
+    if (primary) {
         ++_issued;
         if (!_measuring && _issued >= _params.warmup_requests)
             beginMeasurement();
-        break;
-      case Hub::Issue::Coalesced:
+    } else {
         ++_coalesced;
-        break;
     }
     ctx.issued();
     _pending[tid].reset();

@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "corona/frontend.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "sim/logging.hh"
@@ -55,6 +56,9 @@ CoronaSystem::CoronaSystem(sim::EventQueue &eq, const SystemConfig &config)
             config.local_hop));
     }
 
+    if (config.frontend == FrontendKind::Coherent)
+        _frontEnd = std::make_unique<CoherentFrontEnd>(eq, *this, config);
+
     _network->setDeliver([this](const noc::Message &msg) {
         Hub &target = *_hubs[msg.dst];
         switch (msg.kind) {
@@ -67,12 +71,18 @@ CoronaSystem::CoronaSystem(sim::EventQueue &eq, const SystemConfig &config)
             target.handleResponse(msg);
             break;
           case noc::MsgKind::Invalidate:
-            // Coherence traffic rides the broadcast bus; the network
-            // simulation (like the paper's) does not generate it.
-            sim::panic("CoronaSystem: unexpected invalidate on the NoC");
+            // Coherence sideband traffic, generated only by the
+            // coherent front end.
+            if (!_frontEnd)
+                sim::panic("CoronaSystem: unexpected invalidate on "
+                           "the NoC");
+            _frontEnd->deliverSideband(msg);
+            break;
         }
     });
 }
+
+CoronaSystem::~CoronaSystem() = default;
 
 void
 CoronaSystem::reset()
@@ -82,6 +92,8 @@ CoronaSystem::reset()
         mc->reset();
     for (auto &hub : _hubs)
         hub->reset();
+    if (_frontEnd)
+        _frontEnd->reset();
 }
 
 void
@@ -186,6 +198,9 @@ CoronaSystem::instrument(obs::Registry &registry)
         registry.addStats(prefix + "mshr/lifetime",
                           hub.mshrs().lifetime());
     }
+
+    if (_frontEnd)
+        _frontEnd->instrument(registry);
 }
 
 void

@@ -35,6 +35,8 @@ class Registry;
 
 namespace corona::core {
 
+class CoherentFrontEnd;
+
 /**
  * A fully wired Corona (or baseline) system.
  */
@@ -46,6 +48,7 @@ class CoronaSystem
      * @param config System configuration.
      */
     CoronaSystem(sim::EventQueue &eq, const SystemConfig &config);
+    ~CoronaSystem(); // Out of line: CoherentFrontEnd is incomplete here.
 
     const SystemConfig &config() const { return _config; }
     const topology::Geometry &geometry() const { return _geom; }
@@ -105,6 +108,10 @@ class CoronaSystem
     /** Mesh accessor (null for crossbar systems). */
     const mesh::ElectricalMesh *meshNetwork() const { return _mesh; }
 
+    /** Coherent front end (null for miss-stream configurations). */
+    CoherentFrontEnd *frontEnd() { return _frontEnd.get(); }
+    const CoherentFrontEnd *frontEnd() const { return _frontEnd.get(); }
+
   private:
     SystemConfig _config;
     topology::Geometry _geom;
@@ -113,6 +120,7 @@ class CoronaSystem
     mesh::ElectricalMesh *_mesh = nullptr;
     std::vector<std::unique_ptr<memory::MemoryController>> _mcs;
     std::vector<std::unique_ptr<Hub>> _hubs;
+    std::unique_ptr<CoherentFrontEnd> _frontEnd;
 };
 
 } // namespace corona::core

@@ -5,6 +5,7 @@
 #include "corona/knobs.hh"
 #include "sim/logging.hh"
 #include "topology/geometry.hh"
+#include "workload/sharing.hh"
 #include "workload/splash.hh"
 #include "workload/synthetic.hh"
 
@@ -16,6 +17,9 @@ constexpr const char *syntheticKnobsHelp =
     "clusters, mean_think, write_fraction, threads_per_cluster, "
     "hot_cluster";
 constexpr const char *splashKnobsHelp = "clusters";
+constexpr const char *sharingKnobsHelp =
+    "clusters, mean_think, write_fraction, threads_per_cluster, lines, "
+    "phase_length";
 
 [[noreturn]] void
 badKnobValue(const std::string &name, const std::string &key,
@@ -60,6 +64,7 @@ struct ResolvedKnobs
 {
     std::size_t clusters = 64;
     SyntheticParams synthetic{};
+    SharingParams sharing{};
 };
 
 ResolvedKnobs
@@ -106,6 +111,35 @@ resolveKnobs(const RegistryEntry &entry,
                 continue;
             }
         }
+        if (entry.sharing) {
+            if (knob.first == "mean_think") {
+                resolved.sharing.mean_think =
+                    knobPositive(entry.name, knob);
+                continue;
+            }
+            if (knob.first == "write_fraction") {
+                resolved.sharing.write_fraction =
+                    knobFraction(entry.name, knob);
+                continue;
+            }
+            if (knob.first == "threads_per_cluster") {
+                resolved.sharing.threads_per_cluster =
+                    static_cast<std::size_t>(
+                        knobPositive(entry.name, knob));
+                continue;
+            }
+            if (knob.first == "lines") {
+                resolved.sharing.lines = static_cast<std::size_t>(
+                    knobPositive(entry.name, knob));
+                continue;
+            }
+            if (knob.first == "phase_length") {
+                resolved.sharing.phase_length =
+                    static_cast<std::size_t>(
+                        knobPositive(entry.name, knob));
+                continue;
+            }
+        }
         sim::fatal("workload \"" + entry.name +
                    "\": unknown knob \"" + knob.first +
                    "\" (valid knobs: " + entry.knobs_help + ")");
@@ -125,6 +159,16 @@ patternOf(const std::string &name)
     return Pattern::Transpose;
 }
 
+SharingPattern
+sharingPatternOf(const std::string &name)
+{
+    if (name == "Migratory")
+        return SharingPattern::Migratory;
+    if (name == "Producer-Consumer")
+        return SharingPattern::ProducerConsumer;
+    return SharingPattern::FalseSharing;
+}
+
 } // namespace
 
 const std::vector<RegistryEntry> &
@@ -139,6 +183,11 @@ registry()
         };
         for (const SplashParams &params : splashSuite())
             all.push_back({params.name, false, splashKnobsHelp});
+        // Sharing patterns (coherent front end) follow the suite.
+        all.push_back({"Migratory", false, sharingKnobsHelp, true});
+        all.push_back(
+            {"Producer-Consumer", false, sharingKnobsHelp, true});
+        all.push_back({"False Sharing", false, sharingKnobsHelp, true});
         return all;
     }();
     return entries;
@@ -192,6 +241,16 @@ registryFactory(const std::string &name,
         return [pattern, clusters, params] {
             return std::unique_ptr<Workload>(
                 std::make_unique<SyntheticWorkload>(
+                    pattern, topology::Geometry(clusters), params));
+        };
+    }
+    if (entry.sharing) {
+        const SharingPattern pattern = sharingPatternOf(entry.name);
+        const SharingParams params = resolved.sharing;
+        const std::size_t clusters = resolved.clusters;
+        return [pattern, clusters, params] {
+            return std::unique_ptr<Workload>(
+                std::make_unique<SharingWorkload>(
                     pattern, topology::Geometry(clusters), params));
         };
     }

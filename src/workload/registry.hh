@@ -11,7 +11,10 @@
  * points, think-time / write-mix / topology knobs for the synthetic
  * patterns). Factories built from the registry with default knobs are
  * behaviourally identical to the legacy makeUniform()/makeSplash()
- * helpers, so historical sweeps stay bit-compatible.
+ * helpers, so historical sweeps stay bit-compatible. Three
+ * sharing-pattern generators (Migratory, Producer-Consumer, False
+ * Sharing) follow the suite; they exercise the coherent front end and
+ * are addressable by name but excluded from the "all" alias.
  */
 
 #ifndef CORONA_WORKLOAD_REGISTRY_HH
@@ -37,9 +40,12 @@ struct RegistryEntry
     bool synthetic = false;
     /** Comma-separated knob names this generator accepts. */
     std::string knobs_help;
+    /** Sharing-pattern generator (coherent-front-end exerciser). */
+    bool sharing = false;
 };
 
-/** The 15 Table-3 generators, Figure 8 x-axis order. */
+/** The 15 Table-3 generators (Figure 8 x-axis order) followed by the
+ * three sharing-pattern generators. */
 const std::vector<RegistryEntry> &registry();
 
 /** The registry's names, same order. */

@@ -13,7 +13,9 @@ namespace {
 
 constexpr char traceMagic[12] = {'C', 'O', 'R', 'O', 'N', 'A',
                                  'T', 'R', 'A', 'C', 'E', '\0'};
-constexpr std::uint16_t traceVersion = 1;
+// v2 repurposes the header pad as a flags word; v1 stays readable.
+constexpr std::uint16_t traceVersion = 2;
+constexpr std::uint16_t traceFlagReferenceStream = 1u << 0;
 
 struct PackedRecord
 {
@@ -28,14 +30,16 @@ static_assert(sizeof(PackedRecord) == 32, "trace record must be 32 B");
 
 } // namespace
 
-TraceWriter::TraceWriter(std::ostream &os, std::uint32_t threads)
+TraceWriter::TraceWriter(std::ostream &os, std::uint32_t threads,
+                         bool reference_stream)
     : _os(os)
 {
     _os.write(traceMagic, sizeof(traceMagic));
     std::uint16_t version = traceVersion;
     _os.write(reinterpret_cast<const char *>(&version), sizeof(version));
-    std::uint16_t pad = 0;
-    _os.write(reinterpret_cast<const char *>(&pad), sizeof(pad));
+    std::uint16_t flags =
+        reference_stream ? traceFlagReferenceStream : 0;
+    _os.write(reinterpret_cast<const char *>(&flags), sizeof(flags));
     _os.write(reinterpret_cast<const char *>(&threads), sizeof(threads));
 }
 
@@ -59,11 +63,17 @@ TraceReader::TraceReader(std::istream &is)
     if (!is || std::memcmp(magic, traceMagic, sizeof(magic)) != 0)
         sim::fatal("TraceReader: bad trace magic");
     std::uint16_t version = 0;
-    std::uint16_t pad = 0;
+    std::uint16_t flags = 0;
     is.read(reinterpret_cast<char *>(&version), sizeof(version));
-    is.read(reinterpret_cast<char *>(&pad), sizeof(pad));
-    if (!is || version != traceVersion)
+    is.read(reinterpret_cast<char *>(&flags), sizeof(flags));
+    if (!is || version < 1 || version > traceVersion)
         sim::fatal("TraceReader: unsupported trace version");
+    // v1 wrote this field as pad; only v2 defines flag bits.
+    if (version < 2)
+        flags = 0;
+    if (flags & ~traceFlagReferenceStream)
+        sim::fatal("TraceReader: unknown trace flags");
+    _reference_stream = (flags & traceFlagReferenceStream) != 0;
     is.read(reinterpret_cast<char *>(&_threads), sizeof(_threads));
     if (!is || _threads == 0)
         sim::fatal("TraceReader: bad thread count");
@@ -83,8 +93,10 @@ TraceReader::TraceReader(std::istream &is)
 }
 
 TraceWorkload::TraceWorkload(std::vector<TraceRecord> records,
-                             std::uint32_t threads, std::string name)
-    : _name(std::move(name)), _perThread(threads), _cursor(threads, 0)
+                             std::uint32_t threads, std::string name,
+                             bool reference_stream)
+    : _name(std::move(name)), _perThread(threads), _cursor(threads, 0),
+      _reference_stream(reference_stream)
 {
     if (threads == 0)
         sim::fatal("TraceWorkload: need >= 1 thread");
@@ -124,6 +136,13 @@ TraceWorkload::next(std::size_t thread, sim::Tick, sim::Rng &)
     return req;
 }
 
+ReferenceRequest
+TraceWorkload::nextReference(std::size_t thread, sim::Tick now,
+                             sim::Rng &rng)
+{
+    return next(thread, now, rng);
+}
+
 std::uint64_t
 TraceWorkload::paperRequests() const
 {
@@ -139,8 +158,12 @@ TraceWorkload::offeredBytesPerSecond() const
     return _offered;
 }
 
+namespace {
+
+template <typename NextFn>
 std::vector<TraceRecord>
-captureTrace(Workload &workload, std::uint64_t requests, std::uint64_t seed)
+captureStream(Workload &workload, std::uint64_t requests,
+              std::uint64_t seed, NextFn next)
 {
     sim::Rng rng(seed);
     std::vector<TraceRecord> records;
@@ -149,8 +172,7 @@ captureTrace(Workload &workload, std::uint64_t requests, std::uint64_t seed)
     std::vector<sim::Tick> clocks(threads, 0);
     for (std::uint64_t i = 0; i < requests; ++i) {
         const std::size_t thread = i % threads;
-        const MissRequest req =
-            workload.next(thread, clocks[thread], rng);
+        const MissRequest req = next(thread, clocks[thread], rng);
         clocks[thread] += req.think_time;
         TraceRecord record;
         record.thread = static_cast<std::uint32_t>(thread);
@@ -161,6 +183,29 @@ captureTrace(Workload &workload, std::uint64_t requests, std::uint64_t seed)
         records.push_back(record);
     }
     return records;
+}
+
+} // namespace
+
+std::vector<TraceRecord>
+captureTrace(Workload &workload, std::uint64_t requests, std::uint64_t seed)
+{
+    return captureStream(
+        workload, requests, seed,
+        [&workload](std::size_t thread, sim::Tick now, sim::Rng &rng) {
+            return workload.next(thread, now, rng);
+        });
+}
+
+std::vector<TraceRecord>
+captureReferenceTrace(Workload &workload, std::uint64_t requests,
+                      std::uint64_t seed)
+{
+    return captureStream(
+        workload, requests, seed,
+        [&workload](std::size_t thread, sim::Tick now, sim::Rng &rng) {
+            return workload.nextReference(thread, now, rng);
+        });
 }
 
 } // namespace corona::workload

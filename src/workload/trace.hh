@@ -8,8 +8,12 @@
  * captured to a compact binary trace, and a captured trace replays as a
  * Workload — bit-identical input for cross-model comparisons.
  *
- * Format: a 16-byte header ("CORONATRACE", version, thread count)
- * followed by fixed-size little-endian records.
+ * Format: a 16-byte header ("CORONATRACE", version, flags, thread
+ * count) followed by fixed-size little-endian records. Version 2 uses
+ * the header's former pad field as a flags word (bit 0 marks a
+ * reference-stream trace — raw loads/stores to feed the coherent
+ * front end rather than pre-filtered misses); version-1 traces stay
+ * readable and report flags of zero.
  */
 
 #ifndef CORONA_WORKLOAD_TRACE_HH
@@ -45,8 +49,12 @@ class TraceWriter
     /**
      * @param os Output stream (binary).
      * @param threads Thread count recorded in the header.
+     * @param reference_stream True when the records are raw
+     *     references (coherent front end input) rather than misses;
+     *     recorded in the header flags.
      */
-    TraceWriter(std::ostream &os, std::uint32_t threads);
+    TraceWriter(std::ostream &os, std::uint32_t threads,
+                bool reference_stream = false);
 
     /** Append one record. */
     void append(const TraceRecord &record);
@@ -69,9 +77,13 @@ class TraceReader
 
     std::uint32_t threads() const { return _threads; }
     const std::vector<TraceRecord> &records() const { return _records; }
+    /** True when the trace records raw references (v2 flag bit 0);
+     * always false for version-1 traces. */
+    bool referenceStream() const { return _reference_stream; }
 
   private:
     std::uint32_t _threads;
+    bool _reference_stream = false;
     std::vector<TraceRecord> _records;
 };
 
@@ -87,13 +99,22 @@ class TraceWorkload : public Workload
      * @param records Trace records (any thread order).
      * @param threads Thread count.
      * @param name Reported name.
+     * @param reference_stream True when the records are raw
+     *     references (a v2 reference-stream trace).
      */
     TraceWorkload(std::vector<TraceRecord> records, std::uint32_t threads,
-                  std::string name = "Trace");
+                  std::string name = "Trace",
+                  bool reference_stream = false);
 
     std::string name() const override { return _name; }
     MissRequest next(std::size_t thread, sim::Tick now,
                      sim::Rng &rng) override;
+    /** The stored stream serves both modes: a reference trace replays
+     * its references, a miss trace replays its misses unfiltered. */
+    ReferenceRequest nextReference(std::size_t thread, sim::Tick now,
+                                   sim::Rng &rng) override;
+    /** True when the records were captured as raw references. */
+    bool referenceStream() const { return _reference_stream; }
     std::uint64_t paperRequests() const override;
     double offeredBytesPerSecond() const override;
     std::size_t threads() const override { return _perThread.size(); }
@@ -109,6 +130,7 @@ class TraceWorkload : public Workload
     std::vector<std::vector<TraceRecord>> _perThread;
     std::vector<std::size_t> _cursor;
     double _offered;
+    bool _reference_stream = false;
 };
 
 /**
@@ -118,6 +140,16 @@ class TraceWorkload : public Workload
 std::vector<TraceRecord> captureTrace(Workload &workload,
                                       std::uint64_t requests,
                                       std::uint64_t seed = 1);
+
+/**
+ * Like captureTrace, but draws from the workload's reference stream
+ * (nextReference) — the raw load/store sequence the coherent front
+ * end filters. Pair with TraceWriter's reference_stream flag so
+ * replays route through the right injection path.
+ */
+std::vector<TraceRecord> captureReferenceTrace(Workload &workload,
+                                               std::uint64_t requests,
+                                               std::uint64_t seed = 1);
 
 } // namespace corona::workload
 

@@ -38,6 +38,16 @@ struct MissRequest
 };
 
 /**
+ * One memory reference, before any cache filtering. Same shape as a
+ * miss (address, home, read/write, think time): the coherent front end
+ * runs references through a per-cluster L1/L2 hierarchy, while the
+ * miss-stream front end interprets the identical record as an L2 miss.
+ * The home must be a pure function of the line address — the directory
+ * banks a line under one home for the whole run.
+ */
+using ReferenceRequest = MissRequest;
+
+/**
  * A generative 1024-thread miss-stream model.
  */
 class Workload
@@ -55,6 +65,20 @@ class Workload
      */
     virtual MissRequest next(std::size_t thread, sim::Tick now,
                              sim::Rng &rng) = 0;
+
+    /**
+     * Produce thread @p thread's next memory reference (pre-cache).
+     * Models that only generate miss streams inherit this default,
+     * which forwards to next() — drawing exactly the same RNG
+     * sequence, so a coherent front end with a pass-through hierarchy
+     * replays a miss-stream run bit for bit. Sharing-pattern models
+     * override it to emit reusable (shared) line addresses.
+     */
+    virtual ReferenceRequest
+    nextReference(std::size_t thread, sim::Tick now, sim::Rng &rng)
+    {
+        return next(thread, now, rng);
+    }
 
     /** Table 3 network-request count for the full benchmark run. */
     virtual std::uint64_t paperRequests() const = 0;

@@ -74,6 +74,17 @@ class BroadcastBus
         _arbiter.setTracer(tracer, static_cast<std::uint32_t>(_clusters));
     }
 
+    /** Drop queued broadcasts and statistics (pool lease boundary).
+     * Requires the event queue to be reset alongside. */
+    void
+    reset()
+    {
+        _queue.clear();
+        _arbitrating = false;
+        _broadcasts = 0;
+        _arbiter.reset();
+    }
+
   private:
     void transmit();
 

@@ -194,6 +194,61 @@ TEST(Coherence, BroadcastThresholdRespected)
     EXPECT_EQ(sys.messageCount(CoherenceMsg::InvalBcast), 0u);
 }
 
+TEST(Coherence, BroadcastAtExactThresholdUsesTheBus)
+{
+    CoherenceConfig cfg;
+    cfg.policy = InvalPolicy::Broadcast;
+    cfg.broadcast_threshold = 3;
+    CoherentSystem sys(cfg);
+    // Exactly three sharers: n >= threshold, so one bus message.
+    sys.read(1, kLine);
+    sys.read(2, kLine);
+    sys.read(3, kLine);
+    sys.write(4, kLine);
+    EXPECT_EQ(sys.messageCount(CoherenceMsg::Inval), 0u);
+    EXPECT_EQ(sys.messageCount(CoherenceMsg::InvalBcast), 1u);
+    // Every victim still acks individually.
+    EXPECT_EQ(sys.messageCount(CoherenceMsg::InvAck), 3u);
+    sys.checkInvariants();
+}
+
+TEST(Coherence, BroadcastThresholdOneFiresForASingleSharer)
+{
+    CoherenceConfig cfg;
+    cfg.policy = InvalPolicy::Broadcast;
+    cfg.broadcast_threshold = 1;
+    CoherentSystem sys(cfg);
+    // Two readers leave the line Shared by {1, 2} with no owner; the
+    // upgrading writer 1 is spared, so exactly one victim remains —
+    // still at threshold, so the bus carries it.
+    sys.read(1, kLine);
+    sys.read(2, kLine);
+    sys.write(1, kLine);
+    EXPECT_EQ(sys.messageCount(CoherenceMsg::Inval), 0u);
+    EXPECT_EQ(sys.messageCount(CoherenceMsg::InvalBcast), 1u);
+    EXPECT_EQ(sys.messageCount(CoherenceMsg::InvAck), 1u);
+    sys.checkInvariants();
+}
+
+TEST(Coherence, BroadcastThresholdZeroNeverUnicastsButNoEmptyBcast)
+{
+    CoherenceConfig cfg;
+    cfg.policy = InvalPolicy::Broadcast;
+    cfg.broadcast_threshold = 0;
+    CoherentSystem sys(cfg);
+    // No sharers to invalidate: a cold write must not emit a bus
+    // message even though 0 >= threshold.
+    sys.write(5, kLine);
+    EXPECT_EQ(sys.messageCount(CoherenceMsg::InvalBcast), 0u);
+    // One sharer: broadcast despite the sub-threshold count rule
+    // never engaging at threshold zero.
+    sys.read(1, kLine);
+    sys.write(6, kLine);
+    EXPECT_EQ(sys.messageCount(CoherenceMsg::Inval), 0u);
+    EXPECT_GE(sys.messageCount(CoherenceMsg::InvalBcast), 1u);
+    sys.checkInvariants();
+}
+
 TEST(Coherence, RejectsBadPeers)
 {
     CoherentSystem sys;

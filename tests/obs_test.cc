@@ -234,6 +234,38 @@ TEST(RunObserver, ObservedRunMetricsMatchAnUnobservedRun)
     }
 }
 
+TEST(RunObserver, SnapshotListsCacheAndCoherencePaths)
+{
+    auto config =
+        core::makeConfig(core::NetworkKind::XBar, core::MemoryKind::OCM);
+    config.frontend = core::FrontendKind::Coherent;
+
+    const std::string dir = ::testing::TempDir() + "/obs_coherent";
+    std::filesystem::create_directories(dir);
+    obs::RunObservability obs;
+    obs.snapshot = true;
+    obs.snapshot_path = dir + "/run.snapshot.csv";
+    auto w = workload::makeUniform();
+    core::runExperiment(config, *w, tinyParams(), obs);
+
+    std::ifstream in(obs.snapshot_path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    const std::string csv = bytes.str();
+    // The coherent front end publishes per-cluster cache counters,
+    // the protocol message census, and its own traffic counters.
+    for (const char *path :
+         {"\ncache/0/l1/hits,", "\ncache/0/l2/misses,",
+          "\ncache/63/l2/writebacks,", "\ncoherence/msg/gets,",
+          "\ncoherence/msg/getm,", "\ncoherence/msg/invalbcast,",
+          "\ncoherence/frontend/sideband_messages,",
+          "\ncoherence/frontend/broadcasts,",
+          "\ncoherence/bus/broadcasts,",
+          "\ncoherence/bus/token/grants,"})
+        EXPECT_NE(csv.find(path), std::string::npos) << path;
+}
+
 TEST(RunObserver, DetachesTheTracerFromAPooledContext)
 {
     const auto config =

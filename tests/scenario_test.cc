@@ -359,8 +359,10 @@ TEST(Scenario, ResolveExpandsRegistryGroupAliases)
     scenario.workloads = {"all"};
     scenario.configs = {"paper"};
     const auto spec = scenario.resolve();
-    ASSERT_EQ(spec.workloads.size(), workload::registry().size());
+    // "all" is the Table-3 suite; the registry additionally holds the
+    // sharing-pattern generators, addressable by name only.
     EXPECT_EQ(spec.workloads.size(), 15u);
+    EXPECT_GT(workload::registry().size(), spec.workloads.size());
     ASSERT_EQ(spec.configs.size(), 5u);
     for (std::size_t i = 0; i < spec.configs.size(); ++i)
         EXPECT_EQ(spec.configs[i].name(),

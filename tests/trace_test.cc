@@ -44,6 +44,94 @@ TEST(Trace, WriteReadRoundTrip)
         EXPECT_EQ(reader.records()[i], originals[i]);
 }
 
+TEST(Trace, ReferenceStreamFlagRoundTrips)
+{
+    std::stringstream stream;
+    TraceWriter writer(stream, 8, /*reference_stream=*/true);
+    TraceRecord r{};
+    r.thread = 3;
+    r.line = 128;
+    writer.append(r);
+
+    TraceReader reader(stream);
+    EXPECT_TRUE(reader.referenceStream());
+    ASSERT_EQ(reader.records().size(), 1u);
+
+    // Default writes mark a plain miss trace.
+    std::stringstream plain;
+    TraceWriter plainWriter(plain, 8);
+    plainWriter.append(r);
+    EXPECT_FALSE(TraceReader(plain).referenceStream());
+}
+
+TEST(Trace, ReaderAcceptsVersion1)
+{
+    // Hand-build a v1 header (version = 1, pad = 0) plus one 32-byte
+    // record, exactly as the pre-flags writer laid it out.
+    std::stringstream stream;
+    const char magic[12] = {'C', 'O', 'R', 'O', 'N', 'A',
+                            'T', 'R', 'A', 'C', 'E', '\0'};
+    stream.write(magic, sizeof(magic));
+    const std::uint16_t version = 1;
+    const std::uint16_t pad = 0;
+    const std::uint32_t threads = 2;
+    stream.write(reinterpret_cast<const char *>(&version),
+                 sizeof(version));
+    stream.write(reinterpret_cast<const char *>(&pad), sizeof(pad));
+    stream.write(reinterpret_cast<const char *>(&threads),
+                 sizeof(threads));
+    struct
+    {
+        std::uint32_t thread = 1;
+        std::uint32_t home = 7;
+        std::uint64_t line = 640;
+        std::uint64_t think_time = 99;
+        std::uint8_t write = 1;
+        std::uint8_t padding[7] = {};
+    } packed;
+    stream.write(reinterpret_cast<const char *>(&packed),
+                 sizeof(packed));
+
+    TraceReader reader(stream);
+    EXPECT_EQ(reader.threads(), 2u);
+    EXPECT_FALSE(reader.referenceStream());
+    ASSERT_EQ(reader.records().size(), 1u);
+    EXPECT_EQ(reader.records()[0].line, 640u);
+    EXPECT_EQ(reader.records()[0].home, 7u);
+}
+
+TEST(Trace, ReaderRejectsFutureVersion)
+{
+    std::stringstream stream;
+    TraceWriter writer(stream, 1);
+    std::string bytes = stream.str();
+    bytes[12] = 3; // Bump the version field past anything we write.
+    std::stringstream bumped(bytes);
+    EXPECT_THROW(TraceReader{bumped}, sim::FatalError);
+}
+
+TEST(Trace, CaptureReferenceTraceDrawsReferenceStream)
+{
+    // With the default nextReference forwarding, the reference capture
+    // of a synthetic workload is bit-identical to the miss capture at
+    // the same seed.
+    workload::SyntheticWorkload a(workload::Pattern::Uniform,
+                                  topology::Geometry());
+    workload::SyntheticWorkload b(workload::Pattern::Uniform,
+                                  topology::Geometry());
+    const auto misses = workload::captureTrace(a, 256, 7);
+    const auto refs = workload::captureReferenceTrace(b, 256, 7);
+    ASSERT_EQ(misses.size(), refs.size());
+    for (std::size_t i = 0; i < misses.size(); ++i)
+        EXPECT_EQ(misses[i], refs[i]);
+
+    TraceWorkload replay(refs, 1024, "ref-replay",
+                         /*reference_stream=*/true);
+    EXPECT_TRUE(replay.referenceStream());
+    sim::Rng rng(1);
+    EXPECT_EQ(replay.nextReference(0, 0, rng).line, refs[0].line);
+}
+
 TEST(Trace, ReaderRejectsGarbage)
 {
     std::stringstream garbage("this is not a corona trace at all......");

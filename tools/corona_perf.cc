@@ -27,6 +27,12 @@
  *     run's CSV must still match byte-for-byte (obs never touches sink
  *     bytes).
  *
+ *  4. Coherent front end: the same grid with frontend=coherent, both
+ *     as a pass-through hierarchy (whose CSV must match the
+ *     miss-stream grid byte for byte — the injection-path parity
+ *     gate) and with the default L1/L2 shape (the documented
+ *     coherent-mode overhead).
+ *
  * Results are written as a single JSON object (BENCH_perf.json by
  * default) with a byte-stable key shape; timing values vary run to
  * run, keys never do. --quick shrinks both benchmarks for CI.
@@ -205,13 +211,15 @@ struct GridResult
 
 GridResult
 runGrid(std::size_t cells, std::uint64_t requests, bool reuse_systems,
-        const obs::CampaignObsOptions *observability = nullptr)
+        const obs::CampaignObsOptions *observability = nullptr,
+        const core::SystemConfig *config = nullptr)
 {
     campaign::CampaignSpec spec;
     spec.name = "perf-grid";
     spec.workloads = {{"Uniform", true, workload::makeUniform}};
-    spec.configs = {core::makeConfig(core::NetworkKind::XBar,
-                                     core::MemoryKind::OCM)};
+    spec.configs = {config ? *config
+                           : core::makeConfig(core::NetworkKind::XBar,
+                                              core::MemoryKind::OCM)};
     spec.seeds.resize(cells);
     for (std::size_t i = 0; i < cells; ++i)
         spec.seeds[i] = i;
@@ -394,6 +402,35 @@ main(int argc, char **argv)
     const double obs_overhead =
         pooled.cells_per_sec / observed.cells_per_sec;
 
+    std::cerr << "corona-perf: coherent front end (" << cells
+              << " cells, pass-through + cached)...\n";
+    // Pass-through hierarchy, labelled like the baseline so the CSV
+    // config column matches: the byte-parity gate for the coherent
+    // injection path.
+    core::SystemConfig passthrough =
+        core::makeConfig(core::NetworkKind::XBar, core::MemoryKind::OCM);
+    passthrough.label = passthrough.name();
+    passthrough.frontend = core::FrontendKind::Coherent;
+    passthrough.l1_kib = 0;
+    passthrough.l2_kib = 0;
+    const GridResult passthrough_grid =
+        runGrid(cells, requests, true, nullptr, &passthrough);
+    const bool passthrough_parity = passthrough_grid.csv == pooled.csv;
+    if (!passthrough_parity) {
+        std::cerr << "corona-perf: PARITY FAILURE — coherent "
+                     "pass-through grid CSV differs from the "
+                     "miss-stream grid\n";
+    }
+    // Full hierarchy + MOESI filtering: the documented coherent-mode
+    // overhead relative to miss-stream injection.
+    core::SystemConfig cached =
+        core::makeConfig(core::NetworkKind::XBar, core::MemoryKind::OCM);
+    cached.frontend = core::FrontendKind::Coherent;
+    const GridResult coherent_grid =
+        runGrid(cells, requests, true, nullptr, &cached);
+    const double frontend_overhead =
+        pooled.cells_per_sec / coherent_grid.cells_per_sec;
+
     const double near_speedup =
         near_pooled.events_per_sec / near_legacy.events_per_sec;
     const double mixed_speedup =
@@ -430,7 +467,15 @@ main(int argc, char **argv)
          << ",\"off_cells_per_sec\":"
          << jsonNumber(pooled.cells_per_sec) << ",\"overhead\":"
          << jsonNumber(obs_overhead) << ",\"csv_parity\":"
-         << (obs_parity ? "true" : "false") << "}}\n";
+         << (obs_parity ? "true" : "false")
+         << "},\"frontend\":{\"miss_stream_cells_per_sec\":"
+         << jsonNumber(pooled.cells_per_sec)
+         << ",\"passthrough_cells_per_sec\":"
+         << jsonNumber(passthrough_grid.cells_per_sec)
+         << ",\"coherent_cells_per_sec\":"
+         << jsonNumber(coherent_grid.cells_per_sec) << ",\"overhead\":"
+         << jsonNumber(frontend_overhead) << ",\"passthrough_parity\":"
+         << (passthrough_parity ? "true" : "false") << "}}\n";
 
     std::ofstream out(out_path, std::ios::trunc);
     if (!out) {
@@ -472,6 +517,14 @@ main(int argc, char **argv)
               << " cells/s off  (x" << jsonNumber(obs_overhead)
               << " overhead, csv parity "
               << (obs_parity ? "ok" : "FAILED") << ")\n"
+              << "coherent front end : "
+              << campaign::formatRate(coherent_grid.cells_per_sec)
+              << " cells/s coherent vs "
+              << campaign::formatRate(pooled.cells_per_sec)
+              << " cells/s miss-stream  (x"
+              << jsonNumber(frontend_overhead)
+              << " overhead, pass-through parity "
+              << (passthrough_parity ? "ok" : "FAILED") << ")\n"
               << "report: " << out_path << "\n";
-    return parity && obs_parity ? 0 : 1;
+    return parity && obs_parity && passthrough_parity ? 0 : 1;
 }

@@ -36,7 +36,8 @@ usage(std::ostream &os)
 {
     os << "corona-stats — inspect observability dumps\n\n"
           "  corona-stats summary FILE.timeseries.csv\n"
-          "      per-column count/mean/min/max over the sampled rows\n"
+          "      per-column count/mean/min/max over the sampled rows,\n"
+          "      then a group,paths census by subsystem prefix\n"
           "  corona-stats trace FILE.trace.json\n"
           "      validate the Chrome trace shape; count events by "
           "name\n"
@@ -136,6 +137,34 @@ summarizeTimeSeries(const std::string &path)
                                                      : 0.0)
                   << "\n";
     }
+
+    // Registry paths are slash-separated; the subsystem prefix (e.g.
+    // "cache", "coherence", "hub") groups the columns for a quick
+    // which-planes-are-present read. First-seen order keeps the
+    // output deterministic for a given file.
+    std::vector<std::string> groups;
+    std::vector<std::uint64_t> group_counts;
+    for (std::size_t i = 1; i < header.size(); ++i) {
+        const std::size_t slash = header[i].find('/');
+        const std::string group = slash == std::string::npos
+                                      ? header[i]
+                                      : header[i].substr(0, slash);
+        bool seen = false;
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            if (groups[g] == group) {
+                ++group_counts[g];
+                seen = true;
+                break;
+            }
+        }
+        if (!seen) {
+            groups.push_back(group);
+            group_counts.push_back(1);
+        }
+    }
+    std::cout << "group,paths\n";
+    for (std::size_t g = 0; g < groups.size(); ++g)
+        std::cout << groups[g] << "," << group_counts[g] << "\n";
     return 0;
 }
 
