@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
-# Observability smoke test against the real corona-run / corona-stats
-# binaries:
+# Observability smoke test against the real corona-run / corona-launch
+# / corona-stats binaries:
 #
 #   1. A scenario with every [observability] plane on runs end to end;
-#      corona-stats validates each produced file shape (time-series
-#      CSV, Chrome trace JSON, registry snapshot CSV, heartbeat JSONL)
-#      and the trace actually contains crossbar + memory spans.
+#      corona-stats validates each produced file shape (per-run
+#      run<N>.obs.bin container, registry snapshot CSV, heartbeat
+#      JSONL), exports the trace to Chrome JSON (the CI artifact), and
+#      the trace actually contains crossbar + memory spans.
 #   2. Off-parity: the same scenario with the [observability] section
 #      deleted writes byte-identical CSV sink output — observing a
 #      campaign never changes its results.
-#   3. Determinism: every per-run obs file (time series, trace,
-#      snapshot) is byte-identical between a 1-worker and a 4-worker
-#      run of the same grid.
+#   3. Determinism: every per-run obs file and the campaign rollup are
+#      byte-identical between a 1-worker and a 4-worker run.
+#   4. Rollup shard determinism: corona-launch over 2 shard processes
+#      merges per-shard rollups into bytes identical to the whole-run
+#      rollup.csv; `corona-stats follow --once` and `corona-stats
+#      report` render the shard heartbeats and the merged rollup.
 #
 # Usage: scripts/obs_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -50,14 +54,16 @@ sample_period = 200000
 trace_capacity = 8192
 snapshot = on
 heartbeat = on
+rollup = on
 dir = $1
 EOF
   fi
 }
 
-scenario "${DIR}/obs1" > "${DIR}/on1.scenario"
-scenario "${DIR}/obs4" > "${DIR}/on4.scenario"
-scenario ""            > "${DIR}/off.scenario"
+scenario "${DIR}/obs1"   > "${DIR}/on1.scenario"
+scenario "${DIR}/obs4"   > "${DIR}/on4.scenario"
+scenario "${DIR}/obsL"   > "${DIR}/launch.scenario"
+scenario ""              > "${DIR}/off.scenario"
 
 # ---- 1. Observed run; corona-stats validates every file shape.
 CORONA_JOBS=1 CORONA_SWEEP_CSV="${DIR}/on1.csv" \
@@ -65,12 +71,17 @@ CORONA_JOBS=1 CORONA_SWEEP_CSV="${DIR}/on1.csv" \
 
 for run in 0 1 2 3; do
   "${BUILD}/corona-stats" summary \
-    "${DIR}/obs1/run${run}.timeseries.csv" > /dev/null
+    "${DIR}/obs1/run${run}.obs.bin" > /dev/null
   "${BUILD}/corona-stats" trace \
-    "${DIR}/obs1/run${run}.trace.json" > "${DIR}/trace${run}.txt"
+    "${DIR}/obs1/run${run}.obs.bin" > "${DIR}/trace${run}.txt"
   "${BUILD}/corona-stats" snapshot \
     "${DIR}/obs1/run${run}.snapshot.csv" net > /dev/null
 done
+# Chrome trace export with counter tracks — this JSON is what CI
+# uploads as the browsable artifact.
+"${BUILD}/corona-stats" trace "${DIR}/obs1/run0.obs.bin" \
+  --export "${DIR}/run0.trace.json" \
+  --counters "${DIR}/obs1/run0.obs.bin" --prefix net
 "${BUILD}/corona-stats" heartbeat "${DIR}/obs1/heartbeat.jsonl" \
   > "${DIR}/heartbeat.txt"
 
@@ -80,6 +91,10 @@ grep -q "^channel_grant," "${DIR}/trace0.txt" || {
 }
 grep -q "^mc_issue," "${DIR}/trace0.txt" || {
   echo "obs smoke: trace has no memory-controller spans" >&2
+  exit 1
+}
+grep -q '"ph":"C"' "${DIR}/run0.trace.json" || {
+  echo "obs smoke: exported trace JSON has no counter tracks" >&2
   exit 1
 }
 for event in campaign_begin cell worker_done campaign_end; do
@@ -97,7 +112,7 @@ cmp -s "${DIR}/on1.csv" "${DIR}/off.csv" || {
   exit 1
 }
 
-# ---- 3. Per-run obs files are worker-count invariant.
+# ---- 3. Per-run obs files + rollup are worker-count invariant.
 CORONA_JOBS=4 CORONA_SWEEP_CSV="${DIR}/on4.csv" \
   "${BUILD}/corona-run" --quiet --no-table "${DIR}/on4.scenario"
 cmp -s "${DIR}/on1.csv" "${DIR}/on4.csv" || {
@@ -105,7 +120,7 @@ cmp -s "${DIR}/on1.csv" "${DIR}/on4.csv" || {
   exit 1
 }
 for run in 0 1 2 3; do
-  for suffix in timeseries.csv trace.json snapshot.csv; do
+  for suffix in obs.bin snapshot.csv; do
     cmp -s "${DIR}/obs1/run${run}.${suffix}" \
            "${DIR}/obs4/run${run}.${suffix}" || {
       echo "obs smoke: run${run}.${suffix} differs at 1 vs 4 workers" >&2
@@ -113,6 +128,31 @@ for run in 0 1 2 3; do
     }
   done
 done
+cmp -s "${DIR}/obs1/rollup.csv" "${DIR}/obs4/rollup.csv" || {
+  echo "obs smoke: rollup.csv differs at 1 vs 4 workers" >&2
+  exit 1
+}
 
-echo "obs smoke: OK (file shapes valid, sink off-parity," \
-     "obs bytes worker-count invariant)"
+# ---- 4. Sharded launch: merged rollup bytes == whole-run rollup
+#         bytes, and the live-monitoring surfaces render the outputs.
+"${BUILD}/corona-launch" --scenario "${DIR}/launch.scenario" \
+  --shards 2 --jobs 2 --dir "${DIR}/launch-ckpt" \
+  --csv "${DIR}/launch.csv" --quiet
+cmp -s "${DIR}/obs1/rollup.csv" "${DIR}/obsL/rollup.csv" || {
+  echo "obs smoke: merged shard rollup differs from whole-run rollup" >&2
+  exit 1
+}
+"${BUILD}/corona-stats" follow --once \
+  "${DIR}"/obsL/heartbeat-*.jsonl > "${DIR}/follow.txt"
+grep -q "^runs 4/4" "${DIR}/follow.txt" || {
+  echo "obs smoke: follow --once printed no campaign status" >&2
+  exit 1
+}
+"${BUILD}/corona-stats" report "${DIR}/obs1" > "${DIR}/report.txt"
+grep -q "^campaign rollup:" "${DIR}/report.txt" || {
+  echo "obs smoke: campaign report missing rollup header" >&2
+  exit 1
+}
+
+echo "obs smoke: OK (file shapes valid, sink off-parity, obs bytes" \
+     "worker-count invariant, rollup shard-merge deterministic)"

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # corona-perf smoke: a --quick run must pass its own determinism gates
-# (legacy-vs-kernel event checksums, pooled-vs-fresh grid CSV parity —
-# a parity failure is a nonzero exit) and emit a JSON report with the
-# stable corona-perf-v1 key shape. Timing values vary run to run and
-# are informational only — CI uploads the report as an artifact, it
-# never threshold-gates on it.
+# (legacy-vs-kernel event checksums, pooled-vs-fresh grid CSV parity,
+# observed-vs-unobserved CSV parity — a parity failure is a nonzero
+# exit) and emit a JSON report with the stable corona-perf-v1 key
+# shape. Timing values vary run to run and are informational only —
+# with one exception: the observability overhead ratio is gated at a
+# generous ceiling (1.5x vs the 1.15x committed in BENCH_perf.json),
+# loose enough for noisy CI machines but tight enough to catch the
+# sampler's fast path regressing back toward the 2.6x it replaced.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -34,7 +37,13 @@ for key in \
     '"pooled_cells_per_sec"' \
     '"fresh_cells_per_sec"' \
     '"sim_events_per_sec"' \
-    '"parity":true'
+    '"parity":true' \
+    '"observability"' \
+    '"on_cells_per_sec"' \
+    '"off_cells_per_sec"' \
+    '"csv_parity":true' \
+    '"frontend"' \
+    '"passthrough_parity":true'
 do
     if ! grep -qF "${key}" "${OUT}"; then
         echo "perf_smoke: missing ${key} in corona-perf report" >&2
@@ -43,4 +52,17 @@ do
     fi
 done
 
-echo "perf_smoke: OK (kernel + pooling determinism, report shape stable)"
+python3 - "${OUT}" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+obs = report["observability"]
+if not obs["csv_parity"]:
+    sys.exit("perf_smoke: observed run broke CSV sink parity")
+if obs["overhead"] > 1.5:
+    sys.exit("perf_smoke: observability overhead x%.3f exceeds the "
+             "1.5x CI ceiling (committed target is 1.15x)"
+             % obs["overhead"])
+EOF
+
+echo "perf_smoke: OK (kernel + pooling determinism, report shape stable," \
+     "obs overhead within ceiling)"

@@ -1,5 +1,7 @@
 #include "campaign/runner.hh"
 
+#include "campaign/obs_rollup.hh"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -223,6 +225,13 @@ CampaignRunner::run(const CampaignSpec &spec,
     // (and the scenario layer rejects [observability] for the model).
     const bool observe =
         !_options.execute && _options.observability.enabled();
+    // The campaign rollup: every executed cell's end-of-run registry
+    // capture, grouped by config. Workers append under a mutex; the
+    // file write at the end sorts, so the bytes are thread-count
+    // independent.
+    const bool rollup_on = observe && _options.observability.rollup;
+    ObsRollup rollup;
+    std::mutex rollup_mutex;
 
     const auto worker = [&](std::size_t worker_id) {
         // Each worker thread owns its pool: contexts are leased and
@@ -240,9 +249,21 @@ CampaignRunner::run(const CampaignSpec &spec,
                 break;
             const std::size_t idx = pending[at];
             obs::RunObservability run_obs;
-            if (observe)
+            obs::RollupCapture capture;
+            if (observe) {
                 run_obs =
                     _options.observability.forRun(plans[idx].index);
+                if (rollup_on) {
+                    // Only the first run of a config copies the ~2000
+                    // probe paths out; later runs carry values alone.
+                    // Two workers racing a config's first run both
+                    // copy, harmlessly (addRun checks they agree).
+                    std::scoped_lock lock(rollup_mutex);
+                    capture.want_paths =
+                        !rollup.hasGroup(plans[idx].config);
+                    run_obs.capture = &capture;
+                }
+            }
             double lease_seconds = 0.0;
             RunRecord record =
                 _options.execute
@@ -253,6 +274,12 @@ CampaignRunner::run(const CampaignSpec &spec,
                                       observe ? &run_obs : nullptr,
                                       &lease_seconds);
             ++cells;
+            if (rollup_on && record.ok) {
+                std::scoped_lock lock(rollup_mutex);
+                rollup.addRun(plans[idx].config, plans[idx].index,
+                              capture.end_tick, capture.paths,
+                              std::move(capture.values));
+            }
             if (_options.heartbeat) {
                 const double wall = record.wall_seconds;
                 const double events = static_cast<double>(
@@ -319,6 +346,17 @@ CampaignRunner::run(const CampaignSpec &spec,
         sink->end();
     if (_options.progress)
         _options.progress->end();
+
+    if (rollup_on) {
+        // One rollup file per process; a sharded shard writes a
+        // suffixed file corona-launch later merges, like checkpoints.
+        std::string path = _options.observability.dir + "/rollup";
+        if (!_options.shard.isWhole()) {
+            path += "-" + std::to_string(_options.shard.index + 1) +
+                    "-" + std::to_string(_options.shard.count);
+        }
+        writeRollupFile(path + ".csv", rollup);
+    }
 
     std::vector<RunRecord> records;
     records.reserve(total);

@@ -419,7 +419,7 @@ parseScenario(std::string_view text)
             doc.find("observability")) {
         checkUniqueKeys(*observability,
                         {"sample_period", "trace_capacity", "snapshot",
-                         "heartbeat", "dir"});
+                         "heartbeat", "rollup", "dir"});
         for (const ScenarioEntry &entry : observability->entries) {
             if (entry.key == "sample_period") {
                 spec.observability.sample_period = entryUnsigned(entry);
@@ -438,6 +438,12 @@ parseScenario(std::string_view text)
                     badEntry(entry, "heartbeat is on/off, got \"" +
                                         entry.value + "\"");
                 spec.observability.heartbeat = *value;
+            } else if (entry.key == "rollup") {
+                const auto value = core::parseOnOff(entry.value);
+                if (!value)
+                    badEntry(entry, "rollup is on/off, got \"" +
+                                        entry.value + "\"");
+                spec.observability.rollup = *value;
             } else if (entry.key == "dir") {
                 if (entry.value.empty())
                     badEntry(entry, "dir is empty");
@@ -556,6 +562,8 @@ serializeScenario(const ScenarioSpec &spec)
         add(observability, "snapshot", "on");
     if (obs.heartbeat)
         add(observability, "heartbeat", "on");
+    if (obs.rollup)
+        add(observability, "rollup", "on");
     if (obs.dir != "obs")
         add(observability, "dir", obs.dir);
     if (!observability.entries.empty())

@@ -125,6 +125,9 @@ struct ScenarioObservability
     bool snapshot = false;
     /** Stream host-profiling heartbeat JSONL from the runner. */
     bool heartbeat = false;
+    /** Collect end-of-run registry captures into a campaign rollup
+     * file (merged across shards by corona-launch). */
+    bool rollup = false;
     /** Directory receiving per-run files and the heartbeat stream
      * (created on demand by runScenario). */
     std::string dir = "obs";
@@ -133,7 +136,7 @@ struct ScenarioObservability
     enabled() const
     {
         return sample_period > 0 || trace_capacity > 0 || snapshot ||
-               heartbeat;
+               heartbeat || rollup;
     }
 };
 

@@ -137,6 +137,46 @@ effectiveExecution(ScenarioSpec &scenario, EnvOverrides env)
 
 } // namespace
 
+void
+ScenarioObsSetup::apply(const ScenarioObservability &observability,
+                        const std::string &scenario_name,
+                        RunnerOptions &options)
+{
+    if (!observability.enabled())
+        return;
+    // Observability outputs live under the scenario's obs dir: per-run
+    // files are named by global run index (disjoint across shards),
+    // and the heartbeat stream and rollup file get a per-shard suffix
+    // so concurrent shard processes never truncate each other's file.
+    std::error_code ec;
+    std::filesystem::create_directories(observability.dir, ec);
+    if (ec)
+        sim::fatal("scenario \"" + scenario_name +
+                   "\": cannot create observability dir \"" +
+                   observability.dir + "\": " + ec.message());
+    options.observability.sample_period = observability.sample_period;
+    options.observability.trace_capacity =
+        static_cast<std::size_t>(observability.trace_capacity);
+    options.observability.snapshot = observability.snapshot;
+    options.observability.rollup = observability.rollup;
+    options.observability.dir = observability.dir;
+    if (observability.heartbeat) {
+        std::string path = observability.dir + "/heartbeat";
+        if (!options.shard.isWhole())
+            path += "-" + std::to_string(options.shard.index + 1) +
+                    "-" + std::to_string(options.shard.count);
+        path += ".jsonl";
+        _heartbeatStream.open(path, std::ios::trunc);
+        if (!_heartbeatStream)
+            sim::fatal("scenario \"" + scenario_name +
+                       "\": cannot open heartbeat \"" + path +
+                       "\" for writing");
+        _heartbeat =
+            std::make_unique<obs::HeartbeatWriter>(_heartbeatStream);
+        options.heartbeat = _heartbeat.get();
+    }
+}
+
 std::function<RunRecord(const RunPlan &)>
 scenarioExecutor(const ScenarioSpec &scenario)
 {
@@ -179,42 +219,9 @@ runScenario(const ScenarioSpec &scenario,
         runner_options.progress = &progress;
     runner_options.execute = scenarioExecutor(effective);
 
-    // Observability outputs live under the scenario's obs dir: per-run
-    // files are named by global run index (disjoint across shards),
-    // and the heartbeat stream gets a per-shard suffix so concurrent
-    // shard processes never truncate each other's file.
-    std::ofstream heartbeat_stream;
-    std::unique_ptr<obs::HeartbeatWriter> heartbeat;
-    const ScenarioObservability &observability = effective.observability;
-    if (observability.enabled()) {
-        std::error_code ec;
-        std::filesystem::create_directories(observability.dir, ec);
-        if (ec)
-            sim::fatal("scenario \"" + effective.name +
-                       "\": cannot create observability dir \"" +
-                       observability.dir + "\": " + ec.message());
-        runner_options.observability.sample_period =
-            observability.sample_period;
-        runner_options.observability.trace_capacity =
-            static_cast<std::size_t>(observability.trace_capacity);
-        runner_options.observability.snapshot = observability.snapshot;
-        runner_options.observability.dir = observability.dir;
-        if (observability.heartbeat) {
-            std::string path = observability.dir + "/heartbeat";
-            if (!exec.shard.isWhole())
-                path += "-" + std::to_string(exec.shard.index + 1) +
-                        "-" + std::to_string(exec.shard.count);
-            path += ".jsonl";
-            heartbeat_stream.open(path, std::ios::trunc);
-            if (!heartbeat_stream)
-                sim::fatal("scenario \"" + effective.name +
-                           "\": cannot open heartbeat \"" + path +
-                           "\" for writing");
-            heartbeat = std::make_unique<obs::HeartbeatWriter>(
-                heartbeat_stream);
-            runner_options.heartbeat = heartbeat.get();
-        }
-    }
+    ScenarioObsSetup obs_setup;
+    obs_setup.apply(effective.observability, effective.name,
+                    runner_options);
 
     CampaignRunner runner(runner_options);
     const auto csv =

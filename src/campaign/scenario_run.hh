@@ -17,9 +17,12 @@
 #ifndef CORONA_CAMPAIGN_SCENARIO_RUN_HH
 #define CORONA_CAMPAIGN_SCENARIO_RUN_HH
 
+#include <fstream>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "campaign/runner.hh"
 #include "campaign/scenario.hh"
 #include "campaign/shard.hh"
 #include "campaign/spec.hh"
@@ -63,6 +66,33 @@ struct ScenarioRunOptions
  */
 std::function<RunRecord(const RunPlan &)>
 scenarioExecutor(const ScenarioSpec &scenario);
+
+/**
+ * Observability wiring shared by runScenario and corona-launch's
+ * shard workers, so a launched scenario observes exactly like a
+ * directly-run one: creates the obs dir, copies the [observability]
+ * settings (sampling, tracing, snapshots, rollup) into
+ * RunnerOptions::observability, and opens the heartbeat stream with a
+ * per-shard filename suffix so concurrent shard processes never
+ * truncate each other. Owns the open heartbeat stream — keep the
+ * setup alive for the whole campaign run.
+ */
+class ScenarioObsSetup
+{
+  public:
+    /**
+     * Wire @p observability into @p options. @p options.shard must
+     * already hold the shard this process executes (it names the
+     * heartbeat and rollup files). No-op when the section is disabled.
+     */
+    void apply(const ScenarioObservability &observability,
+               const std::string &scenario_name,
+               RunnerOptions &options);
+
+  private:
+    std::ofstream _heartbeatStream;
+    std::unique_ptr<obs::HeartbeatWriter> _heartbeat;
+};
 
 /** What one scenario execution produced. */
 struct ScenarioRunResult

@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "corona/system.hh"
+#include "obs/registry.hh"
+#include "obs/scratch.hh"
 #include "sim/event_queue.hh"
 
 namespace corona::core {
@@ -49,6 +51,22 @@ class SimContext
     CoronaSystem &system() { return _system; }
     const SystemConfig &config() const { return _system.config(); }
 
+    /**
+     * The cached probe registry for this context. Empty until the
+     * first observed run instruments the system into it; after that,
+     * reused as-is across leases — the config (and so the probe set)
+     * is fixed for the context's lifetime, and the probes read
+     * counters that reset() zeroes in place.
+     */
+    obs::Registry &obsRegistry() { return _obsRegistry; }
+
+    /**
+     * The cached tracer ring and sampler buffers. RunObserver reuses
+     * these across leases so an observed campaign pays the large
+     * observability allocations once per context, not once per run.
+     */
+    obs::ObsScratch &obsScratch() { return _obsScratch; }
+
     /** Restore the pristine state of the queue and every component. */
     void
     reset()
@@ -60,6 +78,8 @@ class SimContext
   private:
     sim::EventQueue _eq;
     CoronaSystem _system;
+    obs::Registry _obsRegistry;
+    obs::ObsScratch _obsScratch;
 };
 
 /**

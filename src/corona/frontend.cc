@@ -6,6 +6,7 @@
 
 #include "corona/system.hh"
 #include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sim/clock.hh"
 #include "sim/logging.hh"
 
@@ -91,6 +92,11 @@ CoherentFrontEnd::CoherentFrontEnd(sim::EventQueue &eq,
             // dst names the requester the snoop spares.
             if (cluster == msg.dst)
                 return;
+            if (_tracer) {
+                // One span per snooped cluster: injection to delivery.
+                _tracer->record(obs::TraceKind::CohBroadcast, cluster,
+                                msg.injected, _eq.now(), msg.src);
+            }
             snoop(coherence::CoherenceMsg::InvalBcast, cluster,
                   decodeLine(msg.tag));
         });
@@ -204,12 +210,14 @@ CoherentFrontEnd::applyReference(topology::ClusterId cluster,
         if (std::find(r.evictions.begin(), r.evictions.end(), victim) ==
             r.evictions.end()) {
             ++_writebacks;
+            recordWriteback(cluster, homeOf(victim));
             _system.hub(cluster).issueWriteback(victim, homeOf(victim));
         }
     }
     if (r.write_through) {
         // A store hit under write-through: the word travels to memory.
         ++_writebacks;
+        recordWriteback(cluster, home);
         _system.hub(cluster).issueWriteback(line, home);
     }
 }
@@ -259,6 +267,8 @@ CoherentFrontEnd::emitProtocol(coherence::CoherenceMsg msg,
       case CoherenceMsg::PutM:
         // from = evicting peer, to = home.
         ++_writebacks;
+        recordWriteback(static_cast<topology::ClusterId>(from),
+                        static_cast<topology::ClusterId>(to));
         _system.hub(static_cast<topology::ClusterId>(from))
             .issueWriteback(line, static_cast<topology::ClusterId>(to));
         break;
@@ -290,11 +300,34 @@ CoherentFrontEnd::sendSideband(coherence::CoherenceMsg msg,
 }
 
 void
+CoherentFrontEnd::recordWriteback(topology::ClusterId cluster,
+                                  topology::ClusterId home)
+{
+    if (_tracer) {
+        // Nobody waits on a writeback, so there is no completion to
+        // span: a zero-width marker at issue time, aimed at the home.
+        _tracer->record(obs::TraceKind::CohWriteback, cluster,
+                        _eq.now(), _eq.now(), home);
+    }
+}
+
+void
 CoherentFrontEnd::deliverSideband(const noc::Message &msg)
 {
     using coherence::CoherenceMsg;
     const CoherenceMsg m = decodeMsg(msg.tag);
     const topology::Addr line = decodeLine(msg.tag);
+    if (_tracer) {
+        // Span the message's network life: injection to delivery, on
+        // the receiving cluster's row, peer in aux.
+        const obs::TraceKind kind =
+            m == CoherenceMsg::Inval ? obs::TraceKind::CohInval
+            : m == CoherenceMsg::InvalBcast
+                ? obs::TraceKind::CohBroadcast
+                : obs::TraceKind::CohForward;
+        _tracer->record(kind, msg.dst, msg.injected, _eq.now(),
+                        msg.src);
+    }
     switch (m) {
       case CoherenceMsg::Inval:
       case CoherenceMsg::InvalBcast:

@@ -34,6 +34,7 @@
 #include "xbar/broadcast_bus.hh"
 
 namespace corona::obs {
+class EventTracer;
 class Registry;
 } // namespace corona::obs
 
@@ -78,6 +79,10 @@ class CoherentFrontEnd
     /** Publish cache/... and coherence/... registry paths. */
     void instrument(obs::Registry &registry);
 
+    /** Record coherence-message spans (invalidations, forwards,
+     * writebacks, broadcast snoops) into @p tracer; nullptr detaches. */
+    void setTracer(obs::EventTracer *tracer) { _tracer = tracer; }
+
     /** True when no cache level is configured (parity mode). */
     bool passThrough() const { return _passThrough; }
 
@@ -120,6 +125,10 @@ class CoherentFrontEnd
     void snoop(coherence::CoherenceMsg msg, topology::ClusterId cluster,
                topology::Addr line);
 
+    /** Trace one writeback injection (zero-width span at issue). */
+    void recordWriteback(topology::ClusterId cluster,
+                         topology::ClusterId home);
+
     topology::ClusterId homeOf(topology::Addr line) const;
 
     static std::uint64_t encodeTag(coherence::CoherenceMsg msg,
@@ -140,6 +149,7 @@ class CoherentFrontEnd
      * function of the line, so entries never change). */
     std::unordered_map<topology::Addr, topology::ClusterId> _homes;
 
+    obs::EventTracer *_tracer = nullptr; ///< Not owned; may be null.
     noc::MsgId _nextId = 1;
     std::uint64_t _sidebandMessages = 0;
     std::uint64_t _broadcasts = 0;

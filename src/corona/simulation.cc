@@ -285,7 +285,7 @@ runExperiment(SimContext &ctx, workload::Workload &workload,
     // Constructed after the simulation: the pristine check above must
     // not see sampler events, and the destructor detaches the tracer so
     // a pooled system never keeps a dangling pointer across leases.
-    obs::RunObserver observer(ctx.system(), ctx.eq(), obs);
+    obs::RunObserver observer(ctx, obs);
     observer.start();
     RunMetrics metrics = sim.run();
     observer.finish();

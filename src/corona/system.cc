@@ -210,6 +210,8 @@ CoronaSystem::setTracer(obs::EventTracer *tracer)
         _xbar->setTracer(tracer);
     for (auto &mc : _mcs)
         mc->setTracer(tracer);
+    if (_frontEnd)
+        _frontEnd->setTracer(tracer);
 }
 
 double

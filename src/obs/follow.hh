@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Heartbeat tailing — live campaign monitoring.
+ *
+ * HeartbeatFollower incrementally consumes one heartbeat JSONL stream
+ * (a runner's or the launcher's) as raw chunks, in whatever sizes the
+ * poll loop reads them: it buffers the torn tail a mid-write poll can
+ * observe and parses only complete lines, so the derived state is
+ * identical for any chunking of the same bytes. Parsing is tolerant
+ * field extraction, not a JSON parser — an unrecognised event or a
+ * garbled line just counts as malformed and the tail keeps going,
+ * because a live monitor that dies on one bad line is useless.
+ *
+ * Multiple followers (one per shard heartbeat file) summarize() into
+ * one campaign-wide view that `corona-stats follow` renders as a
+ * refreshing status line — the embryo of corona-serve's progress
+ * stream.
+ */
+
+#ifndef CORONA_OBS_FOLLOW_HH
+#define CORONA_OBS_FOLLOW_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace corona::obs {
+
+/** Everything one heartbeat stream has said so far. */
+struct FollowStreamState
+{
+    // Raw accounting.
+    std::uint64_t lines = 0;
+    std::uint64_t malformed = 0;
+
+    // Campaign lifecycle (runner heartbeats).
+    bool campaign_begun = false;
+    bool campaign_ended = false;
+    std::string campaign;
+    std::uint64_t runs = 0;
+    std::uint64_t replayed = 0;
+    std::uint64_t pending = 0;
+    std::uint64_t threads = 0;
+    std::uint64_t cells_ok = 0;
+    std::uint64_t cells_failed = 0;
+    double last_ev_per_s = 0.0;
+    std::uint64_t done = 0;   ///< From campaign_end.
+    std::uint64_t failed = 0; ///< From campaign_end.
+    double wall_s = 0.0;      ///< From campaign_end / launch_done.
+
+    // Launcher lifecycle (corona-launch heartbeats).
+    bool launch_begun = false;
+    bool launch_ended = false;
+    bool launch_ok = false;
+    std::uint64_t shards = 0;
+    std::uint64_t shard_starts = 0;
+    std::uint64_t shard_exits = 0;
+    std::uint64_t shard_exit_ok = 0;
+    std::uint64_t shard_stalls = 0;
+
+    /** Cells known complete: live count until campaign_end, then the
+     * authoritative end-of-campaign tally. */
+    std::uint64_t
+    completed() const
+    {
+        return campaign_ended ? done + failed
+                              : replayed + cells_ok + cells_failed;
+    }
+
+    /** Has this stream's producer said its final word? */
+    bool
+    finished() const
+    {
+        return launch_begun ? launch_ended : campaign_ended;
+    }
+};
+
+/**
+ * Incremental parser for one heartbeat stream (see file comment).
+ */
+class HeartbeatFollower
+{
+  public:
+    /**
+     * Consume the next raw chunk of the stream. Complete lines update
+     * the state; a trailing partial line is buffered until the rest
+     * arrives. The resulting state is chunking-invariant.
+     */
+    void feed(std::string_view chunk);
+
+    const FollowStreamState &state() const { return _state; }
+    bool finished() const { return _state.finished(); }
+
+    /** Bytes consumed so far (complete lines + buffered tail) — the
+     * caller's natural resume offset into the file. */
+    std::uint64_t consumed() const { return _consumed; }
+
+  private:
+    void feedLine(std::string_view line);
+
+    FollowStreamState _state;
+    std::string _tail;
+    std::uint64_t _consumed = 0;
+};
+
+/** A cross-stream view for the status line. */
+struct FollowSummary
+{
+    std::size_t streams = 0;
+    std::size_t finished = 0; ///< Streams whose producer is done.
+    std::uint64_t runs = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    double ev_per_s = 0.0; ///< Sum of each stream's last cell rate.
+    std::uint64_t shards = 0;
+    std::uint64_t shard_exits = 0;
+    std::uint64_t shard_stalls = 0;
+    std::uint64_t malformed = 0;
+};
+
+/** Fold per-stream states into one summary. */
+FollowSummary summarize(const std::vector<FollowStreamState> &states);
+
+/** Render @p summary as the single-line status `follow` refreshes. */
+std::string formatFollowLine(const FollowSummary &summary);
+
+} // namespace corona::obs
+
+#endif // CORONA_OBS_FOLLOW_HH

@@ -71,13 +71,23 @@ Registry::addStats(const std::string &path,
     add(path + "/max", [&stats] { return stats.max(); });
 }
 
+std::vector<std::string>
+Registry::paths() const
+{
+    std::vector<std::string> out;
+    out.reserve(_probes.size());
+    for (const Probe &probe : _probes)
+        out.push_back(probe.path);
+    return out;
+}
+
 std::vector<double>
 Registry::read() const
 {
     std::vector<double> values;
     values.reserve(_probes.size());
     for (const Probe &probe : _probes)
-        values.push_back(probe.read());
+        values.push_back(probe.value());
     return values;
 }
 
@@ -86,7 +96,7 @@ Registry::writeSnapshotCsv(std::ostream &os) const
 {
     os << "path,value\n";
     for (const Probe &probe : _probes)
-        os << probe.path << ',' << formatValue(probe.read()) << '\n';
+        os << probe.path << ',' << formatValue(probe.value()) << '\n';
 }
 
 void

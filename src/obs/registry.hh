@@ -15,9 +15,13 @@
  *
  * Probes are pull-based (a std::function<double()> closing over the
  * component), so registering costs one small allocation per probe and
- * the instrumented component pays nothing until somebody reads. The
- * registry is built per observed run, entirely outside the hot path:
- * with observability off no Registry exists at all.
+ * the instrumented component pays nothing until somebody reads. Common
+ * counter probes additionally carry a typed stats::Counter pointer so
+ * samplers can read them without an indirect std::function call. The
+ * registry is built once per simulation context and cached there
+ * (instrumentation is pure naming — reset() zeroes the counters the
+ * probes point at, never the probes themselves), entirely outside the
+ * hot path: with observability off no Registry exists at all.
  */
 
 #ifndef CORONA_OBS_REGISTRY_HH
@@ -47,6 +51,17 @@ struct Probe
 {
     std::string path;
     std::function<double()> read;
+    /** Non-null when the probe is a plain counter: samplers read
+     * `counter->value()` directly instead of calling through the
+     * std::function. */
+    const stats::Counter *counter = nullptr;
+
+    /** Current value, through the fast path when available. */
+    double
+    value() const
+    {
+        return counter ? static_cast<double>(counter->value()) : read();
+    }
 };
 
 /**
@@ -63,12 +78,13 @@ class Registry
      */
     void add(std::string path, std::function<double()> read);
 
-    /** Register a counter's value under @p path. */
+    /** Register a counter's value under @p path (typed fast path). */
     void add(std::string path, const stats::Counter &counter)
     {
         add(std::move(path), [&counter] {
             return static_cast<double>(counter.value());
         });
+        _probes.back().counter = &counter;
     }
 
     /**
@@ -79,7 +95,11 @@ class Registry
                   const stats::RunningStats &stats);
 
     std::size_t size() const { return _probes.size(); }
+    bool empty() const { return _probes.empty(); }
     const std::vector<Probe> &probes() const { return _probes; }
+
+    /** Every probe path, in registration order. */
+    std::vector<std::string> paths() const;
 
     /** Read every probe, in registration order. */
     std::vector<double> read() const;

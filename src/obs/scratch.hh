@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Per-context observability scratch state.
+ *
+ * A SimContext keeps one of these next to its cached probe registry.
+ * The tracer ring and the sampler's row block are the two large
+ * observability allocations (hundreds of KiB each); constructing them
+ * per run means an mmap/munmap round trip and a page-fault storm for
+ * every cell of an observed campaign. RunObserver instead parks them
+ * here between leases: the ring keeps its slots, the sampler keeps its
+ * vector capacity, and a fresh run only resets counters and clears
+ * lengths. Retained memory is bounded by the largest observed run on
+ * the context (rows x probes doubles, plus the configured ring).
+ */
+
+#ifndef CORONA_OBS_SCRATCH_HH
+#define CORONA_OBS_SCRATCH_HH
+
+#include <memory>
+#include <string>
+
+#include "obs/timeseries.hh"
+#include "obs/trace.hh"
+
+namespace corona::obs {
+
+struct ObsScratch
+{
+    /** Reused when the requested capacity matches; rebuilt otherwise. */
+    std::unique_ptr<EventTracer> tracer;
+    /** Reused when the requested period matches; rebuilt otherwise. */
+    std::unique_ptr<TimeSeriesSampler> sampler;
+    /** Assembly buffer for the per-run container file: keeps its
+     * capacity across leases so serialization allocates nothing in
+     * steady state. */
+    std::string file_buffer;
+};
+
+} // namespace corona::obs
+
+#endif // CORONA_OBS_SCRATCH_HH

@@ -3,23 +3,32 @@
  * Periodic time-series sampler — the temporal plane of src/obs.
  *
  * The sampler rides the simulation's own event queue: every
- * sample period it reads the whole obs::Registry into one row
- * (tick, probe values in registration order) and reschedules itself.
- * Rescheduling stops the moment the queue drains — the sampler checks
- * `EventQueue::empty()` at fire time, when its own event has already
- * been popped — so an instrumented run still terminates exactly like
- * an uninstrumented one, just with a final sample at the last
- * scheduled tick.
+ * sample period it reads every probe into one row (tick, probe values
+ * in registration order) and reschedules itself. Rescheduling stops the
+ * moment the queue drains — the sampler checks `EventQueue::empty()`
+ * at fire time, when its own event has already been popped — so an
+ * instrumented run still terminates exactly like an uninstrumented
+ * one, just with a final sample at the last scheduled tick.
  *
- * Rows are held in memory and written as a columnar CSV after the run
- * ("tick,<path>,<path>,..."); values use the shortest round-trip
- * decimal form, so the bytes are deterministic for a given run.
+ * The fast path: start() resolves the registry once into a flat probe
+ * table (typed counter pointer where available, std::function pointer
+ * otherwise) and rows land in one preallocated columnar block — no
+ * registry walk, path formatting, or per-row allocation at sample
+ * time. After the run the block is written either as the legacy
+ * columnar CSV ("tick,<path>,<path>,...") or, the campaign default,
+ * as a compact binary file (writeBinary) that corona-stats exports
+ * back to the exact CSV bytes on demand (readTimeSeriesBinary +
+ * writeTimeSeriesCsv share the CSV formatting below, so the byte
+ * parity is structural, not coincidental).
  */
 
 #ifndef CORONA_OBS_TIMESERIES_HH
 #define CORONA_OBS_TIMESERIES_HH
 
+#include <cstddef>
+#include <functional>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
@@ -28,16 +37,43 @@ namespace corona::sim {
 class EventQueue;
 } // namespace corona::sim
 
+namespace corona::stats {
+class Counter;
+} // namespace corona::stats
+
 namespace corona::obs {
 
 class Registry;
 
-/** One sampled row: the tick plus every probe value. */
-struct SampleRow
+/** 8-byte magic opening every binary time-series file. */
+extern const char timeSeriesMagic[8];
+
+/**
+ * An in-memory time series: what readTimeSeriesBinary returns and what
+ * the CSV exporter renders. Values are row-major (rows x paths).
+ */
+struct TimeSeriesData
 {
-    sim::Tick tick = 0;
+    sim::Tick period = 0;
+    std::vector<std::string> paths;
+    std::vector<sim::Tick> ticks;
     std::vector<double> values;
+
+    std::size_t rows() const { return ticks.size(); }
 };
+
+/**
+ * Parse one binary time-series file (fatal on malformed bytes;
+ * @p what names the input in error messages).
+ */
+TimeSeriesData readTimeSeriesBinary(std::istream &is,
+                                    const std::string &what);
+
+/**
+ * Render @p data as the legacy columnar CSV: byte-identical to what
+ * TimeSeriesSampler::writeCsv emits for the same samples.
+ */
+void writeTimeSeriesCsv(std::ostream &os, const TimeSeriesData &data);
 
 /**
  * Samples a Registry every fixed number of ticks, via the event queue.
@@ -54,13 +90,22 @@ class TimeSeriesSampler
                       sim::Tick period);
 
     /**
-     * Take the t=now sample and schedule the periodic ones. Call once,
-     * after instrumentation and before the run.
+     * Resolve the probe table, take the t=now sample, and schedule the
+     * periodic ones. Call once, after instrumentation and before the
+     * run.
      */
     void start();
 
     sim::Tick period() const { return _period; }
-    const std::vector<SampleRow> &rows() const { return _rows; }
+    std::size_t rowCount() const { return _ticks.size(); }
+    std::size_t probeCount() const { return _probeCount; }
+    sim::Tick rowTick(std::size_t row) const { return _ticks[row]; }
+
+    double
+    value(std::size_t row, std::size_t probe) const
+    {
+        return _values[row * _probeCount + probe];
+    }
 
     /**
      * Write the samples as CSV: a "tick,<paths...>" header then one
@@ -68,14 +113,35 @@ class TimeSeriesSampler
      */
     void writeCsv(std::ostream &os) const;
 
+    /**
+     * Append the compact binary file bytes (magic, period, path
+     * table, tick column, row-major value block) to @p out.
+     * Deterministic bytes for a given run; appending lets the per-run
+     * writer pack several planes into one container file.
+     */
+    void appendBinary(std::string &out) const;
+
+    /** writeBinary = appendBinary to a fresh buffer, streamed out. */
+    void writeBinary(std::ostream &os) const;
+
   private:
+    /** One resolved probe: a typed counter, or the generic closure. */
+    struct ResolvedProbe
+    {
+        const stats::Counter *counter = nullptr;
+        const std::function<double()> *read = nullptr;
+    };
+
     void sample();
     void scheduleNext();
 
     const Registry &_registry;
     sim::EventQueue &_eq;
     sim::Tick _period;
-    std::vector<SampleRow> _rows;
+    std::size_t _probeCount = 0;
+    std::vector<ResolvedProbe> _resolved;
+    std::vector<sim::Tick> _ticks;
+    std::vector<double> _values; ///< Row-major rows x probes.
 };
 
 } // namespace corona::obs

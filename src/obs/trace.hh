@@ -4,17 +4,21 @@
  *
  * Components with a tracer attached record timed spans (channel
  * modulation grants, token handoffs, memory-controller queue/service
- * intervals, barrier waits) into a fixed-capacity ring: recording is a
- * couple of stores, never an allocation, and when the ring fills the
- * oldest events are overwritten so the trace always holds the most
- * recent window. The ring exports as Chrome trace-event JSON
- * (complete "X" events), loadable directly in Perfetto or
- * chrome://tracing: one row per actor (cluster), one slice per span.
+ * intervals, barrier waits, coherence messages) into a fixed-capacity
+ * ring: recording is a couple of stores, never an allocation, and when
+ * the ring fills the oldest events are overwritten so the trace always
+ * holds the most recent window. At run end the ring is written as a
+ * compact binary file (varint-packed records, a few bytes per event);
+ * `corona-stats trace --export` renders it as Chrome trace-event JSON
+ * (complete "X" events), loadable in Perfetto or chrome://tracing: one row
+ * per actor (cluster), one slice per span. Time-series probes can ride
+ * along as Chrome counter ("C") events so utilization curves render
+ * next to the spans.
  *
  * Recording order is simulation order (components record at event
- * execution time on the single-threaded kernel), so the exported
- * bytes are deterministic for a given run regardless of host thread
- * count.
+ * execution time on the single-threaded kernel), so both the binary
+ * and the exported JSON bytes are deterministic for a given run
+ * regardless of host thread count.
  */
 
 #ifndef CORONA_OBS_TRACE_HH
@@ -22,11 +26,14 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
 
 namespace corona::obs {
+
+struct TimeSeriesData;
 
 /** What a trace span describes. */
 enum class TraceKind : std::uint8_t
@@ -36,6 +43,10 @@ enum class TraceKind : std::uint8_t
     McIssue,      ///< Memory request queued (arrival to link issue).
     McComplete,   ///< Memory request serviced (arrival to data ready).
     BarrierWait,  ///< Barrier arrival-to-release wait.
+    CohInval,     ///< Directed invalidation delivered to a sharer.
+    CohForward,   ///< FwdGetS/FwdGetM delivered to the owning cluster.
+    CohWriteback, ///< Dirty line written back toward its home slice.
+    CohBroadcast, ///< Pool-invalidate broadcast snooped by a cluster.
 };
 
 /** Chrome trace-event category name for @p kind. */
@@ -43,6 +54,9 @@ const char *traceCategory(TraceKind kind);
 
 /** Chrome trace-event slice name for @p kind. */
 const char *traceName(TraceKind kind);
+
+/** 8-byte magic opening every binary trace file. */
+extern const char traceMagic[8];
 
 /** One recorded span. */
 struct TraceEvent
@@ -55,6 +69,34 @@ struct TraceEvent
     std::uint32_t aux = 0;
     TraceKind kind = TraceKind::ChannelGrant;
 };
+
+/** An in-memory trace: what readTraceBinary returns. */
+struct TraceData
+{
+    /** Total events ever recorded (>= events.size() when the ring
+     * wrapped). */
+    std::uint64_t recorded = 0;
+    std::vector<TraceEvent> events; ///< Oldest first.
+};
+
+/**
+ * Parse one binary trace file (fatal on malformed bytes; @p what names
+ * the input in error messages).
+ */
+TraceData readTraceBinary(std::istream &is, const std::string &what);
+
+/**
+ * Render spans (and, when @p counters is non-null, time-series probes
+ * as Chrome counter tracks) as Chrome trace-event JSON. With no
+ * counters the bytes are identical to what EventTracer::writeChromeJson
+ * emits for the same events. @p counter_prefix, when non-empty, keeps
+ * only probes whose path starts with it (a full Registry easily holds
+ * ~2000 probes; Perfetto renders a handful of tracks well).
+ */
+void writeChromeTraceJson(std::ostream &os,
+                          const std::vector<TraceEvent> &events,
+                          const TimeSeriesData *counters = nullptr,
+                          const std::string &counter_prefix = "");
 
 /**
  * Fixed-capacity ring of trace events.
@@ -72,7 +114,10 @@ class EventTracer
     {
         TraceEvent &slot = _ring[_next];
         slot = TraceEvent{start, end, actor, aux, kind};
-        _next = (_next + 1) % _ring.size();
+        // Compare-and-wrap, not modulo: the capacity is caller-chosen
+        // (rarely a power of two) and this runs once per traced span.
+        if (++_next == _ring.size())
+            _next = 0;
         ++_recorded;
     }
 
@@ -107,6 +152,17 @@ class EventTracer
      * is deterministic: pure integer formatting, insertion order.
      */
     void writeChromeJson(std::ostream &os) const;
+
+    /**
+     * Append the compact binary file bytes (magic, counts header,
+     * varint-packed records oldest first) to @p out. Deterministic
+     * bytes for a given run; appending lets the per-run writer pack
+     * several planes into one container file with one buffer.
+     */
+    void appendBinary(std::string &out) const;
+
+    /** writeBinary = appendBinary to a fresh buffer, streamed out. */
+    void writeBinary(std::ostream &os) const;
 
     /** Drop every event and zero the counters. */
     void reset();

@@ -19,6 +19,7 @@
  * end against the real binary.
  */
 
+#include <algorithm>
 #include <charconv>
 #include <cstdlib>
 #include <filesystem>
@@ -34,6 +35,7 @@
 #include "campaign/aggregate.hh"
 #include "campaign/checkpoint.hh"
 #include "campaign/launch.hh"
+#include "campaign/obs_rollup.hh"
 #include "campaign/progress.hh"
 #include "campaign/runner.hh"
 #include "campaign/scenario.hh"
@@ -367,6 +369,13 @@ workerMain(const CliOptions &options)
     runner_options.execute = campaign::scenarioExecutor(scenario);
     if (!options.quiet)
         runner_options.progress = &progress;
+    // A launched worker observes exactly like a directly-run scenario:
+    // per-run obs files are named by global run index (disjoint across
+    // shards), and the heartbeat/rollup files carry this shard's
+    // suffix, so the launcher can merge them afterwards.
+    campaign::ScenarioObsSetup obs_setup;
+    obs_setup.apply(scenario.observability, scenario.name,
+                    runner_options);
     campaign::CampaignRunner runner(runner_options);
     runner.addSink(checkpoint.sink());
 
@@ -565,6 +574,38 @@ launchMain(const CliOptions &options)
     std::cerr << "corona-launch: merged " << merged.size() << " of "
               << spec.totalRuns() << " runs from " << paths.size()
               << " shard checkpoint(s) into " << merged_path << "\n";
+
+    // Merge the per-shard rollup files the workers wrote, exactly like
+    // the checkpoints above: whatever exists is folded into one
+    // campaign-level rollup.csv (a poisoned shard's completed rows are
+    // still worth aggregating). A single whole shard writes rollup.csv
+    // itself; nothing to merge then.
+    if (scenario.observability.rollup &&
+        !scenario.observability.dir.empty()) {
+        const std::filesystem::path obs_dir(scenario.observability.dir);
+        std::vector<std::string> shard_rollups;
+        std::error_code ec;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(obs_dir, ec)) {
+            const std::string name = entry.path().filename().string();
+            if (name.size() > 11 && name.rfind("rollup-", 0) == 0 &&
+                name.compare(name.size() - 4, 4, ".csv") == 0)
+                shard_rollups.push_back(entry.path().string());
+        }
+        std::sort(shard_rollups.begin(), shard_rollups.end());
+        if (!shard_rollups.empty()) {
+            campaign::ObsRollup rollup;
+            for (const std::string &path : shard_rollups)
+                rollup.merge(campaign::readRollupFile(path));
+            const std::string rollup_path =
+                (obs_dir / "rollup.csv").string();
+            campaign::writeRollupFile(rollup_path, rollup);
+            std::cerr << "corona-launch: merged "
+                      << shard_rollups.size()
+                      << " shard rollup(s) into " << rollup_path
+                      << "\n";
+        }
+    }
 
     if (!report.allOk()) {
         std::cerr << "corona-launch: FAILED shards:";

@@ -2,29 +2,53 @@
  * @file
  * corona-stats — inspect and summarize src/obs output files.
  *
- * The observability planes write three file shapes (see README
- * "Observability"): per-run time-series CSVs, Chrome trace-event JSON,
- * registry snapshot CSVs, and host heartbeat JSONL. This tool checks
- * and condenses them from the command line:
+ * The observability planes write several file shapes (see README
+ * "Observability"): per-run binary time series and traces (with CSV /
+ * Chrome-JSON export on demand), registry snapshot CSVs, host
+ * heartbeat JSONL, and campaign rollup files. This tool checks and
+ * condenses them from the command line:
  *
- *   corona-stats summary  RUN.timeseries.csv   per-column stats
- *   corona-stats trace    RUN.trace.json       validate + count events
- *   corona-stats snapshot RUN.snapshot.csv [PREFIX]   print (filtered)
- *   corona-stats heartbeat HEARTBEAT.jsonl     count by event type
+ *   corona-stats summary  RUN.{obs,timeseries}.bin|.csv  column stats
+ *   corona-stats export   RUN.{obs,timeseries}.bin [OUT] binary -> CSV
+ *   corona-stats trace    RUN.{obs,trace}.bin|.json  validate + count
+ *   corona-stats trace    RUN.{obs,trace}.bin --export OUT
+ *                         [--counters TS.bin --prefix P]  Chrome JSON
+ *                         (optionally with probe counter tracks)
+ *
+ * Campaign runs write one container file per run (run<N>.obs.bin)
+ * holding both the time-series and trace planes; every subcommand
+ * above accepts either the container or a bare single-plane file.
+ *   corona-stats snapshot RUN.snapshot.csv [PREFIX] print (filtered)
+ *   corona-stats heartbeat HEARTBEAT.jsonl          count by event
+ *   corona-stats report   OBS_DIR [--top N] [--probes PREFIX]
+ *                         render the campaign rollup (merging
+ *                         per-shard rollup files when needed)
+ *   corona-stats follow   HEARTBEAT.jsonl... [--once] [--interval MS]
+ *                         tail heartbeats into a live status line
  *
  * Every subcommand exits non-zero on a malformed file, so the CI smoke
- * can use it as a validity gate; all output is deterministic for a
- * given input file.
+ * can use it as a validity gate; all output except `follow` (which
+ * reports live host progress) is deterministic for a given input.
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "campaign/obs_rollup.hh"
+#include "obs/follow.hh"
+#include "obs/observe.hh"
 #include "obs/registry.hh"
+#include "obs/timeseries.hh"
+#include "obs/trace.hh"
+#include "sim/logging.hh"
 #include "stats/stats.hh"
 
 namespace {
@@ -35,16 +59,28 @@ void
 usage(std::ostream &os)
 {
     os << "corona-stats — inspect observability dumps\n\n"
-          "  corona-stats summary FILE.timeseries.csv\n"
+          "  corona-stats summary FILE.{obs,timeseries}.bin|.csv\n"
           "      per-column count/mean/min/max over the sampled rows,\n"
           "      then a group,paths census by subsystem prefix\n"
-          "  corona-stats trace FILE.trace.json\n"
-          "      validate the Chrome trace shape; count events by "
-          "name\n"
+          "  corona-stats export FILE.{obs,timeseries}.bin [OUT.csv]\n"
+          "      render a binary time series as CSV (stdout default)\n"
+          "  corona-stats trace FILE.{obs,trace}.bin|.json\n"
+          "      validate the trace; count events by name\n"
+          "  corona-stats trace FILE.{obs,trace}.bin --export OUT\n"
+          "      [--counters FILE.{obs,timeseries}.bin] [--prefix P]\n"
+          "      export Chrome trace JSON, optionally with counter\n"
+          "      tracks for time-series probes under PATH\n"
           "  corona-stats snapshot FILE.snapshot.csv [PREFIX]\n"
           "      print snapshot rows (only those under PREFIX)\n"
           "  corona-stats heartbeat FILE.jsonl\n"
-          "      count heartbeat records by event type\n";
+          "      count heartbeat records by event type\n"
+          "  corona-stats report OBS_DIR [--top N] [--probes PREFIX]\n"
+          "      render the campaign rollup report (merges per-shard\n"
+          "      rollup-*.csv files when no merged rollup.csv exists)\n"
+          "  corona-stats follow FILE.jsonl... [--once] "
+          "[--interval MS]\n"
+          "      tail heartbeat streams (multi-shard) into one\n"
+          "      refreshing status line; --once prints and exits\n";
 }
 
 [[noreturn]] void
@@ -57,10 +93,23 @@ die(const std::string &message)
 std::ifstream
 openOrDie(const std::string &path)
 {
-    std::ifstream stream(path);
+    std::ifstream stream(path, std::ios::binary);
     if (!stream)
         die("cannot read \"" + path + "\"");
     return stream;
+}
+
+/** Does the file at @p path open with the 8-byte @p magic? */
+bool
+hasMagic(const std::string &path, const char (&magic)[8])
+{
+    std::ifstream stream(path, std::ios::binary);
+    if (!stream)
+        die("cannot read \"" + path + "\"");
+    char head[8] = {};
+    stream.read(head, sizeof(head));
+    return stream &&
+           std::equal(head, head + sizeof(head), magic);
 }
 
 /** Split one CSV line (no quoting — none of our writers quote). */
@@ -94,9 +143,8 @@ parseDoubleField(const std::string &text, const std::string &path,
 }
 
 int
-summarizeTimeSeries(const std::string &path)
+summarizeTimeSeriesCsv(std::istream &stream, const std::string &path)
 {
-    std::ifstream stream = openOrDie(path);
     std::string line;
     if (!std::getline(stream, line))
         die(path + ": empty file (expected a tick,<paths...> header)");
@@ -168,6 +216,42 @@ summarizeTimeSeries(const std::string &path)
     return 0;
 }
 
+int
+summarizeTimeSeries(const std::string &path)
+{
+    if (hasMagic(path, obs::timeSeriesMagic) ||
+        hasMagic(path, obs::obsContainerMagic)) {
+        // Binary run file (bare or per-run container): export to the
+        // CSV bytes in memory and summarize those, so every format
+        // takes the same code path.
+        const obs::TimeSeriesData data =
+            obs::loadTimeSeriesFile(path);
+        std::stringstream csv;
+        obs::writeTimeSeriesCsv(csv, data);
+        return summarizeTimeSeriesCsv(csv, path);
+    }
+    std::ifstream stream = openOrDie(path);
+    return summarizeTimeSeriesCsv(stream, path);
+}
+
+int
+exportTimeSeries(const std::string &path, const std::string &out)
+{
+    const obs::TimeSeriesData data = obs::loadTimeSeriesFile(path);
+    if (out.empty() || out == "-") {
+        obs::writeTimeSeriesCsv(std::cout, data);
+        return 0;
+    }
+    std::ofstream os(out, std::ios::trunc | std::ios::binary);
+    if (!os)
+        die("cannot open \"" + out + "\" for writing");
+    obs::writeTimeSeriesCsv(os, data);
+    os.flush();
+    if (!os)
+        die("write failed: " + out);
+    return 0;
+}
+
 /** Extract the string value of "key":"value" inside @p object. */
 std::string
 jsonStringField(const std::string &object, const std::string &key,
@@ -184,8 +268,18 @@ jsonStringField(const std::string &object, const std::string &key,
     return object.substr(start, end - start);
 }
 
+void
+printNameCounts(const std::vector<std::string> &names,
+                const std::vector<std::uint64_t> &counts,
+                std::uint64_t total)
+{
+    std::cout << "events," << total << "\n";
+    for (std::size_t i = 0; i < names.size(); ++i)
+        std::cout << names[i] << "," << counts[i] << "\n";
+}
+
 int
-summarizeTrace(const std::string &path)
+summarizeTraceJson(const std::string &path)
 {
     std::ifstream stream = openOrDie(path);
     std::stringstream buffer;
@@ -226,8 +320,7 @@ summarizeTrace(const std::string &path)
         if (depth != 0)
             die(path + ": unterminated trace event object");
         const std::string object = text.substr(at, end - at + 1);
-        for (const char *key : {"\"ph\":", "\"ts\":", "\"dur\":",
-                                "\"pid\":", "\"tid\":"}) {
+        for (const char *key : {"\"ph\":", "\"ts\":", "\"pid\":"}) {
             if (object.find(key) == std::string::npos)
                 die(path + ": trace event missing " + key + ": " +
                     object);
@@ -249,10 +342,94 @@ summarizeTrace(const std::string &path)
         ++total;
         at = end + 1;
     }
+    printNameCounts(names, counts, total);
+    return 0;
+}
 
-    std::cout << "events," << total << "\n";
-    for (std::size_t i = 0; i < names.size(); ++i)
-        std::cout << names[i] << "," << counts[i] << "\n";
+int
+summarizeTraceBinary(const std::string &path)
+{
+    const obs::TraceData data = obs::loadTraceFile(path);
+    std::vector<std::string> names;
+    std::vector<std::uint64_t> counts;
+    for (const obs::TraceEvent &event : data.events) {
+        const std::string name = obs::traceName(event.kind);
+        bool seen = false;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (names[i] == name) {
+                ++counts[i];
+                seen = true;
+                break;
+            }
+        }
+        if (!seen) {
+            names.push_back(name);
+            counts.push_back(1);
+        }
+    }
+    printNameCounts(names, counts, data.events.size());
+    if (data.recorded > data.events.size())
+        std::cout << "dropped,"
+                  << data.recorded - data.events.size() << "\n";
+    return 0;
+}
+
+int
+traceCommand(const std::string &path,
+             const std::vector<std::string> &args)
+{
+    std::string export_path;
+    std::string counters_path;
+    std::string prefix;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const auto take = [&](const char *what) -> const std::string & {
+            if (i + 1 >= args.size())
+                die(std::string(what) + " needs a value");
+            return args[++i];
+        };
+        if (arg == "--export")
+            export_path = take("--export");
+        else if (arg == "--counters")
+            counters_path = take("--counters");
+        else if (arg == "--prefix")
+            prefix = take("--prefix");
+        else
+            die("unknown trace option \"" + arg + "\"");
+    }
+
+    if (export_path.empty()) {
+        if (!counters_path.empty() || !prefix.empty())
+            die("--counters/--prefix only apply with --export");
+        return hasMagic(path, obs::traceMagic) ||
+                       hasMagic(path, obs::obsContainerMagic)
+                   ? summarizeTraceBinary(path)
+                   : summarizeTraceJson(path);
+    }
+
+    if (!hasMagic(path, obs::traceMagic) &&
+        !hasMagic(path, obs::obsContainerMagic))
+        die(path + ": --export needs a binary trace file");
+    const obs::TraceData data = obs::loadTraceFile(path);
+    obs::TimeSeriesData counters;
+    if (!counters_path.empty())
+        counters = obs::loadTimeSeriesFile(counters_path);
+    const auto emit = [&](std::ostream &os) {
+        obs::writeChromeTraceJson(
+            os, data.events,
+            counters_path.empty() ? nullptr : &counters, prefix);
+    };
+    if (export_path == "-") {
+        emit(std::cout);
+        return 0;
+    }
+    std::ofstream os(export_path, std::ios::trunc | std::ios::binary);
+    if (!os)
+        die("cannot open \"" + export_path + "\" for writing");
+    emit(os);
+    os.flush();
+    if (!os)
+        die("write failed: " + export_path);
     return 0;
 }
 
@@ -314,6 +491,147 @@ summarizeHeartbeat(const std::string &path)
     return 0;
 }
 
+int
+reportCommand(const std::string &dir,
+              const std::vector<std::string> &args)
+{
+    campaign::RollupReportOptions options;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const auto take = [&](const char *what) -> const std::string & {
+            if (i + 1 >= args.size())
+                die(std::string(what) + " needs a value");
+            return args[++i];
+        };
+        if (arg == "--top") {
+            const std::string &value = take("--top");
+            char *end = nullptr;
+            options.top = std::strtoull(value.c_str(), &end, 10);
+            if (end != value.c_str() + value.size() || options.top == 0)
+                die("--top needs a positive count, got \"" + value +
+                    "\"");
+        } else if (arg == "--probes") {
+            options.probes = take("--probes");
+        } else {
+            die("unknown report option \"" + arg + "\"");
+        }
+    }
+
+    namespace fs = std::filesystem;
+    const fs::path merged = fs::path(dir) / "rollup.csv";
+    campaign::ObsRollup rollup;
+    std::error_code ec;
+    if (fs::exists(merged, ec)) {
+        rollup = campaign::readRollupFile(merged.string());
+    } else {
+        // No merged file: fold this directory's per-shard rollups, in
+        // sorted name order so the report is directory-layout
+        // deterministic.
+        std::vector<std::string> shard_files;
+        for (const auto &entry : fs::directory_iterator(dir, ec)) {
+            const std::string name = entry.path().filename().string();
+            if (name.compare(0, 7, "rollup-") == 0 &&
+                name.size() > 4 &&
+                name.compare(name.size() - 4, 4, ".csv") == 0)
+                shard_files.push_back(entry.path().string());
+        }
+        if (ec)
+            die("cannot scan \"" + dir + "\": " + ec.message());
+        if (shard_files.empty())
+            die("no rollup.csv or rollup-*.csv in \"" + dir +
+                "\" (enable [observability] rollup = on)");
+        std::sort(shard_files.begin(), shard_files.end());
+        for (const std::string &file : shard_files)
+            rollup.merge(campaign::readRollupFile(file));
+    }
+    campaign::writeRollupReport(std::cout, rollup, options);
+    return 0;
+}
+
+int
+followCommand(const std::vector<std::string> &args)
+{
+    std::vector<std::string> paths;
+    bool once = false;
+    long interval_ms = 500;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--once") {
+            once = true;
+        } else if (arg == "--interval") {
+            if (i + 1 >= args.size())
+                die("--interval needs a value in milliseconds");
+            const std::string &value = args[++i];
+            char *end = nullptr;
+            interval_ms = std::strtol(value.c_str(), &end, 10);
+            if (end != value.c_str() + value.size() || interval_ms <= 0)
+                die("--interval needs a positive millisecond count, "
+                    "got \"" + value + "\"");
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        die("follow needs at least one heartbeat file");
+
+    std::vector<obs::HeartbeatFollower> followers(paths.size());
+    const bool tty_line = !once;
+    std::string chunk;
+    while (true) {
+        for (std::size_t i = 0; i < paths.size(); ++i) {
+            // Reopen per poll: simple, and immune to rotation or the
+            // file appearing after the launcher starts its shard.
+            std::ifstream stream(paths[i], std::ios::binary);
+            if (!stream)
+                continue; // Not written yet; keep watching.
+            stream.seekg(static_cast<std::streamoff>(
+                followers[i].consumed()));
+            if (!stream)
+                continue;
+            chunk.assign(std::istreambuf_iterator<char>(stream),
+                         std::istreambuf_iterator<char>());
+            if (!chunk.empty())
+                followers[i].feed(chunk);
+        }
+        std::vector<obs::FollowStreamState> states;
+        states.reserve(followers.size());
+        for (const obs::HeartbeatFollower &follower : followers)
+            states.push_back(follower.state());
+        const obs::FollowSummary summary = obs::summarize(states);
+        if (tty_line)
+            std::cerr << '\r' << obs::formatFollowLine(summary)
+                      << std::flush;
+        const bool done =
+            summary.finished == summary.streams || once;
+        if (done) {
+            if (tty_line)
+                std::cerr << '\n';
+            // Final per-stream accounting on stdout, parseable.
+            std::cout << obs::formatFollowLine(summary) << "\n";
+            for (std::size_t i = 0; i < paths.size(); ++i) {
+                const obs::FollowStreamState &state =
+                    followers[i].state();
+                std::cout << paths[i] << ": "
+                          << (state.finished() ? "finished"
+                                               : "in progress")
+                          << ", lines=" << state.lines
+                          << ", completed=" << state.completed();
+                if (state.runs > 0)
+                    std::cout << "/" << state.runs;
+                if (state.shards > 0)
+                    std::cout << ", shards=" << state.shard_exits
+                              << "/" << state.shards;
+                if (state.malformed > 0)
+                    std::cout << ", malformed=" << state.malformed;
+                std::cout << "\n";
+            }
+            return 0;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+    }
+}
+
 } // namespace
 
 int
@@ -331,14 +649,33 @@ main(int argc, char **argv)
     }
     const std::string command = argv[1];
     const std::string path = argv[2];
-    if (command == "summary")
-        return summarizeTimeSeries(path);
-    if (command == "trace")
-        return summarizeTrace(path);
-    if (command == "snapshot")
-        return printSnapshot(path, argc > 3 ? argv[3] : "");
-    if (command == "heartbeat")
-        return summarizeHeartbeat(path);
+    std::vector<std::string> rest;
+    for (int i = 3; i < argc; ++i)
+        rest.emplace_back(argv[i]);
+    try {
+        if (command == "summary")
+            return summarizeTimeSeries(path);
+        if (command == "export")
+            return exportTimeSeries(path,
+                                    rest.empty() ? "" : rest.front());
+        if (command == "trace")
+            return traceCommand(path, rest);
+        if (command == "snapshot")
+            return printSnapshot(path, rest.empty() ? "" : rest.front());
+        if (command == "heartbeat")
+            return summarizeHeartbeat(path);
+        if (command == "report")
+            return reportCommand(path, rest);
+        if (command == "follow") {
+            std::vector<std::string> follow_args;
+            follow_args.push_back(path);
+            follow_args.insert(follow_args.end(), rest.begin(),
+                               rest.end());
+            return followCommand(follow_args);
+        }
+    } catch (const sim::FatalError &e) {
+        die(e.what());
+    }
     std::cerr << "corona-stats: unknown subcommand \"" << command
               << "\"\n\n";
     usage(std::cerr);
