@@ -1,9 +1,10 @@
 /**
  * @file
- * Reproduce the paper's two-stage methodology (Section 4): capture an
- * annotated L2-miss trace from a workload model (standing in for the
- * COTSon full-system pass), write it to disk, re-read it, and replay it
- * through the network simulator.
+ * Reproduce the paper's two-stage methodology (Section 4): run a
+ * workload model through the network simulator while capturing its
+ * annotated miss stream to a `.ctrace` file (standing in for the
+ * COTSon full-system pass), then replay the trace through a fresh
+ * simulation. The replay reproduces the source run's metrics exactly.
  *
  * Usage: trace_capture [benchmark] [requests] [trace-file]
  */
@@ -14,8 +15,9 @@
 
 #include "corona/simulation.hh"
 #include "stats/report.hh"
+#include "trace/capture.hh"
+#include "trace/replayer.hh"
 #include "workload/splash.hh"
-#include "workload/trace.hh"
 
 int
 main(int argc, char **argv)
@@ -26,37 +28,40 @@ main(int argc, char **argv)
     const std::uint64_t requests =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20'000;
     const std::string path =
-        argc > 3 ? argv[3] : "/tmp/corona_" + benchmark + ".trace";
-
-    // Stage 1: "full-system" pass — capture the annotated miss stream.
-    auto source = workload::makeSplash(benchmark);
-    const auto records = workload::captureTrace(*source, requests, 1);
-    {
-        std::ofstream out(path, std::ios::binary);
-        workload::TraceWriter writer(out, 1024);
-        for (const auto &record : records)
-            writer.append(record);
-        std::cout << "captured " << writer.written() << " misses of "
-                  << benchmark << " to " << path << " ("
-                  << writer.written() * 32 / 1024 << " KiB)\n";
-    }
-
-    // Stage 2: network simulation replays the trace.
-    std::ifstream in(path, std::ios::binary);
-    workload::TraceReader reader(in);
-    workload::TraceWorkload replay(reader.records(), reader.threads(),
-                                   benchmark + " (trace)");
+        argc > 3 ? argv[3] : "/tmp/corona_" + benchmark + ".ctrace";
 
     core::SimParams params;
     params.requests = requests;
     const auto config =
         core::makeConfig(core::NetworkKind::XBar, core::MemoryKind::OCM);
+
+    // Stage 1: simulate the generator, capturing the miss stream the
+    // run actually draws.
+    auto source = workload::makeSplash(benchmark);
+    {
+        std::ofstream out(path, std::ios::binary);
+        trace::Writer writer(
+            out, static_cast<std::uint32_t>(source->threads()),
+            benchmark);
+        const auto captured =
+            trace::captureRun(config, *source, params, writer);
+        std::cout << "captured " << writer.written() << " misses of "
+                  << benchmark << " to " << path << " ("
+                  << stats::formatBandwidth(
+                         captured.achieved_bytes_per_second)
+                  << " at the source)\n";
+    }
+
+    // Stage 2: a fresh network simulation replays the trace through a
+    // bounded streaming window.
+    workload::TraceReplayer replay(path);
     const auto metrics = core::runExperiment(config, replay, params);
 
     std::cout << "replayed on " << metrics.config << ": "
               << stats::formatBandwidth(metrics.achieved_bytes_per_second)
               << " memory bandwidth, "
               << stats::formatDouble(metrics.avg_latency_ns, 1)
-              << " ns average miss latency\n";
+              << " ns average miss latency (window high-water "
+              << replay.maxResidentRecords() << " records)\n";
     return 0;
 }

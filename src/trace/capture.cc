@@ -1,0 +1,18 @@
+#include "trace/capture.hh"
+
+namespace corona::trace {
+
+core::RunMetrics
+captureRun(const core::SystemConfig &config,
+           workload::Workload &source, const core::SimParams &params,
+           Writer &writer)
+{
+    CaptureWorkload capture(source, writer);
+    core::RunMetrics metrics =
+        core::runExperiment(config, capture, params);
+    writer.setOffered(source.offeredBytesPerSecond());
+    writer.finish();
+    return metrics;
+}
+
+} // namespace corona::trace

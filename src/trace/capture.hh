@@ -1,0 +1,108 @@
+/**
+ * @file
+ * In-flight trace capture.
+ *
+ * The paper's trace seam, recorded live: CaptureWorkload wraps any
+ * Workload and appends every request the simulation actually draws to
+ * a ctrace Writer, in draw order, tagged with the drawing thread. The
+ * simulation consumes its RNG only through the workload, so replaying
+ * the captured per-thread sequences reproduces the source run's event
+ * timeline bit for bit — capture→replay is sink- and checkpoint-
+ * byte-identical.
+ *
+ * captureRun() is the one-call harness: wrap, simulate, stamp the
+ * header (source name, offered load, miss vs reference stream,
+ * synthetic flag), finish the container, return the run's metrics.
+ */
+
+#ifndef CORONA_TRACE_CAPTURE_HH
+#define CORONA_TRACE_CAPTURE_HH
+
+#include "corona/simulation.hh"
+#include "trace/ctrace.hh"
+#include "workload/workload.hh"
+
+namespace corona::trace {
+
+/**
+ * Records every request drawn from @p source into @p writer while
+ * forwarding it unchanged. A nextReference() draw marks the stream as
+ * raw references (the coherent front end's input). The caller owns
+ * finish().
+ */
+class CaptureWorkload : public workload::Workload
+{
+  public:
+    CaptureWorkload(workload::Workload &source, Writer &writer)
+        : _source(source), _writer(writer)
+    {
+    }
+
+    std::string name() const override { return _source.name(); }
+
+    workload::MissRequest
+    next(std::size_t thread, sim::Tick now, sim::Rng &rng) override
+    {
+        const workload::MissRequest req =
+            _source.next(thread, now, rng);
+        record(thread, req);
+        return req;
+    }
+
+    workload::ReferenceRequest
+    nextReference(std::size_t thread, sim::Tick now,
+                  sim::Rng &rng) override
+    {
+        const workload::ReferenceRequest req =
+            _source.nextReference(thread, now, rng);
+        _writer.markReferenceStream();
+        record(thread, req);
+        return req;
+    }
+
+    std::uint64_t paperRequests() const override
+    {
+        return _source.paperRequests();
+    }
+
+    double offeredBytesPerSecond() const override
+    {
+        return _source.offeredBytesPerSecond();
+    }
+
+    std::size_t threads() const override { return _source.threads(); }
+
+    void reset() override { _source.reset(); }
+
+  private:
+    void
+    record(std::size_t thread, const workload::MissRequest &req)
+    {
+        workload::TraceRecord record;
+        record.thread = static_cast<std::uint32_t>(thread);
+        record.home = static_cast<std::uint32_t>(req.home);
+        record.line = req.line;
+        record.think_time = req.think_time;
+        record.write = req.write ? 1 : 0;
+        _writer.append(record);
+    }
+
+    workload::Workload &_source;
+    Writer &_writer;
+};
+
+/**
+ * Run @p source through a simulation of @p config, capturing every
+ * drawn request into @p writer (which the caller constructs with the
+ * source's thread count and name). Stamps the source's offered load
+ * and finishes the container. Returns the source run's metrics — a
+ * replay of the captured trace reproduces them exactly.
+ */
+core::RunMetrics captureRun(const core::SystemConfig &config,
+                            workload::Workload &source,
+                            const core::SimParams &params,
+                            Writer &writer);
+
+} // namespace corona::trace
+
+#endif // CORONA_TRACE_CAPTURE_HH

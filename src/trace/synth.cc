@@ -1,0 +1,131 @@
+#include "trace/synth.hh"
+
+#include "noc/message.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace corona::trace {
+
+SynthPattern
+synthPatternOf(const std::string &name)
+{
+    if (name == "hotspot")
+        return SynthPattern::Hotspot;
+    if (name == "all-to-one")
+        return SynthPattern::AllToOne;
+    if (name == "ping-pong")
+        return SynthPattern::PingPong;
+    if (name == "burst")
+        return SynthPattern::Burst;
+    sim::fatal("synth: unknown pattern \"" + name +
+               "\" (patterns: hotspot, all-to-one, ping-pong, burst)");
+}
+
+std::string
+to_string(SynthPattern pattern)
+{
+    switch (pattern) {
+      case SynthPattern::Hotspot: return "hotspot";
+      case SynthPattern::AllToOne: return "all-to-one";
+      case SynthPattern::PingPong: return "ping-pong";
+      case SynthPattern::Burst: return "burst";
+    }
+    return "unknown";
+}
+
+namespace {
+
+void
+checkSpec(const SynthSpec &spec)
+{
+    if (spec.threads == 0)
+        sim::fatal("synth: need >= 1 thread");
+    if (spec.clusters == 0)
+        sim::fatal("synth: need >= 1 cluster");
+    if (spec.records_per_thread == 0)
+        sim::fatal("synth: need >= 1 record per thread");
+    if (spec.mean_think == 0)
+        sim::fatal("synth: mean_think must be > 0");
+    if (spec.hot_cluster >= spec.clusters)
+        sim::fatal("synth: hot cluster " +
+                   std::to_string(spec.hot_cluster) +
+                   " out of range (" + std::to_string(spec.clusters) +
+                   " clusters)");
+    if (spec.write_fraction < 0.0 || spec.write_fraction > 1.0)
+        sim::fatal("synth: write_fraction must be in [0, 1]");
+    if (spec.hot_fraction < 0.0 || spec.hot_fraction > 1.0)
+        sim::fatal("synth: hot_fraction must be in [0, 1]");
+    if (spec.pattern == SynthPattern::Burst && spec.burst_length == 0)
+        sim::fatal("synth: burst_length must be > 0");
+}
+
+/** The suite-wide unique-line idiom: distinct (thread, seq) pairs in
+ * the home's region so MSHR coalescing never collapses the stream. */
+std::uint64_t
+privateLine(std::uint32_t home, std::uint32_t thread,
+            std::uint64_t seq)
+{
+    return ((static_cast<std::uint64_t>(home) << 32) +
+            static_cast<std::uint64_t>(thread) * (1ull << 20) + seq) *
+           noc::cacheLineBytes;
+}
+
+} // namespace
+
+std::uint64_t
+synthesize(const SynthSpec &spec, Writer &writer)
+{
+    checkSpec(spec);
+    std::uint64_t written = 0;
+    for (std::uint32_t thread = 0; thread < spec.threads; ++thread) {
+        // Per-thread streams are seeded statelessly so the output is
+        // independent of generation order.
+        sim::Rng rng(sim::splitmix64(spec.seed +
+                                     thread * 0x9E3779B97F4A7C15ull));
+        const std::uint32_t pair = thread / 2;
+        for (std::uint64_t seq = 0; seq < spec.records_per_thread;
+             ++seq) {
+            workload::TraceRecord record;
+            record.thread = thread;
+            record.think_time = static_cast<std::uint64_t>(
+                rng.exponential(
+                    static_cast<double>(spec.mean_think)));
+            record.write = rng.chance(spec.write_fraction) ? 1 : 0;
+            switch (spec.pattern) {
+              case SynthPattern::Hotspot:
+                record.home = rng.chance(spec.hot_fraction)
+                                  ? spec.hot_cluster
+                                  : static_cast<std::uint32_t>(
+                                        rng.below(spec.clusters));
+                record.line = privateLine(record.home, thread, seq);
+                break;
+              case SynthPattern::AllToOne:
+                record.home = spec.hot_cluster;
+                record.line = privateLine(record.home, thread, seq);
+                break;
+              case SynthPattern::PingPong:
+                // Both threads of a pair write the same line, over
+                // and over: pure ownership migration.
+                record.home = pair % spec.clusters;
+                record.line = privateLine(record.home, pair, 0);
+                record.write = 1;
+                break;
+              case SynthPattern::Burst:
+                // Think-free trains separated by a fixed gap, in
+                // phase across all threads.
+                record.think_time =
+                    seq % spec.burst_length == 0 ? spec.burst_gap
+                                                 : 0;
+                record.home = static_cast<std::uint32_t>(
+                    rng.below(spec.clusters));
+                record.line = privateLine(record.home, thread, seq);
+                break;
+            }
+            writer.append(record);
+            ++written;
+        }
+    }
+    return written;
+}
+
+} // namespace corona::trace

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Adversarial trace synthesis.
+ *
+ * Streams that no Table-3 generator can express, written directly as
+ * `.ctrace` files for `corona-trace synth` and stress scenarios:
+ *
+ *  - hotspot:    a tunable fraction of every thread's requests lands
+ *                on one hot home cluster, the rest uniform — a dial
+ *                between Uniform and the degenerate case below.
+ *  - all-to-one: every request from every thread targets one home —
+ *                the worst case for a single memory controller and
+ *                the crossbar column feeding it.
+ *  - ping-pong:  thread pairs alternately write one shared line —
+ *                pure ownership migration, the coherent front end's
+ *                pathological case (write it as a reference stream).
+ *  - burst:      think-free trains of back-to-back requests separated
+ *                by long gaps — synchronized burst arrivals that
+ *                defeat mean-rate provisioning.
+ *
+ * Synthesis is deterministic from the spec's seed and streams through
+ * the Writer's bounded per-thread buffers — no record list is ever
+ * materialized.
+ */
+
+#ifndef CORONA_TRACE_SYNTH_HH
+#define CORONA_TRACE_SYNTH_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/ctrace.hh"
+
+namespace corona::trace {
+
+enum class SynthPattern
+{
+    Hotspot,
+    AllToOne,
+    PingPong,
+    Burst,
+};
+
+/** "hotspot" | "all-to-one" | "ping-pong" | "burst" (fatal on other
+ * text). */
+SynthPattern synthPatternOf(const std::string &name);
+std::string to_string(SynthPattern pattern);
+
+/** Synthesis parameters (defaults give a 64-cluster, 1024-thread
+ * stream like the paper workloads). */
+struct SynthSpec
+{
+    SynthPattern pattern = SynthPattern::Hotspot;
+    std::uint32_t threads = 1024;
+    std::uint32_t clusters = 64;
+    std::uint64_t records_per_thread = 64;
+    /** Mean think time between requests, ticks (exponential). */
+    std::uint64_t mean_think = 2000;
+    double write_fraction = 0.3;
+    /** Hot home cluster (hotspot, all-to-one). */
+    std::uint32_t hot_cluster = 0;
+    /** Fraction of requests hitting the hot cluster (hotspot). */
+    double hot_fraction = 0.9;
+    /** Requests per train (burst). */
+    std::uint64_t burst_length = 16;
+    /** Gap between trains, ticks (burst). */
+    std::uint64_t burst_gap = 200'000;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Stream @p spec's pattern into @p writer (records only — the caller
+ * owns finish()). Returns the record count written. Fatal on an
+ * inconsistent spec (zero threads/clusters/records, hot cluster out
+ * of range).
+ */
+std::uint64_t synthesize(const SynthSpec &spec, Writer &writer);
+
+} // namespace corona::trace
+
+#endif // CORONA_TRACE_SYNTH_HH

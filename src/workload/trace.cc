@@ -1,11 +1,6 @@
 #include "workload/trace.hh"
 
-#include <cstring>
-#include <istream>
 #include <ostream>
-
-#include "noc/message.hh"
-#include "sim/logging.hh"
 
 namespace corona::workload {
 
@@ -13,7 +8,8 @@ namespace {
 
 constexpr char traceMagic[12] = {'C', 'O', 'R', 'O', 'N', 'A',
                                  'T', 'R', 'A', 'C', 'E', '\0'};
-// v2 repurposes the header pad as a flags word; v1 stays readable.
+// v2 repurposes the header pad as a flags word; v1 stays readable
+// (through trace::convertLegacy).
 constexpr std::uint16_t traceVersion = 2;
 constexpr std::uint16_t traceFlagReferenceStream = 1u << 0;
 
@@ -54,108 +50,6 @@ TraceWriter::append(const TraceRecord &record)
     packed.write = record.write;
     _os.write(reinterpret_cast<const char *>(&packed), sizeof(packed));
     ++_written;
-}
-
-TraceReader::TraceReader(std::istream &is)
-{
-    char magic[sizeof(traceMagic)];
-    is.read(magic, sizeof(magic));
-    if (!is || std::memcmp(magic, traceMagic, sizeof(magic)) != 0)
-        sim::fatal("TraceReader: bad trace magic");
-    std::uint16_t version = 0;
-    std::uint16_t flags = 0;
-    is.read(reinterpret_cast<char *>(&version), sizeof(version));
-    is.read(reinterpret_cast<char *>(&flags), sizeof(flags));
-    if (!is || version < 1 || version > traceVersion)
-        sim::fatal("TraceReader: unsupported trace version");
-    // v1 wrote this field as pad; only v2 defines flag bits.
-    if (version < 2)
-        flags = 0;
-    if (flags & ~traceFlagReferenceStream)
-        sim::fatal("TraceReader: unknown trace flags");
-    _reference_stream = (flags & traceFlagReferenceStream) != 0;
-    is.read(reinterpret_cast<char *>(&_threads), sizeof(_threads));
-    if (!is || _threads == 0)
-        sim::fatal("TraceReader: bad thread count");
-
-    PackedRecord packed;
-    while (is.read(reinterpret_cast<char *>(&packed), sizeof(packed))) {
-        TraceRecord record;
-        record.thread = packed.thread;
-        record.home = packed.home;
-        record.line = packed.line;
-        record.think_time = packed.think_time;
-        record.write = packed.write;
-        if (record.thread >= _threads)
-            sim::fatal("TraceReader: record thread out of range");
-        _records.push_back(record);
-    }
-}
-
-TraceWorkload::TraceWorkload(std::vector<TraceRecord> records,
-                             std::uint32_t threads, std::string name,
-                             bool reference_stream)
-    : _name(std::move(name)), _perThread(threads), _cursor(threads, 0),
-      _reference_stream(reference_stream)
-{
-    if (threads == 0)
-        sim::fatal("TraceWorkload: need >= 1 thread");
-    double total_think = 0.0;
-    for (const auto &record : records) {
-        _perThread.at(record.thread).push_back(record);
-        total_think += static_cast<double>(record.think_time);
-    }
-    // Offered load estimate: bytes over mean per-thread issue period.
-    const double count = records.empty()
-                             ? 1.0
-                             : static_cast<double>(records.size());
-    const double mean_think = total_think / count;
-    _offered = mean_think > 0
-                   ? static_cast<double>(threads) * 64.0 /
-                         (mean_think / static_cast<double>(sim::oneSecond))
-                   : 0.0;
-}
-
-MissRequest
-TraceWorkload::next(std::size_t thread, sim::Tick, sim::Rng &)
-{
-    auto &records = _perThread.at(thread);
-    if (records.empty()) {
-        // A thread with no trace records idles forever.
-        MissRequest req;
-        req.think_time = sim::oneSecond;
-        return req;
-    }
-    const TraceRecord &record = records[_cursor[thread] % records.size()];
-    ++_cursor[thread];
-    MissRequest req;
-    req.think_time = record.think_time;
-    req.line = record.line;
-    req.home = static_cast<topology::ClusterId>(record.home);
-    req.write = record.write != 0;
-    return req;
-}
-
-ReferenceRequest
-TraceWorkload::nextReference(std::size_t thread, sim::Tick now,
-                             sim::Rng &rng)
-{
-    return next(thread, now, rng);
-}
-
-std::uint64_t
-TraceWorkload::paperRequests() const
-{
-    std::uint64_t total = 0;
-    for (const auto &records : _perThread)
-        total += records.size();
-    return total;
-}
-
-double
-TraceWorkload::offeredBytesPerSecond() const
-{
-    return _offered;
 }
 
 namespace {

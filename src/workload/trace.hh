@@ -1,19 +1,20 @@
 /**
  * @file
- * Miss-trace capture and replay.
+ * Miss-trace records, legacy serialization, and capture helpers.
  *
  * The paper's methodology splits simulation in two: a full-system
  * simulator emits annotated L2-miss traces, and the network simulator
- * replays them. This module provides the same seam: any Workload can be
- * captured to a compact binary trace, and a captured trace replays as a
- * Workload — bit-identical input for cross-model comparisons.
- *
- * Format: a 16-byte header ("CORONATRACE", version, flags, thread
- * count) followed by fixed-size little-endian records. Version 2 uses
- * the header's former pad field as a flags word (bit 0 marks a
- * reference-stream trace — raw loads/stores to feed the coherent
- * front end rather than pre-filtered misses); version-1 traces stay
- * readable and report flags of zero.
+ * replays them. The trace seam itself now lives in src/trace/ — the
+ * streaming `.ctrace` container (trace/ctrace.hh) and the replay
+ * workload (trace/replayer.hh). This header keeps the pieces the
+ * subsystem builds on: the TraceRecord unit, round-robin capture of a
+ * generator's stream, and the legacy fixed-record "CORONATRACE"
+ * writer (a 16-byte header — magic, version, flags, thread count —
+ * followed by 32-byte little-endian records; version 2 uses the
+ * former pad field as a flags word, bit 0 marking a reference
+ * stream). Legacy files are read back only through
+ * trace::convertLegacy(), which streams them into `.ctrace` instead
+ * of loading every record into memory.
  */
 
 #ifndef CORONA_WORKLOAD_TRACE_HH
@@ -21,7 +22,6 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <string>
 #include <vector>
 
 #include "workload/workload.hh"
@@ -41,7 +41,8 @@ struct TraceRecord
 };
 
 /**
- * Serializes trace records to a stream.
+ * Serializes trace records in the legacy fixed-record format (kept as
+ * the conversion-path fixture writer; new traces use trace::Writer).
  */
 class TraceWriter
 {
@@ -67,73 +68,6 @@ class TraceWriter
 };
 
 /**
- * Reads a trace from a stream into memory.
- */
-class TraceReader
-{
-  public:
-    /** @param is Input stream (binary); throws FatalError on bad data. */
-    explicit TraceReader(std::istream &is);
-
-    std::uint32_t threads() const { return _threads; }
-    const std::vector<TraceRecord> &records() const { return _records; }
-    /** True when the trace records raw references (v2 flag bit 0);
-     * always false for version-1 traces. */
-    bool referenceStream() const { return _reference_stream; }
-
-  private:
-    std::uint32_t _threads;
-    bool _reference_stream = false;
-    std::vector<TraceRecord> _records;
-};
-
-/**
- * Replays a captured trace as a Workload. Each thread consumes its own
- * records in order; when a thread's records run out, it repeats from
- * its first record (the harness bounds total requests anyway).
- */
-class TraceWorkload : public Workload
-{
-  public:
-    /**
-     * @param records Trace records (any thread order).
-     * @param threads Thread count.
-     * @param name Reported name.
-     * @param reference_stream True when the records are raw
-     *     references (a v2 reference-stream trace).
-     */
-    TraceWorkload(std::vector<TraceRecord> records, std::uint32_t threads,
-                  std::string name = "Trace",
-                  bool reference_stream = false);
-
-    std::string name() const override { return _name; }
-    MissRequest next(std::size_t thread, sim::Tick now,
-                     sim::Rng &rng) override;
-    /** The stored stream serves both modes: a reference trace replays
-     * its references, a miss trace replays its misses unfiltered. */
-    ReferenceRequest nextReference(std::size_t thread, sim::Tick now,
-                                   sim::Rng &rng) override;
-    /** True when the records were captured as raw references. */
-    bool referenceStream() const { return _reference_stream; }
-    std::uint64_t paperRequests() const override;
-    double offeredBytesPerSecond() const override;
-    std::size_t threads() const override { return _perThread.size(); }
-
-    void
-    reset() override
-    {
-        _cursor.assign(_cursor.size(), 0);
-    }
-
-  private:
-    std::string _name;
-    std::vector<std::vector<TraceRecord>> _perThread;
-    std::vector<std::size_t> _cursor;
-    double _offered;
-    bool _reference_stream = false;
-};
-
-/**
  * Capture @p requests records from a workload into a trace (drawing
  * think times and destinations with the given seed).
  */
@@ -144,8 +78,8 @@ std::vector<TraceRecord> captureTrace(Workload &workload,
 /**
  * Like captureTrace, but draws from the workload's reference stream
  * (nextReference) — the raw load/store sequence the coherent front
- * end filters. Pair with TraceWriter's reference_stream flag so
- * replays route through the right injection path.
+ * end filters. Pair with a reference-stream writer flag so replays
+ * route through the right injection path.
  */
 std::vector<TraceRecord> captureReferenceTrace(Workload &workload,
                                                std::uint64_t requests,

@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <map>
 
 #include "corona/simulation.hh"
+#include "trace/replayer.hh"
 #include "workload/splash.hh"
 #include "workload/synthetic.hh"
 #include "workload/trace.hh"
@@ -179,9 +181,18 @@ TEST(Integration, IdealNetworkUpperBounds)
 
 TEST(Integration, TraceReplayRunsThroughSimulation)
 {
-    auto source = workload::makeUniform();
-    const auto records = workload::captureTrace(*source, 2048, 3);
-    workload::TraceWorkload replay(records, 1024, "uniform-trace");
+    const std::string path =
+        ::testing::TempDir() + "/integration_uniform.ctrace";
+    {
+        auto source = workload::makeUniform();
+        std::ofstream out(path, std::ios::binary);
+        trace::Writer writer(out, 1024, "uniform-trace");
+        for (const auto &record :
+             workload::captureTrace(*source, 2048, 3))
+            writer.append(record);
+        writer.finish();
+    }
+    workload::TraceReplayer replay(path);
     const SystemConfig config =
         core::makeConfig(NetworkKind::XBar, MemoryKind::OCM);
     auto metrics = core::runExperiment(config, replay, quick(2000));

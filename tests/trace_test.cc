@@ -1,13 +1,22 @@
 /**
  * @file
- * Unit tests for trace capture, serialization, and replay.
+ * Unit tests for trace capture, legacy conversion, and replay.
+ *
+ * The `.ctrace` container itself is covered in ctrace_test.cc; this
+ * file exercises the seams around it — round-robin capture helpers,
+ * the legacy "CORONATRACE" v1/v2 convert path, and TraceReplayer's
+ * replay semantics (per-thread order, wrapping, loop/thread remap
+ * knobs, idle threads).
  */
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "trace/ctrace.hh"
+#include "trace/replayer.hh"
 #include "workload/synthetic.hh"
 #include "workload/trace.hh"
 
@@ -15,56 +24,107 @@ namespace {
 
 using namespace corona;
 using workload::MissRequest;
-using workload::TraceReader;
 using workload::TraceRecord;
-using workload::TraceWorkload;
+using workload::TraceReplayer;
 using workload::TraceWriter;
 
-TEST(Trace, WriteReadRoundTrip)
+/** Write @p records to a fresh `.ctrace` under the test temp dir. */
+std::string
+writeCtrace(const std::string &name,
+            const std::vector<TraceRecord> &records,
+            std::uint32_t threads, trace::WriterOptions options = {})
 {
-    std::stringstream stream;
-    TraceWriter writer(stream, 1024);
-    std::vector<TraceRecord> originals;
+    const std::string path = ::testing::TempDir() + "/" + name;
+    std::ofstream out(path, std::ios::binary);
+    trace::Writer writer(out, threads, name, options);
+    for (const TraceRecord &record : records)
+        writer.append(record);
+    writer.finish();
+    return path;
+}
+
+/** Convert an in-memory legacy stream to a `.ctrace` file. */
+std::string
+convertToFile(const std::string &name, std::stringstream &legacy)
+{
+    legacy.seekg(0);
+    const trace::LegacyInfo info = trace::readLegacyInfo(legacy);
+    const std::string path = ::testing::TempDir() + "/" + name;
+    std::ofstream out(path, std::ios::binary);
+    trace::WriterOptions options;
+    options.reference_stream = info.reference_stream;
+    trace::Writer writer(out, info.threads, name, options);
+    trace::convertLegacy(legacy, writer);
+    writer.finish();
+    return path;
+}
+
+/** Decode every block of @p path, grouped per thread in stream
+ * order. */
+std::vector<std::vector<TraceRecord>>
+perThreadRecords(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    trace::Reader reader(in, path);
+    std::vector<std::vector<TraceRecord>> per_thread(
+        reader.info().threads);
+    std::vector<TraceRecord> block;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(reader.blocks().size()); ++i) {
+        reader.readBlock(i, block);
+        auto &thread = per_thread[reader.blocks()[i].thread];
+        thread.insert(thread.end(), block.begin(), block.end());
+    }
+    return per_thread;
+}
+
+TEST(Trace, LegacyConvertRoundTrip)
+{
+    std::stringstream legacy;
+    TraceWriter writer(legacy, 16);
+    std::vector<std::vector<TraceRecord>> originals(16);
     for (std::uint32_t i = 0; i < 100; ++i) {
         TraceRecord r;
-        r.thread = i % 1024;
+        r.thread = i % 16;
         r.home = i % 64;
         r.line = static_cast<std::uint64_t>(i) * 64;
         r.think_time = 1000 + i;
         r.write = i % 3 == 0 ? 1 : 0;
         writer.append(r);
-        originals.push_back(r);
+        originals[r.thread].push_back(r);
     }
     EXPECT_EQ(writer.written(), 100u);
 
-    TraceReader reader(stream);
-    EXPECT_EQ(reader.threads(), 1024u);
-    ASSERT_EQ(reader.records().size(), 100u);
-    for (std::size_t i = 0; i < 100; ++i)
-        EXPECT_EQ(reader.records()[i], originals[i]);
+    const std::string path = convertToFile("legacy_v2.ctrace", legacy);
+    const trace::TraceInfo info = trace::readTraceInfo(path);
+    EXPECT_EQ(info.threads, 16u);
+    EXPECT_EQ(info.records, 100u);
+    EXPECT_FALSE(info.reference_stream);
+    EXPECT_EQ(perThreadRecords(path), originals);
 }
 
-TEST(Trace, ReferenceStreamFlagRoundTrips)
+TEST(Trace, LegacyReferenceStreamFlagConverts)
 {
-    std::stringstream stream;
-    TraceWriter writer(stream, 8, /*reference_stream=*/true);
+    std::stringstream legacy;
+    TraceWriter writer(legacy, 8, /*reference_stream=*/true);
     TraceRecord r{};
     r.thread = 3;
     r.line = 128;
     writer.append(r);
 
-    TraceReader reader(stream);
-    EXPECT_TRUE(reader.referenceStream());
-    ASSERT_EQ(reader.records().size(), 1u);
+    const std::string path = convertToFile("legacy_ref.ctrace", legacy);
+    EXPECT_TRUE(trace::readTraceInfo(path).reference_stream);
 
     // Default writes mark a plain miss trace.
     std::stringstream plain;
     TraceWriter plainWriter(plain, 8);
     plainWriter.append(r);
-    EXPECT_FALSE(TraceReader(plain).referenceStream());
+    const std::string plain_path =
+        convertToFile("legacy_plain.ctrace", plain);
+    EXPECT_FALSE(trace::readTraceInfo(plain_path).reference_stream);
 }
 
-TEST(Trace, ReaderAcceptsVersion1)
+TEST(Trace, LegacyConvertAcceptsVersion1)
 {
     // Hand-build a v1 header (version = 1, pad = 0) plus one 32-byte
     // record, exactly as the pre-flags writer laid it out.
@@ -92,22 +152,57 @@ TEST(Trace, ReaderAcceptsVersion1)
     stream.write(reinterpret_cast<const char *>(&packed),
                  sizeof(packed));
 
-    TraceReader reader(stream);
-    EXPECT_EQ(reader.threads(), 2u);
-    EXPECT_FALSE(reader.referenceStream());
-    ASSERT_EQ(reader.records().size(), 1u);
-    EXPECT_EQ(reader.records()[0].line, 640u);
-    EXPECT_EQ(reader.records()[0].home, 7u);
+    const std::string path = convertToFile("legacy_v1.ctrace", stream);
+    const trace::TraceInfo info = trace::readTraceInfo(path);
+    EXPECT_EQ(info.threads, 2u);
+    EXPECT_FALSE(info.reference_stream);
+    EXPECT_EQ(info.records, 1u);
+    const auto per_thread = perThreadRecords(path);
+    ASSERT_EQ(per_thread[1].size(), 1u);
+    EXPECT_EQ(per_thread[1][0].line, 640u);
+    EXPECT_EQ(per_thread[1][0].home, 7u);
 }
 
-TEST(Trace, ReaderRejectsFutureVersion)
+TEST(Trace, LegacyRejectsFutureVersion)
 {
     std::stringstream stream;
     TraceWriter writer(stream, 1);
     std::string bytes = stream.str();
     bytes[12] = 3; // Bump the version field past anything we write.
     std::stringstream bumped(bytes);
-    EXPECT_THROW(TraceReader{bumped}, sim::FatalError);
+    EXPECT_THROW(trace::readLegacyInfo(bumped), sim::FatalError);
+}
+
+TEST(Trace, LegacyRejectsGarbage)
+{
+    std::stringstream garbage("this is not a corona trace at all......");
+    EXPECT_THROW(trace::readLegacyInfo(garbage), sim::FatalError);
+}
+
+TEST(Trace, LegacyConvertRejectsOutOfRangeThread)
+{
+    std::stringstream legacy;
+    TraceWriter writer(legacy, 4);
+    TraceRecord r{};
+    r.thread = 9; // > thread count
+    writer.append(r);
+    EXPECT_THROW(convertToFile("legacy_badthread.ctrace", legacy),
+                 sim::FatalError);
+}
+
+TEST(Trace, LegacyConvertRejectsTornFinalRecord)
+{
+    std::stringstream legacy;
+    TraceWriter writer(legacy, 4);
+    TraceRecord r{};
+    r.thread = 1;
+    writer.append(r);
+    writer.append(r);
+    std::string bytes = legacy.str();
+    bytes.resize(bytes.size() - 13); // Tear the last record.
+    std::stringstream torn(bytes);
+    EXPECT_THROW(convertToFile("legacy_torn.ctrace", torn),
+                 sim::FatalError);
 }
 
 TEST(Trace, CaptureReferenceTraceDrawsReferenceStream)
@@ -125,27 +220,14 @@ TEST(Trace, CaptureReferenceTraceDrawsReferenceStream)
     for (std::size_t i = 0; i < misses.size(); ++i)
         EXPECT_EQ(misses[i], refs[i]);
 
-    TraceWorkload replay(refs, 1024, "ref-replay",
-                         /*reference_stream=*/true);
+    trace::WriterOptions options;
+    options.reference_stream = true;
+    const std::string path =
+        writeCtrace("ref_replay.ctrace", refs, 1024, options);
+    TraceReplayer replay(path);
     EXPECT_TRUE(replay.referenceStream());
     sim::Rng rng(1);
     EXPECT_EQ(replay.nextReference(0, 0, rng).line, refs[0].line);
-}
-
-TEST(Trace, ReaderRejectsGarbage)
-{
-    std::stringstream garbage("this is not a corona trace at all......");
-    EXPECT_THROW(TraceReader{garbage}, sim::FatalError);
-}
-
-TEST(Trace, ReaderRejectsOutOfRangeThread)
-{
-    std::stringstream stream;
-    TraceWriter writer(stream, 4);
-    TraceRecord r{};
-    r.thread = 9; // > thread count
-    writer.append(r);
-    EXPECT_THROW(TraceReader{stream}, sim::FatalError);
 }
 
 TEST(Trace, CaptureFromSyntheticWorkload)
@@ -173,7 +255,9 @@ TEST(Trace, ReplayPreservesPerThreadOrder)
         r.think_time = 10 * (i + 1);
         records.push_back(r);
     }
-    TraceWorkload replay(records, 2, "replay");
+    const std::string path =
+        writeCtrace("order.ctrace", records, 2);
+    TraceReplayer replay(path);
     EXPECT_EQ(replay.threads(), 2u);
     EXPECT_EQ(replay.paperRequests(), 6u);
     sim::Rng rng(1);
@@ -187,12 +271,81 @@ TEST(Trace, ReplayPreservesPerThreadOrder)
     EXPECT_EQ(replay.next(1, 0, rng).line, 1u * 64);
 }
 
+TEST(Trace, ReplayLoopKnobExhaustsThread)
+{
+    std::vector<TraceRecord> records;
+    for (std::uint32_t i = 0; i < 3; ++i) {
+        TraceRecord r{};
+        r.thread = 0;
+        r.line = (i + 1) * 64;
+        r.think_time = 5;
+        records.push_back(r);
+    }
+    const std::string path = writeCtrace("loop.ctrace", records, 1);
+    workload::TraceReplayOptions options;
+    options.loop = 2;
+    TraceReplayer replay(path, options);
+    sim::Rng rng(1);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::uint32_t i = 0; i < 3; ++i)
+            EXPECT_EQ(replay.next(0, 0, rng).line, (i + 1) * 64u);
+    }
+    // The loop budget is spent: the thread idles from here on.
+    EXPECT_GE(replay.next(0, 0, rng).think_time, sim::oneSecond);
+    EXPECT_GE(replay.next(0, 0, rng).think_time, sim::oneSecond);
+
+    // reset() restores the pristine replay (pooling contract).
+    replay.reset();
+    EXPECT_EQ(replay.next(0, 0, rng).line, 64u);
+}
+
+TEST(Trace, ReplayThreadRemapWrapsOntoTraceThreads)
+{
+    std::vector<TraceRecord> records;
+    for (std::uint32_t t = 0; t < 2; ++t) {
+        TraceRecord r{};
+        r.thread = t;
+        r.line = (t + 1) * 640;
+        r.think_time = 5;
+        records.push_back(r);
+    }
+    const std::string path = writeCtrace("remap.ctrace", records, 2);
+    workload::TraceReplayOptions options;
+    options.threads = 4;
+    TraceReplayer replay(path, options);
+    EXPECT_EQ(replay.threads(), 4u);
+    sim::Rng rng(1);
+    // Slot 2 consumes trace thread 0's stream from its own start,
+    // independent of slot 0's cursor.
+    EXPECT_EQ(replay.next(0, 0, rng).line, 640u);
+    EXPECT_EQ(replay.next(2, 0, rng).line, 640u);
+    EXPECT_EQ(replay.next(3, 0, rng).line, 1280u);
+}
+
+TEST(Trace, ReplayTimeScaleStretchesThink)
+{
+    std::vector<TraceRecord> records;
+    TraceRecord r{};
+    r.thread = 0;
+    r.line = 64;
+    r.think_time = 1000;
+    records.push_back(r);
+    const std::string path = writeCtrace("scale.ctrace", records, 1);
+    workload::TraceReplayOptions options;
+    options.time_scale = 2.5;
+    TraceReplayer replay(path, options);
+    sim::Rng rng(1);
+    EXPECT_EQ(replay.next(0, 0, rng).think_time, 2500u);
+}
+
 TEST(Trace, ReplayedWorkloadMatchesSource)
 {
     workload::SyntheticWorkload hot(workload::Pattern::HotSpot,
                                     topology::Geometry());
     const auto records = workload::captureTrace(hot, 512, 9);
-    TraceWorkload replay(records, 1024, "hotspot-replay");
+    const std::string path =
+        writeCtrace("hotspot.ctrace", records, 1024);
+    TraceReplayer replay(path);
     sim::Rng rng(1);
     for (int i = 0; i < 100; ++i) {
         const MissRequest req = replay.next(static_cast<std::size_t>(i),
@@ -205,9 +358,12 @@ TEST(Trace, ReplayedWorkloadMatchesSource)
     }
 }
 
-TEST(Trace, EmptyThreadIdles)
+TEST(Trace, EmptyTraceIdles)
 {
-    TraceWorkload replay({}, 4, "empty");
+    const std::string path = writeCtrace("empty.ctrace", {}, 4);
+    const trace::TraceInfo info = trace::readTraceInfo(path);
+    EXPECT_EQ(info.records, 0u);
+    TraceReplayer replay(path);
     sim::Rng rng(1);
     const MissRequest req = replay.next(0, 0, rng);
     EXPECT_GE(req.think_time, sim::oneSecond);

@@ -52,6 +52,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <queue>
 #include <sstream>
 #include <string>
@@ -65,6 +66,9 @@
 #include "corona/simulation.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
+#include "trace/capture.hh"
+#include "trace/ctrace.hh"
+#include "trace/replayer.hh"
 #include "workload/synthetic.hh"
 
 namespace {
@@ -220,11 +224,15 @@ struct GridResult
 GridResult
 runGrid(std::size_t cells, std::uint64_t requests, bool reuse_systems,
         const obs::CampaignObsOptions *observability = nullptr,
-        const core::SystemConfig *config = nullptr)
+        const core::SystemConfig *config = nullptr,
+        const campaign::WorkloadSpec *workload = nullptr)
 {
     campaign::CampaignSpec spec;
     spec.name = "perf-grid";
-    spec.workloads = {{"Uniform", true, workload::makeUniform}};
+    spec.workloads = {workload
+                          ? *workload
+                          : campaign::WorkloadSpec{"Uniform", true,
+                                                   workload::makeUniform}};
     spec.configs = {config ? *config
                            : core::makeConfig(core::NetworkKind::XBar,
                                               core::MemoryKind::OCM)};
@@ -399,6 +407,45 @@ main(int argc, char **argv)
         core::makeConfig(core::NetworkKind::XBar, core::MemoryKind::OCM);
     cached.frontend = core::FrontendKind::Coherent;
 
+    // Trace-replay arm: capture the miss stream one grid cell draws,
+    // then replay it (looping) through the same grid. The ratio
+    // quantifies the streaming decoder against the generator it
+    // replaces; the workload axis keeps the "Uniform" label so the
+    // per-round CSV-stability check applies to this arm too.
+    const std::string trace_path =
+        (std::filesystem::temp_directory_path() /
+         ("corona-perf-trace." + std::to_string(::getpid()) +
+          ".ctrace"))
+            .string();
+    {
+        auto trace_source = workload::makeUniform();
+        core::SimParams trace_params;
+        trace_params.requests = requests;
+        std::ofstream trace_out(trace_path,
+                                std::ios::trunc | std::ios::binary);
+        if (!trace_out) {
+            std::cerr << "corona-perf: cannot write \"" << trace_path
+                      << "\"\n";
+            return 1;
+        }
+        trace::WriterOptions trace_writer_options;
+        trace_writer_options.synthetic_source = true;
+        trace::Writer trace_writer(
+            trace_out,
+            static_cast<std::uint32_t>(trace_source->threads()),
+            "Uniform", trace_writer_options);
+        trace::captureRun(core::makeConfig(core::NetworkKind::XBar,
+                                           core::MemoryKind::OCM),
+                          *trace_source, trace_params, trace_writer);
+    }
+    const campaign::WorkloadSpec trace_workload{
+        "Uniform", true, [&trace_path] {
+            workload::TraceReplayOptions replay_options;
+            replay_options.label = "Uniform";
+            return std::make_unique<workload::TraceReplayer>(
+                trace_path, replay_options);
+        }};
+
     // Every grid arm rides the same interleaved round-robin: a
     // wall-clock A/B on a shared host is dominated by external noise
     // (identical passes here vary by 10-20%), so each ratio is
@@ -412,6 +459,7 @@ main(int argc, char **argv)
         bool reuse;
         const obs::CampaignObsOptions *obs;
         const core::SystemConfig *config;
+        const campaign::WorkloadSpec *workload;
         GridResult best;
         std::vector<double> rates; ///< cells/sec, one per round.
     };
@@ -421,17 +469,18 @@ main(int argc, char **argv)
     // full system builds and goes last, where its heap wake can't skew
     // the tight observability ratio.
     GridArm arms[] = {
-        {"pooled", true, nullptr, nullptr, {}, {}},
-        {"observed", true, &obs_options, nullptr, {}, {}},
-        {"passthrough", true, nullptr, &passthrough, {}, {}},
-        {"coherent", true, nullptr, &cached, {}, {}},
-        {"fresh", false, nullptr, nullptr, {}, {}},
+        {"pooled", true, nullptr, nullptr, nullptr, {}, {}},
+        {"observed", true, &obs_options, nullptr, nullptr, {}, {}},
+        {"passthrough", true, nullptr, &passthrough, nullptr, {}, {}},
+        {"coherent", true, nullptr, &cached, nullptr, {}, {}},
+        {"trace", true, nullptr, nullptr, &trace_workload, {}, {}},
+        {"fresh", false, nullptr, nullptr, nullptr, {}, {}},
     };
     const int rounds = quick ? 2 : 8;
     std::cerr << "corona-perf: campaign grids (" << cells
               << " cells x " << requests << " requests, " << rounds
               << " interleaved rounds of pooled/observed/coherent/"
-                 "fresh)...\n";
+                 "trace/fresh)...\n";
     bool stable = true;
     for (int round = 0; round < rounds; ++round) {
         for (GridArm &arm : arms) {
@@ -453,7 +502,7 @@ main(int argc, char **argv)
             }
             GridResult result =
                 runGrid(cells, requests, arm.reuse, arm.obs,
-                        arm.config);
+                        arm.config, arm.workload);
             arm.rates.push_back(result.cells_per_sec);
             if (round == 0) {
                 arm.best = std::move(result);
@@ -472,7 +521,8 @@ main(int argc, char **argv)
     const GridResult &pooled = arms[0].best;
     const GridResult &observed = arms[1].best;
     const GridResult &passthrough_grid = arms[2].best;
-    const GridResult &fresh = arms[4].best;
+    const GridResult &fresh = arms[5].best;
+    std::filesystem::remove(trace_path, obs_ec);
 
     const bool parity = pooled.csv == fresh.csv;
     if (!parity) {
@@ -514,10 +564,15 @@ main(int argc, char **argv)
     const double coh_off_rate = arms[0].rates[coh_round];
     const double coh_on_rate = arms[3].rates[coh_round];
     const double frontend_overhead = coh_off_rate / coh_on_rate;
+    // Trace replay vs the generator it was captured from.
+    const int trace_round = bestRound(arms[0].rates, arms[4].rates);
+    const double trace_gen_rate = arms[0].rates[trace_round];
+    const double trace_replay_rate = arms[4].rates[trace_round];
+    const double trace_overhead = trace_gen_rate / trace_replay_rate;
     // Same pairing for the pooling speedup, flipped to maximize it.
-    const int fresh_round = bestRound(arms[4].rates, arms[0].rates);
+    const int fresh_round = bestRound(arms[5].rates, arms[0].rates);
     const double grid_pooled_rate = arms[0].rates[fresh_round];
-    const double grid_fresh_rate = arms[4].rates[fresh_round];
+    const double grid_fresh_rate = arms[5].rates[fresh_round];
     const double grid_speedup = grid_pooled_rate / grid_fresh_rate;
 
     const double near_speedup =
@@ -562,7 +617,12 @@ main(int argc, char **argv)
          << ",\"coherent_cells_per_sec\":"
          << jsonNumber(coh_on_rate) << ",\"overhead\":"
          << jsonNumber(frontend_overhead) << ",\"passthrough_parity\":"
-         << (passthrough_parity ? "true" : "false") << "}}\n";
+         << (passthrough_parity ? "true" : "false")
+         << "},\"trace\":{\"generator_cells_per_sec\":"
+         << jsonNumber(trace_gen_rate)
+         << ",\"replay_cells_per_sec\":"
+         << jsonNumber(trace_replay_rate) << ",\"overhead\":"
+         << jsonNumber(trace_overhead) << "}}\n";
 
     std::ofstream out(out_path, std::ios::trunc);
     if (!out) {
@@ -612,6 +672,12 @@ main(int argc, char **argv)
               << jsonNumber(frontend_overhead)
               << " overhead, pass-through parity "
               << (passthrough_parity ? "ok" : "FAILED") << ")\n"
+              << "trace replay       : "
+              << campaign::formatRate(trace_replay_rate)
+              << " cells/s replay vs "
+              << campaign::formatRate(trace_gen_rate)
+              << " cells/s generator  (x" << jsonNumber(trace_overhead)
+              << " overhead)\n"
               << "report: " << out_path << "\n";
     return parity && obs_parity && passthrough_parity && stable ? 0
                                                                 : 1;
