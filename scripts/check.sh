@@ -18,3 +18,4 @@ scripts/scenario_smoke.sh build
 scripts/perf_smoke.sh build
 scripts/obs_smoke.sh build
 scripts/coherence_smoke.sh build
+scripts/parallel_smoke.sh build

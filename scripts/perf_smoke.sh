@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # corona-perf smoke: a --quick run must pass its own determinism gates
 # (legacy-vs-kernel event checksums, pooled-vs-fresh grid CSV parity,
-# observed-vs-unobserved CSV parity — a parity failure is a nonzero
-# exit) and emit a JSON report with the stable corona-perf-v1 key
-# shape. Timing values vary run to run and are informational only —
+# observed-vs-unobserved CSV parity, serial-vs-sharded metric parity —
+# a parity failure is a nonzero exit) and emit a JSON report with the
+# stable corona-perf-v2 key shape. Timing values vary run to run and are informational only —
 # with one exception: the observability overhead ratio is gated at a
 # generous ceiling (1.5x vs the 1.15x committed in BENCH_perf.json),
 # loose enough for noisy CI machines but tight enough to catch the
@@ -25,7 +25,7 @@ fi
 # The key shape is the contract: every consumer of BENCH_perf.json
 # (and every future PR comparing trajectories) keys on these.
 for key in \
-    '"schema":"corona-perf-v1"' \
+    '"schema":"corona-perf-v2"' \
     '"quick":true' \
     '"event_kernel"' \
     '"near"' \
@@ -43,7 +43,15 @@ for key in \
     '"off_cells_per_sec"' \
     '"csv_parity":true' \
     '"frontend"' \
-    '"passthrough_parity":true'
+    '"passthrough_parity":true' \
+    '"parallel"' \
+    '"host_cpus"' \
+    '"serial_events_per_sec"' \
+    '"shards2_speedup"' \
+    '"shards4_speedup"' \
+    '"shards8_speedup"' \
+    '"reset"' \
+    '"buckets_walked_per_reset"'
 do
     if ! grep -qF "${key}" "${OUT}"; then
         echo "perf_smoke: missing ${key} in corona-perf report" >&2
@@ -62,6 +70,9 @@ if obs["overhead"] > 1.5:
     sys.exit("perf_smoke: observability overhead x%.3f exceeds the "
              "1.5x CI ceiling (committed target is 1.15x)"
              % obs["overhead"])
+parallel = report["parallel"]
+if not parallel["parity"]:
+    sys.exit("perf_smoke: sharded execution broke metric parity")
 EOF
 
 echo "perf_smoke: OK (kernel + pooling determinism, report shape stable," \

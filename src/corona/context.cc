@@ -3,9 +3,29 @@
 #include <algorithm>
 #include <string>
 
+#include "corona/exec_plan.hh"
 #include "corona/knobs.hh"
+#include "sim/logging.hh"
 
 namespace corona::core {
+
+SimContext::SimContext(const SystemConfig &config, unsigned sim_threads)
+{
+    if (sim_threads > 0) {
+        const unsigned shards = static_cast<unsigned>(
+            std::min<std::size_t>(sim_threads, config.clusters));
+        const sim::Tick lookahead = lookaheadTicks(config);
+        if (lookahead == 0)
+            sim::fatal("SimContext: configuration has no lookahead; "
+                       "effectiveSimThreads() plans such runs serial");
+        _exec = std::make_unique<sim::ShardedExecutor>(
+            entityShardMap(config, shards), shards, lookahead);
+        _simThreads = shards;
+        _system = std::make_unique<CoronaSystem>(*_exec, config);
+    } else {
+        _system = std::make_unique<CoronaSystem>(_eq, config);
+    }
+}
 
 namespace {
 
@@ -36,9 +56,15 @@ configKey(const SystemConfig &config)
 } // namespace
 
 SimContext &
-SystemPool::lease(const SystemConfig &config)
+SystemPool::lease(const SystemConfig &config, unsigned sim_threads)
 {
-    const std::string key = configKey(config);
+    std::string key = configKey(config);
+    if (sim_threads > 0) {
+        // Engine choice is context identity: a sharded system's
+        // components live on different queues than a serial one's.
+        key += "|simthreads:";
+        key += std::to_string(sim_threads);
+    }
     for (Slot &slot : _slots) {
         if (slot.key == key) {
             slot.last_used = ++_clock;
@@ -60,7 +86,8 @@ SystemPool::lease(const SystemConfig &config)
         _slots.erase(victim);
     }
     _slots.push_back(
-        Slot{key, std::make_unique<SimContext>(config), ++_clock});
+        Slot{key, std::make_unique<SimContext>(config, sim_threads),
+             ++_clock});
     return *_slots.back().context;
 }
 

@@ -30,26 +30,51 @@
 #include "obs/registry.hh"
 #include "obs/scratch.hh"
 #include "sim/event_queue.hh"
+#include "sim/parallel.hh"
 
 namespace corona::core {
 
 /**
  * An EventQueue plus the CoronaSystem wired to it.
+ *
+ * With @p sim_threads > 0 the context instead owns a ShardedExecutor
+ * (K lockstep event queues; see sim/parallel.hh) and builds the
+ * system across its entity queues. Callers must pass a value vetted
+ * by effectiveSimThreads() — the context clamps to the cluster count
+ * but does not re-check workload or front-end partitionability. The
+ * engine choice is part of the context's identity (SystemPool keys
+ * on it): a context never switches engines across leases.
  */
 class SimContext
 {
   public:
-    explicit SimContext(const SystemConfig &config)
-        : _system(_eq, config)
-    {
-    }
+    explicit SimContext(const SystemConfig &config,
+                        unsigned sim_threads = 0);
 
     SimContext(const SimContext &) = delete;
     SimContext &operator=(const SimContext &) = delete;
 
+    /** The classic single queue (unused when sharded). */
     sim::EventQueue &eq() { return _eq; }
-    CoronaSystem &system() { return _system; }
-    const SystemConfig &config() const { return _system.config(); }
+
+    /** The sharded executor, or null on the classic engine. */
+    sim::ShardedExecutor *executor() { return _exec.get(); }
+
+    /** Effective shard count (0 = classic single-queue engine). */
+    unsigned simThreads() const { return _simThreads; }
+
+    CoronaSystem &system() { return *_system; }
+    const SystemConfig &config() const { return _system->config(); }
+
+    /** True when no event ever ran and none is pending — the state
+     * NetworkSimulation requires of a leased context. */
+    bool
+    pristine() const
+    {
+        if (_exec)
+            return _exec->pristine();
+        return _eq.now() == 0 && _eq.empty() && _eq.executed() == 0;
+    }
 
     /**
      * The cached probe registry for this context. Empty until the
@@ -67,17 +92,22 @@ class SimContext
      */
     obs::ObsScratch &obsScratch() { return _obsScratch; }
 
-    /** Restore the pristine state of the queue and every component. */
+    /** Restore the pristine state of the queue(s) and every
+     * component. */
     void
     reset()
     {
         _eq.reset();
-        _system.reset();
+        if (_exec)
+            _exec->reset();
+        _system->reset();
     }
 
   private:
     sim::EventQueue _eq;
-    CoronaSystem _system;
+    std::unique_ptr<sim::ShardedExecutor> _exec;
+    std::unique_ptr<CoronaSystem> _system;
+    unsigned _simThreads = 0;
     obs::Registry _obsRegistry;
     obs::ObsScratch _obsScratch;
 };
@@ -106,8 +136,12 @@ class SystemPool
      * evicts it (only a later lease of a different config can) or is
      * destroyed; lease again for the same configuration returns the
      * same context, so at most one run may use it at a time.
+     * @p sim_threads is the effective shard count and is part of the
+     * pool key: serial and sharded runs of one configuration lease
+     * distinct contexts.
      */
-    SimContext &lease(const SystemConfig &config);
+    SimContext &lease(const SystemConfig &config,
+                      unsigned sim_threads = 0);
 
     /** Configurations currently resident. */
     std::size_t size() const { return _slots.size(); }

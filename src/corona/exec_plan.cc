@@ -1,0 +1,79 @@
+#include "corona/exec_plan.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/clock.hh"
+#include "workload/workload.hh"
+
+namespace corona::core {
+
+sim::Tick
+lookaheadTicks(const SystemConfig &config)
+{
+    const sim::Tick period = sim::coronaClock().period();
+    switch (config.network) {
+      case NetworkKind::XBar:
+      case NetworkKind::Ideal:
+        return period;
+      case NetworkKind::HMesh:
+      case NetworkKind::LMesh:
+        return static_cast<sim::Tick>(config.mesh.hop_latency_clocks) *
+               period;
+    }
+    return 0;
+}
+
+std::size_t
+executorEntities(const SystemConfig &config)
+{
+    // The crossbar needs no fabric entity: each MWSR channel is homed
+    // at (and runs on) its destination cluster.
+    return config.clusters +
+           (config.network == NetworkKind::XBar ? 0 : 1);
+}
+
+std::size_t
+fabricEntity(const SystemConfig &config)
+{
+    return config.clusters;
+}
+
+std::vector<std::uint32_t>
+entityShardMap(const SystemConfig &config, std::size_t shards)
+{
+    if (shards == 0 || shards > config.clusters)
+        throw std::invalid_argument(
+            "entityShardMap: shards must be in [1, clusters]");
+    std::vector<std::uint32_t> map(executorEntities(config), 0);
+    for (std::size_t c = 0; c < config.clusters; ++c)
+        map[c] = static_cast<std::uint32_t>(c * shards /
+                                            config.clusters);
+    // The fabric entity (when present) stays on shard 0 with the
+    // first clusters.
+    return map;
+}
+
+unsigned
+effectiveSimThreads(unsigned requested, const SystemConfig &config,
+                    const workload::Workload &workload,
+                    std::uint64_t warmup_requests, bool tracing)
+{
+    if (requested == 0)
+        return 0;
+    if (config.frontend == FrontendKind::Coherent)
+        return 0;
+    if (!workload.partitionable(config.clusters,
+                                config.threads_per_cluster))
+        return 0;
+    if (warmup_requests > 0)
+        return 0;
+    if (tracing)
+        return 0;
+    if (lookaheadTicks(config) <= 1)
+        return 0;
+    return static_cast<unsigned>(std::min<std::size_t>(
+        requested, config.clusters));
+}
+
+} // namespace corona::core

@@ -7,35 +7,49 @@
 #include <string>
 
 #include "corona/env.hh"
+#include "corona/exec_plan.hh"
 #include "corona/frontend.hh"
 #include "obs/observe.hh"
 #include "power/network_power.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 namespace corona::core {
 
 NetworkSimulation::NetworkSimulation(const SystemConfig &config,
                                      workload::Workload &workload,
                                      const SimParams &params)
-    : _ownedContext(std::make_unique<SimContext>(config)),
+    : _ownedContext(std::make_unique<SimContext>(
+          config,
+          effectiveSimThreads(params.sim_threads, config, workload,
+                              params.warmup_requests,
+                              /*tracing=*/false))),
       _ctx(*_ownedContext), _config(config), _workload(workload),
-      _params(params), _eq(_ctx.eq()), _rng(params.seed),
-      _latencyHist(/*bucket_width_ns=*/5.0, /*num_buckets=*/400)
+      _params(params), _eq(_ctx.eq()), _exec(_ctx.executor())
 {
     bindThreads();
+    initLanes();
 }
 
 NetworkSimulation::NetworkSimulation(SimContext &ctx,
                                      workload::Workload &workload,
                                      const SimParams &params)
     : _ctx(ctx), _config(ctx.config()), _workload(workload),
-      _params(params), _eq(_ctx.eq()), _rng(params.seed),
-      _latencyHist(/*bucket_width_ns=*/5.0, /*num_buckets=*/400)
+      _params(params), _eq(_ctx.eq()), _exec(_ctx.executor())
 {
-    if (_eq.now() != 0 || !_eq.empty() || _eq.executed() != 0)
+    if (!_ctx.pristine())
         sim::fatal("NetworkSimulation: leased context is not pristine "
                    "(reset it, or lease through SystemPool)");
+    if (_exec &&
+        (_params.warmup_requests > 0 ||
+         _config.frontend == FrontendKind::Coherent ||
+         !_workload.partitionable(_config.clusters,
+                                  _config.threads_per_cluster)))
+        sim::fatal("NetworkSimulation: run is not partitionable but "
+                   "the leased context is sharded; size the lease "
+                   "with effectiveSimThreads()");
     bindThreads();
+    initLanes();
 }
 
 void
@@ -58,6 +72,36 @@ NetworkSimulation::bindThreads()
     _pending.resize(n);
 }
 
+void
+NetworkSimulation::initLanes()
+{
+    if (_exec) {
+        // One lane per cluster, each pinned to its cluster's queue
+        // with a private RNG stream and an even budget split
+        // (remainder to the low clusters). Warm-up is excluded by
+        // effectiveSimThreads(), so the split covers requests only.
+        const std::size_t n = _config.clusters;
+        _lanes.resize(n);
+        const std::uint64_t base = _params.requests / n;
+        const std::uint64_t rem = _params.requests % n;
+        for (std::size_t c = 0; c < n; ++c) {
+            Lane &lane = _lanes[c];
+            lane.rng = sim::Rng(_params.seed +
+                                0x9e3779b97f4a7c15ull * (c + 1));
+            lane.budget = base + (c < rem ? 1 : 0);
+            lane.q = &_exec->queueFor(c);
+        }
+    } else {
+        // The classic engine: one lane spanning every cluster,
+        // seeded exactly as the historical shared RNG — bytes cannot
+        // differ from the pre-lane driver.
+        _lanes.resize(1);
+        _lanes[0].rng = sim::Rng(_params.seed);
+        _lanes[0].budget = totalBudget();
+        _lanes[0].q = &_eq;
+    }
+}
+
 std::uint64_t
 NetworkSimulation::totalBudget() const
 {
@@ -68,7 +112,7 @@ void
 NetworkSimulation::beginMeasurement()
 {
     _measuring = true;
-    _measureStart = _eq.now();
+    _measureStart = _exec ? _exec->now() : _eq.now();
     _bytesAtMeasureStart = _ctx.system().memoryBytesMoved();
     _hopsAtMeasureStart =
         _ctx.system().network().netStats().hopTraversals.value();
@@ -77,16 +121,17 @@ NetworkSimulation::beginMeasurement()
 void
 NetworkSimulation::scheduleNext(std::size_t tid)
 {
-    if (_issued >= totalBudget())
+    Lane &lane = laneFor(tid);
+    if (lane.issued >= lane.budget)
         return; // Budget exhausted: the thread retires.
     // The coherent front end consumes pre-cache reference streams; the
     // miss-stream front end replays records as L2 misses directly.
     const workload::MissRequest req =
         _config.frontend == FrontendKind::Coherent
-            ? _workload.nextReference(tid, _eq.now(), _rng)
-            : _workload.next(tid, _eq.now(), _rng);
-    const sim::Tick ready = _eq.now() + req.think_time;
-    _eq.schedule(ready, [this, tid, req, ready] {
+            ? _workload.nextReference(tid, lane.q->now(), lane.rng)
+            : _workload.next(tid, lane.q->now(), lane.rng);
+    const sim::Tick ready = lane.q->now() + req.think_time;
+    lane.q->schedule(ready, [this, tid, req, ready] {
         if (_pending[tid])
             sim::panic("NetworkSimulation: overlapping pending issues");
         _pending[tid] = PendingIssue{req, ready};
@@ -98,9 +143,10 @@ void
 NetworkSimulation::tryIssue(std::size_t tid)
 {
     workload::ThreadContext &ctx = _threads[tid];
+    Lane &lane = laneFor(tid);
     if (!_pending[tid])
         return; // Fill raced ahead of a stalled retry; nothing to do.
-    if (_issued >= totalBudget()) {
+    if (lane.issued >= lane.budget) {
         _pending[tid].reset(); // Budget filled while we were stalled.
         return;
     }
@@ -147,11 +193,13 @@ NetworkSimulation::tryIssue(std::size_t tid)
         return;
     }
     if (primary) {
-        ++_issued;
-        if (!_measuring && _issued >= _params.warmup_requests)
+        ++lane.issued;
+        // Warm-up forces the classic single-lane engine, so the
+        // lane's count is the global issue count here.
+        if (!_measuring && lane.issued >= _params.warmup_requests)
             beginMeasurement();
     } else {
-        ++_coalesced;
+        ++lane.coalesced;
     }
     ctx.issued();
     _pending[tid].reset();
@@ -162,16 +210,17 @@ void
 NetworkSimulation::onFill(std::size_t tid, sim::Tick ready_since)
 {
     workload::ThreadContext &ctx = _threads[tid];
+    Lane &lane = laneFor(tid);
     if (_measuring && ready_since >= _measureStart) {
         const auto latency =
-            static_cast<double>(_eq.now() - ready_since);
-        _latency.sample(latency);
-        _latencyHist.sample(latency /
-                            static_cast<double>(sim::oneNanosecond));
+            static_cast<double>(lane.q->now() - ready_since);
+        lane.latency.sample(latency);
+        lane.hist.sample(latency /
+                         static_cast<double>(sim::oneNanosecond));
     }
     ctx.completed();
-    ++_completed;
-    _endTick = std::max(_endTick, _eq.now());
+    ++lane.completed;
+    lane.endTick = std::max(lane.endTick, lane.q->now());
     if (ctx.waitingForWindow()) {
         ctx.setWaitingForWindow(false);
         tryIssue(tid);
@@ -190,10 +239,30 @@ NetworkSimulation::run()
         beginMeasurement();
     for (std::size_t tid = 0; tid < _threads.size(); ++tid)
         scheduleNext(tid);
-    _eq.run();
+    if (_exec)
+        _exec->run();
+    else
+        _eq.run();
 
-    const std::uint64_t outstanding =
-        _issued + _coalesced - _completed;
+    // Merge the lanes in cluster order: every aggregate below is then
+    // a pure function of the model, identical at any shard count.
+    std::uint64_t issued = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t completed = 0;
+    sim::Tick end_tick = 0;
+    stats::RunningStats latency;
+    stats::Histogram latency_hist(/*bucket_width_ns=*/5.0,
+                                  /*num_buckets=*/400);
+    for (const Lane &lane : _lanes) {
+        issued += lane.issued;
+        coalesced += lane.coalesced;
+        completed += lane.completed;
+        end_tick = std::max(end_tick, lane.endTick);
+        latency.merge(lane.latency);
+        latency_hist.merge(lane.hist);
+    }
+
+    const std::uint64_t outstanding = issued + coalesced - completed;
     if (outstanding != 0)
         sim::panic("NetworkSimulation: simulation drained with "
                    "outstanding misses");
@@ -201,21 +270,21 @@ NetworkSimulation::run()
     RunMetrics m;
     m.config = _config.name();
     m.workload = _workload.name();
-    m.requests_issued = _issued - _params.warmup_requests;
-    m.requests_coalesced = _coalesced;
-    m.elapsed = _endTick > _measureStart ? _endTick - _measureStart : 1;
+    m.requests_issued = issued - _params.warmup_requests;
+    m.requests_coalesced = coalesced;
+    m.elapsed = end_tick > _measureStart ? end_tick - _measureStart : 1;
     const double seconds = sim::ticksToSeconds(m.elapsed);
     m.achieved_bytes_per_second =
         static_cast<double>(_ctx.system().memoryBytesMoved() -
                             _bytesAtMeasureStart) /
         seconds;
     m.avg_latency_ns =
-        _latency.mean() / static_cast<double>(sim::oneNanosecond);
-    m.p95_latency_ns = _latencyHist.percentile(0.95);
+        latency.mean() / static_cast<double>(sim::oneNanosecond);
+    m.p95_latency_ns = latency_hist.percentile(0.95);
     m.offered_bytes_per_second = _workload.offeredBytesPerSecond();
-    // The context was pristine at construction, so the queue's lifetime
-    // counter is exactly this run's event count.
-    m.events_executed = _eq.executed();
+    // The context was pristine at construction, so the queues'
+    // lifetime counters are exactly this run's event count.
+    m.events_executed = _exec ? _exec->executed() : _eq.executed();
     m.host_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       host_start)
@@ -271,7 +340,13 @@ runExperiment(const SystemConfig &config, workload::Workload &workload,
     if (!obs.enabled())
         return runExperiment(config, workload, params);
     // A fresh context is pristine, so the pooled path below applies.
-    SimContext ctx(config);
+    // Tracing pins the run to the classic engine: the shared trace
+    // ring's eviction order is not shard-count-invariant.
+    SimContext ctx(config,
+                   effectiveSimThreads(params.sim_threads, config,
+                                       workload,
+                                       params.warmup_requests,
+                                       obs.trace_capacity > 0));
     return runExperiment(ctx, workload, params, obs);
 }
 

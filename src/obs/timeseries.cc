@@ -186,7 +186,7 @@ TimeSeriesSampler::TimeSeriesSampler(const Registry &registry,
 }
 
 void
-TimeSeriesSampler::start()
+TimeSeriesSampler::prepare()
 {
     // Resolve once: the per-sample loop touches only this flat table
     // (a typed counter load, or one indirect call), never the
@@ -214,15 +214,33 @@ TimeSeriesSampler::start()
     _values.clear();
     _ticks.reserve(8);
     _values.reserve(8 * _probeCount);
+}
 
+void
+TimeSeriesSampler::start()
+{
+    prepare();
     sample();
     scheduleNext();
 }
 
 void
-TimeSeriesSampler::sample()
+TimeSeriesSampler::startExternal()
 {
-    _ticks.push_back(_eq.now());
+    prepare();
+    record(0);
+}
+
+void
+TimeSeriesSampler::sampleTick(sim::Tick tick)
+{
+    record(tick);
+}
+
+void
+TimeSeriesSampler::record(sim::Tick tick)
+{
+    _ticks.push_back(tick);
     const std::size_t at = _values.size();
     _values.resize(at + _probeCount);
     double *row = _values.data() + at;
@@ -232,6 +250,12 @@ TimeSeriesSampler::sample()
                      ? static_cast<double>(probe.counter->value())
                      : (*probe.read)();
     }
+}
+
+void
+TimeSeriesSampler::sample()
+{
+    record(_eq.now());
 }
 
 void

@@ -87,6 +87,8 @@ traceCategory(TraceKind kind)
       case TraceKind::CohWriteback:
       case TraceKind::CohBroadcast:
         return "coherence";
+      case TraceKind::GrantBatch:
+        return "xbar";
     }
     return "other";
 }
@@ -113,6 +115,8 @@ traceName(TraceKind kind)
         return "coh_writeback";
       case TraceKind::CohBroadcast:
         return "coh_broadcast";
+      case TraceKind::GrantBatch:
+        return "grant_batch";
     }
     return "event";
 }
@@ -155,7 +159,7 @@ readTraceBinary(std::istream &is, const std::string &what)
             !readVarint(at, end, actor) || !readVarint(at, end, aux) ||
             !readVarint(at, end, kind))
             sim::fatal(what + ": truncated binary trace records");
-        if (kind > static_cast<std::uint64_t>(TraceKind::CohBroadcast))
+        if (kind > static_cast<std::uint64_t>(TraceKind::GrantBatch))
             sim::fatal(what + ": unknown trace event kind");
         const auto start = static_cast<std::uint64_t>(
             static_cast<std::int64_t>(prev_start) +

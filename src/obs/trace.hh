@@ -47,6 +47,8 @@ enum class TraceKind : std::uint8_t
     CohForward,   ///< FwdGetS/FwdGetM delivered to the owning cluster.
     CohWriteback, ///< Dirty line written back toward its home slice.
     CohBroadcast, ///< Pool-invalidate broadcast snooped by a cluster.
+    GrantBatch,   ///< Token-grant schedules coalesced into one event
+                  ///< (aux = batch size including the survivor).
 };
 
 /** Chrome trace-event category name for @p kind. */

@@ -179,7 +179,33 @@ EventQueue::step(Tick limit)
 Tick
 EventQueue::run(Tick limit)
 {
-    while (step(limit)) {
+    while (_pending != 0) {
+        const Tick next = nextEventTick();
+        if (next > limit)
+            break;
+        if (next != _ringBase)
+            advanceTo(next);
+
+        // Drain the whole bucket as one contiguous array. A callback
+        // may schedule back into this tick (entries grows — re-read
+        // the size every iteration; the Bucket reference is stable,
+        // the entries storage is not) or into the future; either way
+        // the next slot to execute is always bucket.entries[head].
+        const std::size_t index = bucketOf(next);
+        Bucket &bucket = _ring[index];
+        _now = next;
+        std::size_t head = bucket.head;
+        while (head < bucket.entries.size()) {
+            Callback cb = std::move(bucket.entries[head]);
+            bucket.head = ++head;
+            --_ringCount;
+            --_pending;
+            ++_executed;
+            cb();
+        }
+        bucket.entries.clear();
+        bucket.head = 0;
+        clearOccupied(index);
     }
     return _now;
 }
@@ -187,20 +213,30 @@ EventQueue::run(Tick limit)
 void
 EventQueue::reset()
 {
-    for (std::size_t word = 0; word < _occupied.size(); ++word) {
-        std::uint64_t bits = _occupied[word];
-        while (bits != 0) {
-            const auto bit =
-                static_cast<std::size_t>(std::countr_zero(bits));
-            bits &= bits - 1;
-            Bucket &bucket = _ring[word * 64 + bit];
-            bucket.entries.clear();
-            bucket.head = 0;
+    // The summary bitmap narrows the walk to occupied leaf words, so a
+    // reset after a short run touches O(occupied buckets) storage, not
+    // every word of the ring — the pooled-lease fast path.
+    for (std::size_t sw = 0; sw < _summary.size(); ++sw) {
+        std::uint64_t sum_bits = _summary[sw];
+        while (sum_bits != 0) {
+            const auto word =
+                sw * 64 +
+                static_cast<std::size_t>(std::countr_zero(sum_bits));
+            sum_bits &= sum_bits - 1;
+            std::uint64_t bits = _occupied[word];
+            while (bits != 0) {
+                const auto bit =
+                    static_cast<std::size_t>(std::countr_zero(bits));
+                bits &= bits - 1;
+                Bucket &bucket = _ring[word * 64 + bit];
+                bucket.entries.clear();
+                bucket.head = 0;
+                ++_resetBucketsWalked;
+            }
+            _occupied[word] = 0;
         }
-        _occupied[word] = 0;
+        _summary[sw] = 0;
     }
-    for (std::uint64_t &word : _summary)
-        word = 0;
     _heap.clear();
     _heapSlab.clear();
     _heapFree.clear();

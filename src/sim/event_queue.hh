@@ -87,8 +87,28 @@ class EventQueue
     /** Total events executed so far. */
     std::uint64_t executed() const { return _executed; }
 
+    /** Earliest pending event tick, or maxTick when drained. Exposed
+     * for window-based executors (sim::ShardedExecutor) that need the
+     * global minimum next tick across several queues. */
+    Tick nextTick() const { return nextEventTick(); }
+
+    /** Cumulative ring buckets cleared by reset() over this queue's
+     * lifetime (never zeroed by reset itself): the pooled-lease cost
+     * metric corona-perf's grid arm reports. */
+    std::uint64_t resetBucketsWalked() const
+    {
+        return _resetBucketsWalked;
+    }
+
     /**
      * Run until the queue drains or @p limit is reached.
+     *
+     * Batch-drain kernel: the outer loop locates the next occupied
+     * tick once per bucket (bitmap scan + heap promotion amortized
+     * over the whole tick), then the inner loop drains the bucket as a
+     * contiguous array. Same-tick events appended by a draining
+     * callback land at the array tail and execute in the same pass, so
+     * the FIFO contract is exactly that of repeated step() calls.
      *
      * @param limit Stop (without executing) events scheduled after this
      *              tick; defaults to "run to completion".
@@ -177,6 +197,7 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;
+    std::uint64_t _resetBucketsWalked = 0;
 };
 
 } // namespace corona::sim

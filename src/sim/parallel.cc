@@ -1,0 +1,222 @@
+#include "sim/parallel.hh"
+
+#include <algorithm>
+#include <barrier>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace corona::sim {
+
+ShardedExecutor::ShardedExecutor(std::vector<std::uint32_t> entity_shard,
+                                 std::size_t shards, Tick lookahead)
+    : _entityShard(std::move(entity_shard)), _lookahead(lookahead)
+{
+    if (shards == 0)
+        throw std::invalid_argument("ShardedExecutor: need >= 1 shard");
+    if (lookahead == 0)
+        throw std::invalid_argument(
+            "ShardedExecutor: lookahead must be >= 1 tick");
+    for (const std::uint32_t shard : _entityShard) {
+        if (shard >= shards)
+            throw std::invalid_argument(
+                "ShardedExecutor: entity mapped past the last shard");
+    }
+    _queues.reserve(shards);
+    for (std::size_t k = 0; k < shards; ++k)
+        _queues.push_back(std::make_unique<EventQueue>());
+    _staged.resize(shards);
+    _seq.assign(_entityShard.size(), 0);
+}
+
+void
+ShardedExecutor::post(std::size_t src, std::size_t dst, Tick when,
+                      Callback cb)
+{
+    if (src >= _entityShard.size() || dst >= _entityShard.size())
+        throw std::out_of_range("ShardedExecutor::post: bad entity");
+    _staged[_entityShard[src]].push_back(
+        StagedItem{when, static_cast<std::uint32_t>(src),
+                   static_cast<std::uint32_t>(dst), _seq[src]++,
+                   std::move(cb)});
+}
+
+void
+ShardedExecutor::setTickHook(Tick period, std::function<void(Tick)> hook)
+{
+    if (period == 0)
+        throw std::invalid_argument(
+            "ShardedExecutor: tick hook period must be > 0");
+    _hookPeriod = period;
+    _nextHook = period;
+    _hook = std::move(hook);
+}
+
+void
+ShardedExecutor::clearTickHook()
+{
+    _hookPeriod = 0;
+    _nextHook = 0;
+    _hook = nullptr;
+}
+
+void
+ShardedExecutor::importStaged()
+{
+    _merge.clear();
+    for (std::vector<StagedItem> &buffer : _staged) {
+        for (StagedItem &item : buffer)
+            _merge.push_back(std::move(item));
+        buffer.clear();
+    }
+    if (_merge.empty())
+        return;
+    // (when, src, seq) is a total order — seq is unique per source —
+    // so the merged schedule is independent of shard count and of
+    // which thread staged first.
+    std::sort(_merge.begin(), _merge.end(),
+              [](const StagedItem &a, const StagedItem &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.seq < b.seq;
+              });
+    for (StagedItem &item : _merge) {
+        if (item.when < _windowEnd)
+            panic("ShardedExecutor: staged event below the lookahead "
+                  "horizon (cross-shard latency shorter than the "
+                  "declared lookahead)");
+        _queues[_entityShard[item.dst]]->schedule(item.when,
+                                                  std::move(item.cb));
+    }
+    _merge.clear();
+}
+
+void
+ShardedExecutor::barrierPhase()
+{
+    importStaged();
+
+    Tick next = maxTick;
+    for (const auto &queue : _queues)
+        next = std::min(next, queue->nextTick());
+
+    if (next == maxTick) {
+        _done = true;
+        return;
+    }
+    if (_hookPeriod != 0 && _hook) {
+        while (_nextHook < next) {
+            _hook(_nextHook);
+            _nextHook += _hookPeriod;
+        }
+    }
+    Tick end = next + _lookahead;
+    if (_hookPeriod != 0 && end > _nextHook + 1)
+        end = _nextHook + 1;
+    _windowEnd = end;
+}
+
+Tick
+ShardedExecutor::run()
+{
+    if (_running)
+        panic("ShardedExecutor::run: reentered");
+    _running = true;
+    _done = false;
+
+    // The first window is computed on the calling thread; every later
+    // one inside the barrier's completion callback, where all shards
+    // are quiescent.
+    barrierPhase();
+
+    if (_forceSerial || _queues.size() == 1) {
+        while (!_done) {
+            for (auto &queue : _queues)
+                queue->run(_windowEnd - 1);
+            barrierPhase();
+        }
+    } else {
+        std::barrier sync(static_cast<std::ptrdiff_t>(_queues.size()),
+                          [this]() noexcept { barrierPhase(); });
+        auto loop = [this, &sync](std::size_t shard) {
+            while (!_done) {
+                _queues[shard]->run(_windowEnd - 1);
+                sync.arrive_and_wait();
+            }
+        };
+        std::vector<std::thread> threads;
+        threads.reserve(_queues.size() - 1);
+        for (std::size_t k = 1; k < _queues.size(); ++k)
+            threads.emplace_back(loop, k);
+        loop(0);
+        for (std::thread &t : threads)
+            t.join();
+    }
+    _running = false;
+    return now();
+}
+
+std::uint64_t
+ShardedExecutor::executed() const
+{
+    std::uint64_t total = 0;
+    for (const auto &queue : _queues)
+        total += queue->executed();
+    return total;
+}
+
+bool
+ShardedExecutor::empty() const
+{
+    for (const auto &queue : _queues) {
+        if (!queue->empty())
+            return false;
+    }
+    for (const auto &buffer : _staged) {
+        if (!buffer.empty())
+            return false;
+    }
+    return true;
+}
+
+bool
+ShardedExecutor::pristine() const
+{
+    for (const auto &queue : _queues) {
+        if (queue->now() != 0 || !queue->empty() ||
+            queue->executed() != 0)
+            return false;
+    }
+    for (const auto &buffer : _staged) {
+        if (!buffer.empty())
+            return false;
+    }
+    return true;
+}
+
+Tick
+ShardedExecutor::now() const
+{
+    Tick last = 0;
+    for (const auto &queue : _queues)
+        last = std::max(last, queue->now());
+    return last;
+}
+
+void
+ShardedExecutor::reset()
+{
+    for (auto &queue : _queues)
+        queue->reset();
+    for (auto &buffer : _staged)
+        buffer.clear();
+    std::fill(_seq.begin(), _seq.end(), 0);
+    _windowEnd = 0;
+    _done = false;
+}
+
+} // namespace corona::sim

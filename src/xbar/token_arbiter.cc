@@ -80,7 +80,18 @@ TokenArbiter::scheduleNextGrant()
         if (arrival < best_arrival)
             best_arrival = arrival;
     }
+    // Batch: a grant event for exactly this tick is already on the
+    // queue and still epoch-valid. It re-resolves the winning waiter
+    // at fire time, so the new request rides it for free instead of
+    // scheduling (and later discarding) another event.
+    if (_pendingGrant && *_pendingGrant == best_arrival) {
+        ++_grantsBatched;
+        ++_pendingBatch;
+        return;
+    }
     const std::uint64_t epoch = ++_grantEpoch;
+    _pendingGrant = best_arrival;
+    _pendingBatch = 0;
     _eq.schedule(best_arrival, [this, epoch, best_arrival] {
         if (epoch != _grantEpoch || _held)
             return; // A newer schedule superseded this one.
@@ -108,11 +119,22 @@ TokenArbiter::fireGrant(std::size_t waiter_index, sim::Tick granted_at)
                    static_cast<std::ptrdiff_t>(waiter_index));
     _held = true;
     ++_grantEpoch; // Invalidate any other scheduled grant.
+    const std::uint32_t batched = _pendingBatch;
+    _pendingGrant.reset();
+    _pendingBatch = 0;
     ++_grants;
     _waitStats.sample(static_cast<double>(granted_at - waiter.since));
-    if (_tracer)
+    if (_tracer) {
         _tracer->record(obs::TraceKind::TokenHandoff, waiter.cluster,
                         waiter.since, granted_at, _traceChannel);
+        if (batched != 0) {
+            // One span per coalesced drain: aux carries the batch
+            // size (schedules served by this single event, survivor
+            // included) so Perfetto exports show batching directly.
+            _tracer->record(obs::TraceKind::GrantBatch, waiter.cluster,
+                            granted_at, granted_at, batched + 1);
+        }
+    }
     waiter.grant();
 }
 

@@ -76,6 +76,15 @@ class TokenArbiter
     /** Total grants issued. */
     std::uint64_t grants() const { return _grants; }
 
+    /**
+     * Grant schedules coalesced into an already-pending grant event:
+     * a request (or release) whose earliest token arrival matches the
+     * tick of the grant already on the queue rides that event instead
+     * of scheduling its own. The winner is re-resolved at fire time,
+     * so batching never changes which waiter is granted.
+     */
+    std::uint64_t grantsBatched() const { return _grantsBatched; }
+
     /** Hop time between ring neighbours, ticks. */
     sim::Tick hopTime() const { return _hopTime; }
 
@@ -105,8 +114,11 @@ class TokenArbiter
         _tokenDeparture = 0;
         _waiters.clear();
         _grantEpoch = 0;
+        _pendingGrant.reset();
+        _pendingBatch = 0;
         _waitStats.reset();
         _grants = 0;
+        _grantsBatched = 0;
     }
 
   private:
@@ -142,9 +154,15 @@ class TokenArbiter
     std::vector<Waiter> _waiters;
     /** Sequence number guarding stale scheduled grants. */
     std::uint64_t _grantEpoch = 0;
+    /** Tick of the grant event scheduled under the current epoch,
+     * while one is outstanding and the token is free. */
+    std::optional<sim::Tick> _pendingGrant;
+    /** Schedules coalesced into the currently pending grant event. */
+    std::uint32_t _pendingBatch = 0;
 
     stats::RunningStats _waitStats;
     std::uint64_t _grants = 0;
+    std::uint64_t _grantsBatched = 0;
 
     obs::EventTracer *_tracer = nullptr;
     std::uint32_t _traceChannel = 0;

@@ -151,6 +151,45 @@ TEST(TokenArbiter, WaitStatisticsRecorded)
     EXPECT_GT(arb.waitStats().mean(), 0.0);
 }
 
+TEST(TokenArbiter, LaterRequestRidesThePendingGrantEvent)
+{
+    // A second request whose token arrival is later than the pending
+    // grant's tick must not schedule a second event: the minimum over
+    // the waiter set is unchanged, so the newcomer is coalesced into
+    // the grant already on the queue — and the winner is still the
+    // nearest waiter, at exactly the tick the first schedule chose.
+    EventQueue eq;
+    TokenArbiter arb(eq, kClusters, kHop);
+    Tick granted_near = 0;
+    bool far_granted = false;
+    arb.request(2, [&] { granted_near = eq.now(); });
+    EXPECT_EQ(arb.grantsBatched(), 0u);
+    arb.request(5, [&] { far_granted = true; });  // arrival 125 > 50
+    arb.request(40, [&] {});                      // arrival 1000 > 50
+    EXPECT_EQ(arb.grantsBatched(), 2u)
+        << "both later requests must coalesce into the pending grant";
+    eq.run();
+    EXPECT_EQ(granted_near, 2 * kHop)
+        << "batching must not change the winning waiter or its tick";
+    EXPECT_FALSE(far_granted);
+    EXPECT_EQ(arb.grants(), 1u);
+
+    // Releases re-resolve: every coalesced waiter is eventually served.
+    arb.release(2);
+    eq.run();
+    arb.release(5);
+    eq.run();
+    arb.release(40);
+    EXPECT_EQ(arb.grants(), 3u);
+    EXPECT_TRUE(far_granted);
+
+    // reset() restores the pristine counters alongside the queue.
+    eq.reset();
+    arb.reset();
+    EXPECT_EQ(arb.grantsBatched(), 0u);
+    EXPECT_EQ(arb.grants(), 0u);
+}
+
 TEST(TokenArbiter, DuplicateRequestPanics)
 {
     EventQueue eq;

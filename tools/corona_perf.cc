@@ -37,15 +37,28 @@
  * per round, best pass per arm reported — so slow patches on a shared
  * host hit all arms alike instead of whichever arm they landed on.
  *
+ *  5. Parallel executor: one 256-cluster crossbar simulation run
+ *     serially (sim_threads = 1) and on 2 / 4 / 8 conservative shards,
+ *     interleaved the same way. Every sharded pass must reproduce the
+ *     serial pass's metrics exactly — the executor's bit-identity
+ *     contract — and the report carries the host's CPU count, because
+ *     wall-clock speedup is only meaningful with cores to run on.
+ *
+ *  6. Pooled-lease reset cost: a SystemPool context leased repeatedly,
+ *     reporting ring buckets walked per EventQueue::reset() — the
+ *     O(occupied) sweep that replaced the O(ringWindow) clear — against
+ *     the 16384-bucket ring a full walk would touch.
+ *
  * Results are written as a single JSON object (BENCH_perf.json by
  * default) with a byte-stable key shape; timing values vary run to
- * run, keys never do. --quick shrinks both benchmarks for CI.
+ * run, keys never do. --quick shrinks every benchmark for CI.
  */
 
 #include <unistd.h>
 
 #include <utility>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
@@ -56,6 +69,7 @@
 #include <queue>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/progress.hh"
@@ -63,9 +77,11 @@
 #include "campaign/sink.hh"
 #include "campaign/spec.hh"
 #include "corona/config.hh"
+#include "corona/context.hh"
 #include "corona/simulation.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
+#include "topology/geometry.hh"
 #include "trace/capture.hh"
 #include "trace/ctrace.hh"
 #include "trace/replayer.hh"
@@ -269,6 +285,92 @@ runGrid(std::size_t cells, std::uint64_t requests, bool reuse_systems,
     result.events_per_sec = static_cast<double>(events) / seconds;
     result.csv = csv.str();
     return result;
+}
+
+// -------------------------------------------------- parallel executor
+
+/** Shard counts the parallel arm measures against serial. */
+constexpr unsigned parallelShards[] = {2, 4, 8};
+
+struct ParallelPass
+{
+    double events_per_sec = 0.0;
+    core::RunMetrics metrics;
+};
+
+/** One full 256-cluster simulation at @p sim_threads shards. */
+ParallelPass
+runParallelPass(const core::SystemConfig &config, unsigned sim_threads,
+                std::uint64_t requests)
+{
+    workload::SyntheticWorkload workload(
+        workload::Pattern::Uniform, topology::Geometry(config.clusters),
+        workload::SyntheticParams{});
+    core::SimParams params;
+    params.requests = requests;
+    params.sim_threads = sim_threads;
+    const auto start = std::chrono::steady_clock::now();
+    ParallelPass pass;
+    pass.metrics = core::runExperiment(config, workload, params);
+    pass.events_per_sec =
+        static_cast<double>(pass.metrics.events_executed) /
+        secondsSince(start);
+    return pass;
+}
+
+/** The executor's bit-identity contract: a sharded pass reproduces the
+ * serial pass's results exactly, not approximately. */
+bool
+sameMetrics(const core::RunMetrics &a, const core::RunMetrics &b)
+{
+    return a.requests_issued == b.requests_issued &&
+           a.requests_coalesced == b.requests_coalesced &&
+           a.elapsed == b.elapsed &&
+           a.achieved_bytes_per_second == b.achieved_bytes_per_second &&
+           a.avg_latency_ns == b.avg_latency_ns &&
+           a.p95_latency_ns == b.p95_latency_ns &&
+           a.token_wait_ns == b.token_wait_ns &&
+           a.hop_traversals == b.hop_traversals &&
+           a.events_executed == b.events_executed;
+}
+
+// --------------------------------------------------- pooled reset cost
+
+struct ResetCost
+{
+    std::uint64_t leases = 0;
+    std::uint64_t resets = 0;
+    double buckets_walked_per_reset = 0.0;
+};
+
+/** Lease one pooled context repeatedly and read the queue's cumulative
+ * reset-walk counter: the per-lease cost the O(occupied) reset pays,
+ * reported against the 16384-bucket full-ring walk it replaced. */
+ResetCost
+measureResetCost(std::uint64_t requests, std::uint64_t leases)
+{
+    const core::SystemConfig config =
+        core::makeConfig(core::NetworkKind::XBar, core::MemoryKind::OCM);
+    core::SystemPool pool;
+    ResetCost cost;
+    cost.leases = leases;
+    std::uint64_t walked = 0;
+    for (std::uint64_t lease = 0; lease < leases; ++lease) {
+        auto workload = workload::makeUniform();
+        core::SimContext &ctx = pool.lease(config);
+        core::SimParams params;
+        params.requests = requests;
+        (void)core::runExperiment(ctx, *workload, params);
+        walked = ctx.eq().resetBucketsWalked();
+    }
+    // The first lease builds the context; every later one resets it.
+    cost.resets = leases - 1;
+    cost.buckets_walked_per_reset =
+        cost.resets == 0
+            ? 0.0
+            : static_cast<double>(walked) /
+                  static_cast<double>(cost.resets);
+    return cost;
 }
 
 // -------------------------------------------------------------- output
@@ -524,6 +626,62 @@ main(int argc, char **argv)
     const GridResult &fresh = arms[5].best;
     std::filesystem::remove(trace_path, obs_ec);
 
+    // ---- Parallel executor: serial vs sharded, interleaved rounds.
+    core::SystemConfig parallel_config =
+        core::makeConfig(core::NetworkKind::XBar, core::MemoryKind::OCM);
+    parallel_config.clusters = 256;
+    const std::uint64_t parallel_requests = quick ? 5'000 : 100'000;
+    const int parallel_rounds = quick ? 2 : 4;
+    const unsigned host_cpus = std::thread::hardware_concurrency();
+    std::cerr << "corona-perf: parallel executor (256 clusters x "
+              << parallel_requests << " requests, serial vs 2/4/8 "
+              << "shards, " << parallel_rounds << " rounds, "
+              << host_cpus << " host cpus)...\n";
+    std::vector<double> serial_rates;
+    std::vector<double> shard_rates[3];
+    bool parallel_parity = true;
+    core::RunMetrics parallel_reference;
+    for (int round = 0; round < parallel_rounds; ++round) {
+        const ParallelPass serial_pass =
+            runParallelPass(parallel_config, 1, parallel_requests);
+        serial_rates.push_back(serial_pass.events_per_sec);
+        if (round == 0)
+            parallel_reference = serial_pass.metrics;
+        if (!sameMetrics(serial_pass.metrics, parallel_reference)) {
+            std::cerr << "corona-perf: PARITY FAILURE — serial "
+                         "parallel-arm pass changed between rounds\n";
+            parallel_parity = false;
+        }
+        for (std::size_t s = 0; s < 3; ++s) {
+            const ParallelPass pass = runParallelPass(
+                parallel_config, parallelShards[s], parallel_requests);
+            shard_rates[s].push_back(pass.events_per_sec);
+            if (!sameMetrics(pass.metrics, parallel_reference)) {
+                std::cerr << "corona-perf: PARITY FAILURE — "
+                          << parallelShards[s]
+                          << "-shard metrics differ from serial\n";
+                parallel_parity = false;
+            }
+        }
+    }
+    // Per-shard-count speedup from the cleanest paired round (the one
+    // maximizing sharded/serial — both sides share ambient conditions).
+    double shard_speedup[3], shard_rate[3], serial_rate_best[3];
+    for (std::size_t s = 0; s < 3; ++s) {
+        int best = 0;
+        for (int r = 1; r < parallel_rounds; ++r)
+            if (serial_rates[r] / shard_rates[s][r] <
+                serial_rates[best] / shard_rates[s][best])
+                best = r;
+        serial_rate_best[s] = serial_rates[best];
+        shard_rate[s] = shard_rates[s][best];
+        shard_speedup[s] = shard_rate[s] / serial_rate_best[s];
+    }
+
+    // ---- Pooled-lease reset cost (O(occupied), not O(ringWindow)).
+    const ResetCost reset_cost =
+        measureResetCost(requests, quick ? 4 : 8);
+
     const bool parity = pooled.csv == fresh.csv;
     if (!parity) {
         std::cerr << "corona-perf: PARITY FAILURE — pooled grid CSV "
@@ -581,7 +739,7 @@ main(int argc, char **argv)
         mixed_pooled.events_per_sec / mixed_legacy.events_per_sec;
 
     std::ostringstream json;
-    json << "{\"schema\":\"corona-perf-v1\",\"quick\":"
+    json << "{\"schema\":\"corona-perf-v2\",\"quick\":"
          << (quick ? "true" : "false") << ",\"event_kernel\":{"
          << "\"events\":" << events << ",\"near\":{"
          << "\"kernel_events_per_sec\":"
@@ -622,7 +780,26 @@ main(int argc, char **argv)
          << jsonNumber(trace_gen_rate)
          << ",\"replay_cells_per_sec\":"
          << jsonNumber(trace_replay_rate) << ",\"overhead\":"
-         << jsonNumber(trace_overhead) << "}}\n";
+         << jsonNumber(trace_overhead)
+         << "},\"parallel\":{\"clusters\":" << parallel_config.clusters
+         << ",\"requests\":" << parallel_requests
+         << ",\"host_cpus\":" << host_cpus
+         << ",\"serial_events_per_sec\":"
+         << jsonNumber(*std::max_element(serial_rates.begin(),
+                                         serial_rates.end()));
+    for (std::size_t s = 0; s < 3; ++s) {
+        const std::string prefix =
+            "shards" + std::to_string(parallelShards[s]);
+        json << ",\"" << prefix << "_events_per_sec\":"
+             << jsonNumber(shard_rate[s]) << ",\"" << prefix
+             << "_speedup\":" << jsonNumber(shard_speedup[s]);
+    }
+    json << ",\"parity\":" << (parallel_parity ? "true" : "false")
+         << "},\"reset\":{\"leases\":" << reset_cost.leases
+         << ",\"resets\":" << reset_cost.resets
+         << ",\"ring_buckets\":" << sim::EventQueue::ringWindow
+         << ",\"buckets_walked_per_reset\":"
+         << jsonNumber(reset_cost.buckets_walked_per_reset) << "}}\n";
 
     std::ofstream out(out_path, std::ios::trunc);
     if (!out) {
@@ -678,7 +855,24 @@ main(int argc, char **argv)
               << campaign::formatRate(trace_gen_rate)
               << " cells/s generator  (x" << jsonNumber(trace_overhead)
               << " overhead)\n"
+              << "parallel executor  : ";
+    for (std::size_t s = 0; s < 3; ++s)
+        std::cout << (s ? ", " : "") << parallelShards[s] << " shards x"
+                  << jsonNumber(shard_speedup[s]);
+    std::cout << " vs serial "
+              << campaign::formatRate(
+                     *std::max_element(serial_rates.begin(),
+                                       serial_rates.end()))
+              << " ev/s  (" << host_cpus << " host cpus, parity "
+              << (parallel_parity ? "ok" : "FAILED") << ")\n"
+              << "pooled reset       : "
+              << jsonNumber(reset_cost.buckets_walked_per_reset)
+              << " ring buckets walked/reset of "
+              << sim::EventQueue::ringWindow << " ("
+              << reset_cost.resets << " resets)\n"
               << "report: " << out_path << "\n";
-    return parity && obs_parity && passthrough_parity && stable ? 0
-                                                                : 1;
+    return parity && obs_parity && passthrough_parity && stable &&
+                   parallel_parity
+               ? 0
+               : 1;
 }
